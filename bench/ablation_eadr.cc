@@ -1,0 +1,66 @@
+// Ablation: what would eADR have bought? (paper §6 discussion)
+//
+// The paper's G2 testbed ran with eADR disabled; with eADR the CPU caches are
+// in the persistence domain and cacheline flushes become unnecessary. This
+// bench contrasts G2 vs G2+eADR on two paper workloads:
+//   * the Fig. 8 strict-persistency element update (flush+fence per element)
+//   * the Fig. 12 in-place B+-tree insert (a flush per key shift)
+// Under eADR the flush cost disappears and with it most of the remaining
+// persistency overhead — the in-place B+-tree no longer needs redo logging.
+//
+// Output: CSV  workload,platform,value_cycles
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/config.h"
+#include "src/core/system.h"
+#include "src/datastores/chase_list.h"
+#include "src/datastores/fast_fair.h"
+#include "src/workload/ycsb.h"
+
+namespace {
+
+using namespace pmemsim;
+
+double ElementUpdate(const PlatformConfig& cfg) {
+  auto system = std::make_unique<System>(cfg, 1);
+  ThreadContext& ctx = system->CreateThread();
+  const PmRegion region = system->AllocatePm(MiB(1), kXPLineSize);
+  ChaseList list(system.get(), region, false, 0xEAD);
+  list.TraverseUpdate(ctx, 4000, PersistMode::kClwbSfence, Persistency::kStrict);
+  const Cycles t =
+      list.TraverseUpdate(ctx, 8000, PersistMode::kClwbSfence, Persistency::kStrict);
+  return static_cast<double>(t) / 8000.0;
+}
+
+double BtreeInsert(const PlatformConfig& cfg) {
+  auto system = std::make_unique<System>(cfg, 1);
+  ThreadContext& ctx = system->CreateThread();
+  FastFairTree tree(system.get(), ctx);
+  const std::vector<uint64_t> keys = MakeLoadKeys(40000, 0xEAD2);
+  const Cycles t0 = ctx.clock();
+  for (const uint64_t k : keys) {
+    tree.Insert(ctx, k, k, BTreeUpdateMode::kInPlace);
+  }
+  return static_cast<double>(ctx.clock() - t0) / static_cast<double>(keys.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf("usage: ablation_eadr\n");
+    return 0;
+  }
+  pmemsim_bench::PrintHeader("Ablation", "G2 with and without eADR (paper §6)");
+  std::printf("workload,platform,cycles\n");
+  const PlatformConfig g2 = G2Platform();
+  const PlatformConfig eadr = G2EadrPlatform();
+  std::printf("element-update-strict,G2,%.1f\n", ElementUpdate(g2));
+  std::printf("element-update-strict,G2+eADR,%.1f\n", ElementUpdate(eadr));
+  std::printf("btree-inplace-insert,G2,%.1f\n", BtreeInsert(g2));
+  std::printf("btree-inplace-insert,G2+eADR,%.1f\n", BtreeInsert(eadr));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: the persistency-model spectrum (paper §3.6 discussion of strict
+// vs relaxed, and the epoch/strand models of Pelley et al. it cites).
+//
+// Sweeps the epoch length for the Fig. 8 element-update workload: epoch = 1
+// is strict persistency, epoch = WSS is the paper's relaxed model. The paper's
+// takeaway — reducing persists to the same XPLine matters more than reducing
+// the number of XPLines persisted, and all models converge once the media is
+// the bottleneck — shows up as the curves collapsing at large WSS.
+//
+// Output: CSV  wss_kb,epoch_len,cycles_per_element
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/platform.h"
+#include "src/datastores/chase_list.h"
+
+namespace {
+
+using namespace pmemsim;
+
+double Measure(uint64_t wss, uint64_t epoch_len) {
+  auto system = MakeG1System(1);
+  ThreadContext& ctx = system->CreateThread();
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  ChaseList list(system.get(), region, /*sequential=*/false, 0xE9);
+  const Persistency model = epoch_len == 1 ? Persistency::kStrict : Persistency::kEpoch;
+  list.TraverseUpdate(ctx, 4000, PersistMode::kClwbSfence, model, epoch_len);
+  const Cycles t = list.TraverseUpdate(ctx, 8000, PersistMode::kClwbSfence, model, epoch_len);
+  return static_cast<double>(t) / 8000.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf("usage: ablation_persistency\n");
+    return 0;
+  }
+  pmemsim_bench::PrintHeader("Ablation", "persistency spectrum: strict -> epoch -> relaxed");
+  std::printf("wss_kb,epoch_len,cycles_per_element\n");
+  for (const uint64_t kb : {8ull, 64ull, 1024ull, 16384ull}) {
+    for (const uint64_t epoch : {1ull, 4ull, 16ull, 64ull, 1024ull}) {
+      std::printf("%llu,%llu,%.1f\n", static_cast<unsigned long long>(kb),
+                  static_cast<unsigned long long>(epoch), Measure(KiB(kb), epoch));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation: which read-buffer design reproduces Figure 2?
+//
+// The paper infers (§3.1) that the read buffer evicts FIFO and is exclusive
+// of the CPU caches (RA jumps sharply past capacity, and never drops below
+// 1). This bench re-runs the Fig. 2 probe under the alternatives:
+//   * LRU eviction     -> the RA cliff softens (re-referenced XPLines survive)
+//   * inclusive buffer -> RA drops below 1 when the WSS fits (recurring reads
+//                         hit the buffer instead of the media)
+// Only FIFO+exclusive matches the measurements.
+//
+// Output: CSV  policy,wss_kb,cpx,read_amplification
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/config.h"
+#include "src/core/platform.h"
+#include "src/trace/counters.h"
+
+namespace {
+
+using namespace pmemsim;
+
+double MeasureRa(const OptaneDimmConfig& dimm_cfg, uint64_t wss, uint32_t cpx) {
+  PlatformConfig cfg = G1Platform();
+  cfg.optane = dimm_cfg;
+  auto system = std::make_unique<System>(cfg, 1);
+  ThreadContext& ctx = system->CreateThread();
+  SetPrefetchers(ctx, false, false, false);
+
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  const uint64_t xplines = wss / kXPLineSize;
+  auto run = [&](int passes) {
+    for (int p = 0; p < passes; ++p) {
+      for (uint32_t cl = 0; cl < cpx; ++cl) {
+        for (uint64_t xp = 0; xp < xplines; ++xp) {
+          const Addr a = region.base + xp * kXPLineSize + cl * kCacheLineSize;
+          ctx.LoadLine(a);
+          ctx.Clflushopt(a);
+        }
+        ctx.Sfence();
+      }
+    }
+  };
+  run(3);
+  CounterDelta d(&system->counters());
+  run(8);
+  return d.Delta().ReadAmplification();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf("usage: ablation_read_buffer [--max_kb=32]\n");
+    return 0;
+  }
+  const uint64_t max_kb = flags.GetU64("max_kb", 32);
+
+  struct Policy {
+    const char* name;
+    uint8_t eviction;
+    bool exclusive;
+  };
+  static const Policy kPolicies[] = {
+      {"fifo-exclusive (hardware)", 0, true},
+      {"lru-exclusive", 1, true},
+      {"fifo-inclusive", 0, false},
+  };
+
+  pmemsim_bench::PrintHeader("Ablation", "read-buffer eviction & exclusivity vs Figure 2");
+  std::printf("policy,wss_kb,cpx,read_amplification\n");
+  for (const Policy& p : kPolicies) {
+    OptaneDimmConfig dimm = G1Platform().optane;
+    dimm.read_buffer_eviction = p.eviction;
+    dimm.read_buffer_exclusive = p.exclusive;
+    for (uint64_t kb = 4; kb <= max_kb; kb += 4) {
+      for (uint32_t cpx = 1; cpx <= 4; cpx += 3) {
+        std::printf("%s,%llu,%u,%.3f\n", p.name, static_cast<unsigned long long>(kb), cpx,
+                    MeasureRa(dimm, KiB(kb), cpx));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation: which write-buffer design reproduces Figures 3 & 4?
+//
+// The paper infers random-victim eviction (graceful hit-ratio decay under
+// random writes, Fig. 4) and, on G1, periodic write-back of fully written
+// XPLines (WA = 1 for full writes even at tiny WSS, Fig. 3). This bench flips
+// each choice:
+//   * oldest-first eviction -> under a cyclic write pattern the hit ratio
+//     collapses to ~0 past capacity (no graceful decay)
+//   * periodic write-back off -> full-write WA stays 0 below capacity
+//
+// Output: CSV  experiment,policy,wss_kb,value
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/config.h"
+#include "src/common/random.h"
+#include "src/core/platform.h"
+#include "src/trace/counters.h"
+
+namespace {
+
+using namespace pmemsim;
+
+std::unique_ptr<System> MakeAblatedSystem(uint8_t wb_eviction, bool periodic) {
+  PlatformConfig cfg = G1Platform();
+  cfg.optane.write_buffer_eviction = wb_eviction;
+  cfg.optane.periodic_full_writeback = periodic;
+  cfg.optane.batch_evict = false;  // isolate the victim-choice policy
+  return std::make_unique<System>(cfg, 1);
+}
+
+// Cyclic single-line writes: random eviction decays gracefully, oldest-first
+// (FIFO) thrashes exactly like Fig. 2's read cliff.
+double CyclicHitRatio(uint8_t wb_eviction, uint64_t wss) {
+  auto system = MakeAblatedSystem(wb_eviction, false);
+  ThreadContext& ctx = system->CreateThread();
+  SetPrefetchers(ctx, false, false, false);
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  const uint64_t xplines = wss / kXPLineSize;
+  auto run = [&](uint64_t writes) {
+    for (uint64_t i = 0; i < writes; ++i) {
+      ctx.NtStore64(region.base + (i % xplines) * kXPLineSize, i);
+    }
+    ctx.Sfence();
+  };
+  run(4 * xplines);
+  CounterDelta d(&system->counters());
+  run(12 * xplines);
+  return d.Delta().WriteBufferHitRatio();
+}
+
+double FullWriteWa(bool periodic, uint64_t wss) {
+  auto system = MakeAblatedSystem(0, periodic);
+  ThreadContext& ctx = system->CreateThread();
+  SetPrefetchers(ctx, false, false, false);
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  auto run = [&](int passes) {
+    for (int p = 0; p < passes; ++p) {
+      for (Addr a = region.base; a < region.end(); a += kCacheLineSize) {
+        ctx.NtStore64(a, p);
+      }
+      ctx.Sfence();
+    }
+  };
+  run(3);
+  CounterDelta d(&system->counters());
+  run(8);
+  return d.Delta().WriteAmplification();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf("usage: ablation_write_buffer [--max_kb=32]\n");
+    return 0;
+  }
+  const uint64_t max_kb = flags.GetU64("max_kb", 32);
+
+  pmemsim_bench::PrintHeader("Ablation", "write-buffer eviction & periodic write-back");
+  std::printf("experiment,policy,wss_kb,value\n");
+  for (uint64_t kb = 4; kb <= max_kb; kb += 4) {
+    std::printf("cyclic-hit-ratio,random,%llu,%.3f\n", static_cast<unsigned long long>(kb),
+                CyclicHitRatio(0, KiB(kb)));
+    std::printf("cyclic-hit-ratio,oldest-first,%llu,%.3f\n",
+                static_cast<unsigned long long>(kb), CyclicHitRatio(1, KiB(kb)));
+  }
+  for (uint64_t kb = 4; kb <= max_kb; kb += 4) {
+    std::printf("full-write-wa,periodic-on (G1 hardware),%llu,%.3f\n",
+                static_cast<unsigned long long>(kb), FullWriteWa(true, KiB(kb)));
+    std::printf("full-write-wa,periodic-off (G2-like),%llu,%.3f\n",
+                static_cast<unsigned long long>(kb), FullWriteWa(false, KiB(kb)));
+  }
+  return 0;
+}

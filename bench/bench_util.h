@@ -1,0 +1,63 @@
+// Shared helpers for the figure-regeneration benches: tiny flag parsing and
+// CSV emission. Every bench prints a header comment naming the paper figure,
+// then CSV rows matching the figure's axes.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pmemsim_bench {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      args_.emplace_back(argv[i]);
+    }
+  }
+
+  bool Has(const std::string& name) const {
+    for (const std::string& a : args_) {
+      if (a == "--" + name) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string Get(const std::string& name, const std::string& def) const {
+    const std::string prefix = "--" + name + "=";
+    for (const std::string& a : args_) {
+      if (a.rfind(prefix, 0) == 0) {
+        return a.substr(prefix.size());
+      }
+    }
+    return def;
+  }
+
+  uint64_t GetU64(const std::string& name, uint64_t def) const {
+    const std::string v = Get(name, "");
+    return v.empty() ? def : std::stoull(v);
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    const std::string v = Get(name, "");
+    return v.empty() ? def : std::stod(v);
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("# %s — %s\n", figure, description);
+}
+
+}  // namespace pmemsim_bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Figure 2 (paper §3.1): read amplification vs working set size for strided
+// reads touching 1..4 cachelines per XPLine (CpX). Demonstrates the 16 KB
+// (G1) / 22 KB (G2) on-DIMM read buffer with FIFO eviction and exclusive
+// delivery: RA = 4/CpX while the WSS fits, then a sharp jump to 4.
+//
+// Output: CSV  gen,wss_kb,cpx,read_amplification
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/platform.h"
+#include "src/trace/counters.h"
+
+namespace {
+
+using namespace pmemsim;
+
+double MeasureRa(Generation gen, uint64_t wss_bytes, uint32_t cpx) {
+  // Single non-interleaved DIMM, as in the paper's buffer probes.
+  auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
+  ThreadContext& ctx = system->CreateThread();
+  SetPrefetchers(ctx, false, false, false);
+
+  const PmRegion region = system->AllocatePm(wss_bytes, kXPLineSize);
+  const uint64_t xplines = wss_bytes / kXPLineSize;
+
+  auto run_pattern = [&](int passes) {
+    for (int p = 0; p < passes; ++p) {
+      for (uint32_t cl = 0; cl < cpx; ++cl) {
+        for (uint64_t xp = 0; xp < xplines; ++xp) {
+          const Addr addr = region.base + xp * kXPLineSize + cl * kCacheLineSize;
+          ctx.LoadLine(addr);
+          // Invalidate so the next visit must leave the CPU caches (§3.1).
+          ctx.Clflushopt(addr);
+        }
+        ctx.Sfence();
+      }
+    }
+  };
+
+  run_pattern(3);  // warm up buffers
+  CounterDelta delta(&system->counters());
+  run_pattern(8);
+  return delta.Delta().ReadAmplification();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf("usage: fig02_read_buffer [--gen=g1|g2|both] [--max_kb=36]\n");
+    return 0;
+  }
+  const std::string gen_flag = flags.Get("gen", "both");
+  const uint64_t max_kb = flags.GetU64("max_kb", 36);
+
+  pmemsim_bench::PrintHeader("Figure 2", "read amplification vs WSS (strided reads, CpX=1..4)");
+  std::printf("gen,wss_kb,cpx,read_amplification\n");
+  for (Generation gen : {Generation::kG1, Generation::kG2}) {
+    if ((gen == Generation::kG1 && gen_flag == "g2") ||
+        (gen == Generation::kG2 && gen_flag == "g1")) {
+      continue;
+    }
+    for (uint64_t kb = 1; kb <= max_kb; ++kb) {
+      for (uint32_t cpx = 1; cpx <= 4; ++cpx) {
+        const double ra = MeasureRa(gen, KiB(kb), cpx);
+        std::printf("%s,%llu,%u,%.3f\n", gen == Generation::kG1 ? "G1" : "G2",
+                    static_cast<unsigned long long>(kb), cpx, ra);
+      }
+    }
+  }
+  return 0;
+}

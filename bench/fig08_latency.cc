@@ -1,0 +1,134 @@
+// Figure 8 (paper §3.6): user-perceived per-element latency vs working set
+// size for the 256 B pointer-chase element workload:
+//   (a) writes under strict persistency (barrier per element)
+//   (b) writes under relaxed persistency (one fence per pass)
+//   (c) latency breakdown: pure reads vs pure writes
+// with sequential and random element orders, clwb and nt-store persists.
+//
+// Expected shapes (paper): three latency levels — low while the WSS fits the
+// on-DIMM buffers, a ~400-cycle plateau up to ~16 MB, then a steep climb to
+// ~1000+ for random access as the AIT and L3 overflow. Write latency stays
+// flat at any WSS; reads dominate beyond the LLC.
+//
+// Output: CSV  gen,panel,series,wss_kb,cycles_per_element
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/core/platform.h"
+#include "src/datastores/chase_list.h"
+
+namespace {
+
+using namespace pmemsim;
+
+struct Series {
+  const char* name;
+  bool sequential;
+  PersistMode mode;
+};
+
+double MeasureUpdate(Generation gen, uint64_t wss, bool sequential, PersistMode mode,
+                     Persistency persistency, uint64_t max_ops) {
+  auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
+  ThreadContext& ctx = system->CreateThread();
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  ChaseList list(system.get(), region, sequential, /*seed=*/0x11 + wss);
+
+  const uint64_t count = list.size();
+  const uint64_t warm = std::max<uint64_t>(std::min<uint64_t>(count, max_ops), 2000);
+  const uint64_t measured = std::max<uint64_t>(std::min<uint64_t>(2 * count, max_ops), 4000);
+  list.TraverseUpdate(ctx, warm, mode, persistency);
+  const Cycles cycles = list.TraverseUpdate(ctx, measured, mode, persistency);
+  return static_cast<double>(cycles) / static_cast<double>(measured);
+}
+
+double MeasureRead(Generation gen, uint64_t wss, bool sequential, uint64_t max_ops) {
+  auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
+  ThreadContext& ctx = system->CreateThread();
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  ChaseList list(system.get(), region, sequential, /*seed=*/0x22 + wss);
+
+  const uint64_t count = list.size();
+  const uint64_t warm = std::max<uint64_t>(std::min<uint64_t>(count, max_ops), 2000);
+  const uint64_t measured = std::max<uint64_t>(std::min<uint64_t>(2 * count, max_ops), 4000);
+  list.TraverseRead(ctx, warm);
+  const Cycles cycles = list.TraverseRead(ctx, measured);
+  return static_cast<double>(cycles) / static_cast<double>(measured);
+}
+
+double MeasurePureWrite(Generation gen, uint64_t wss, bool sequential, PersistMode mode,
+                        uint64_t max_ops) {
+  auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
+  ThreadContext& ctx = system->CreateThread();
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  ChaseList list(system.get(), region, sequential, /*seed=*/0x33 + wss);
+
+  const uint64_t count = list.size();
+  const uint64_t warm = std::max<uint64_t>(std::min<uint64_t>(count, max_ops), 2000);
+  const uint64_t measured = std::max<uint64_t>(std::min<uint64_t>(2 * count, max_ops), 4000);
+  list.PureWrite(ctx, warm, mode, Persistency::kStrict);
+  const Cycles cycles = list.PureWrite(ctx, measured, mode, Persistency::kStrict);
+  return static_cast<double>(cycles) / static_cast<double>(measured);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: fig08_latency [--gen=g1|g2|both] [--max_mb=1024] [--max_ops=200000]\n"
+        "Panels: strict, relaxed, breakdown (pure read / pure write).\n");
+    return 0;
+  }
+  const std::string gen_flag = flags.Get("gen", "g1");
+  const uint64_t max_mb = flags.GetU64("max_mb", 1024);
+  const uint64_t max_ops = flags.GetU64("max_ops", 120000);
+
+  static const Series kWriteSeries[] = {
+      {"seq_clwb", true, PersistMode::kClwbSfence},
+      {"rand_clwb", false, PersistMode::kClwbSfence},
+      {"seq_nt-store", true, PersistMode::kNtStoreSfence},
+      {"rand_nt-store", false, PersistMode::kNtStoreSfence},
+  };
+
+  std::vector<uint64_t> wss_points;
+  for (uint64_t kb = 4; kb <= max_mb * 1024; kb *= 2) {
+    wss_points.push_back(KiB(kb));
+  }
+
+  pmemsim_bench::PrintHeader("Figure 8", "per-element latency vs WSS (linked-list elements)");
+  std::printf("gen,panel,series,wss_kb,cycles\n");
+  for (Generation gen : {Generation::kG1, Generation::kG2}) {
+    if ((gen == Generation::kG1 && gen_flag == "g2") ||
+        (gen == Generation::kG2 && gen_flag == "g1")) {
+      continue;
+    }
+    const char* gname = gen == Generation::kG1 ? "G1" : "G2";
+    for (const uint64_t wss : wss_points) {
+      for (const Series& s : kWriteSeries) {
+        const double strict =
+            MeasureUpdate(gen, wss, s.sequential, s.mode, Persistency::kStrict, max_ops);
+        std::printf("%s,strict,%s,%llu,%.1f\n", gname, s.name,
+                    static_cast<unsigned long long>(wss / 1024), strict);
+        const double relaxed =
+            MeasureUpdate(gen, wss, s.sequential, s.mode, Persistency::kRelaxed, max_ops);
+        std::printf("%s,relaxed,%s,%llu,%.1f\n", gname, s.name,
+                    static_cast<unsigned long long>(wss / 1024), relaxed);
+        const double pure =
+            MeasurePureWrite(gen, wss, s.sequential, s.mode, max_ops);
+        std::printf("%s,breakdown,%s,%llu,%.1f\n", gname, s.name,
+                    static_cast<unsigned long long>(wss / 1024), pure);
+      }
+      for (const bool sequential : {true, false}) {
+        const double read = MeasureRead(gen, wss, sequential, max_ops);
+        std::printf("%s,breakdown,%s_rd,%llu,%.1f\n", gname, sequential ? "seq" : "rand",
+                    static_cast<unsigned long long>(wss / 1024), read);
+      }
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 12 (paper §4.2): FAST&FAIR-style B+-tree insert throughput and
+// latency, in-place shifting (barrier per shift) vs out-of-place redo
+// logging, on G1 and G2, single Optane DIMM, 1-9 threads.
+//
+// Expected shapes (paper): on G1 redo logging wins (~38.8% lower latency,
+// ~60.8% higher throughput at low thread counts, the gap narrowing as threads
+// contend for Optane bandwidth); on G2 (clwb retains the line, same-line
+// persists merge) there is no benefit and a slight slowdown at high thread
+// counts from the doubled PM writes.
+//
+// Output: CSV  gen,mode,threads,cycles_per_insert,mops
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/platform.h"
+#include "src/cpu/scheduler.h"
+#include "src/datastores/fast_fair.h"
+#include "src/persist/redo_log.h"
+#include "src/workload/ycsb.h"
+
+namespace {
+
+using namespace pmemsim;
+
+struct Result {
+  double cycles_per_insert = 0;
+  double mops = 0;
+};
+
+Result RunTree(Generation gen, BTreeUpdateMode mode, uint32_t threads, uint64_t total_keys) {
+  auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
+  ThreadContext& init_ctx = system->CreateThread();
+  FastFairTree tree(system.get(), init_ctx, MemoryKind::kOptane);
+
+  const std::vector<uint64_t> keys = MakeLoadKeys(total_keys, /*seed=*/0xB7EE);
+  const std::vector<std::vector<uint64_t>> shards = ShardKeys(keys, threads);
+
+  std::vector<ThreadContext*> ctxs;
+  std::vector<std::unique_ptr<RedoLog>> logs;
+  for (uint32_t t = 0; t < threads; ++t) {
+    ctxs.push_back(&system->CreateThread());
+    logs.push_back(std::make_unique<RedoLog>(
+        system.get(), system->AllocatePm(KiB(16), kCacheLineSize)));
+  }
+
+  Cycles start_max = 0;
+  for (ThreadContext* c : ctxs) {
+    start_max = std::max(start_max, c->clock());
+  }
+
+  std::vector<size_t> cursors(threads, 0);
+  std::vector<SimJob> jobs;
+  for (uint32_t t = 0; t < threads; ++t) {
+    jobs.push_back({ctxs[t], [&, t]() {
+                      if (cursors[t] >= shards[t].size()) {
+                        return StepResult::kDone;
+                      }
+                      const uint64_t key = shards[t][cursors[t]++];
+                      tree.Insert(*ctxs[t], key, key + 1, mode, logs[t].get());
+                      return StepResult::kProgress;
+                    }});
+  }
+  Scheduler::Run(jobs);
+
+  Cycles worker_cycles = 0;
+  Cycles end_max = 0;
+  for (ThreadContext* c : ctxs) {
+    worker_cycles += c->clock();
+    end_max = std::max(end_max, c->clock());
+  }
+  const double ghz = gen == Generation::kG1 ? 2.1 : 3.0;
+  return {static_cast<double>(worker_cycles) / static_cast<double>(total_keys),
+          static_cast<double>(total_keys) * ghz * 1e3 / static_cast<double>(end_max - start_max)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf("usage: fig12_btree [--gen=g1|g2|both] [--keys=200000] [--max_threads=9]\n");
+    return 0;
+  }
+  const std::string gen_flag = flags.Get("gen", "both");
+  const uint64_t keys = flags.GetU64("keys", 120000);
+  const uint32_t max_threads = static_cast<uint32_t>(flags.GetU64("max_threads", 9));
+
+  pmemsim_bench::PrintHeader("Figure 12",
+                             "FAST&FAIR inserts: in-place vs out-of-place redo logging");
+  std::printf("gen,mode,threads,cycles_per_insert,mops\n");
+  for (Generation gen : {Generation::kG1, Generation::kG2}) {
+    if ((gen == Generation::kG1 && gen_flag == "g2") ||
+        (gen == Generation::kG2 && gen_flag == "g1")) {
+      continue;
+    }
+    for (const BTreeUpdateMode mode : {BTreeUpdateMode::kInPlace, BTreeUpdateMode::kRedoLog}) {
+      for (uint32_t t = 1; t <= max_threads; t += 2) {
+        const Result r = RunTree(gen, mode, t, keys);
+        std::printf("%s,%s,%u,%.0f,%.3f\n", gen == Generation::kG1 ? "G1" : "G2",
+                    mode == BTreeUpdateMode::kInPlace ? "in-place" : "out-of-place", t,
+                    r.cycles_per_insert, r.mops);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Figure 13 (paper §4.3): the read-ratio effect of redirecting XPLine-aligned
+// accesses through AVX streaming copies into DRAM bounce buffers (Algorithm
+// 2). With default prefetching, random XPLine-sized accesses misprefetch
+// across block boundaries and the media reads up to ~2x the demanded data;
+// the redirect path never trains the prefetchers and brings the ratio back
+// to ~1.
+//
+// Output: CSV  gen,variant,wss_kb,pm_ratio,imc_ratio
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/core/platform.h"
+#include "src/trace/counters.h"
+
+namespace {
+
+using namespace pmemsim;
+
+struct Ratios {
+  double pm = 0;
+  double imc = 0;
+};
+
+Ratios MeasureRedirect(Generation gen, uint64_t wss, bool optimized, uint64_t max_visits,
+                       uint32_t repeats) {
+  auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
+  ThreadContext& ctx = system->CreateThread();
+  // Default platform prefetching: all three prefetchers on.
+  SetPrefetchers(ctx, true, true, true);
+
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  const PmRegion bounce = system->AllocateDram(kXPLineSize, kXPLineSize);
+  const uint64_t blocks = wss / kXPLineSize;
+
+  std::vector<uint64_t> order(blocks);
+  for (uint64_t i = 0; i < blocks; ++i) {
+    order[i] = i;
+  }
+  Rng rng(0xF13 + wss);
+
+  auto visit_blocks = [&](uint64_t visits) {
+    uint64_t done = 0;
+    while (done < visits) {
+      rng.Shuffle(order);
+      for (const uint64_t b : order) {
+        const Addr base = region.base + b * kXPLineSize;
+        if (optimized) {
+          // Algorithm 2: one streaming copy, then operate on the DRAM buffer.
+          ctx.StreamCopyXPLine(base, bounce.base);
+          for (uint32_t r = 0; r < repeats; ++r) {
+            for (uint64_t cl = 0; cl < kLinesPerXPLine; ++cl) {
+              ctx.LoadLine(bounce.base + cl * kCacheLineSize);
+            }
+          }
+          for (uint64_t cl = 0; cl < kLinesPerXPLine; ++cl) {
+            ctx.Clflushopt(base + cl * kCacheLineSize);
+          }
+        } else {
+          for (uint32_t r = 0; r < repeats; ++r) {
+            for (uint64_t cl = 0; cl < kLinesPerXPLine; ++cl) {
+              ctx.LoadLine(base + cl * kCacheLineSize);
+            }
+          }
+          for (uint64_t cl = 0; cl < kLinesPerXPLine; ++cl) {
+            ctx.Clflushopt(base + cl * kCacheLineSize);
+          }
+        }
+        ctx.Sfence();
+        if (++done >= visits) {
+          break;
+        }
+      }
+    }
+  };
+
+  const uint64_t warm = std::max<uint64_t>(std::min<uint64_t>(blocks, max_visits), 4096);
+  const uint64_t measured = std::max<uint64_t>(std::min<uint64_t>(2 * blocks, max_visits), 8192);
+  visit_blocks(warm);
+  CounterDelta delta(&system->counters());
+  visit_blocks(measured);
+  const Counters d = delta.Delta();
+  const double demand = static_cast<double>(measured) * kXPLineSize;
+  return {static_cast<double>(d.media_read_bytes) / demand,
+          static_cast<double>(d.imc_read_bytes) / demand};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: fig13_redirect_ratio [--gen=g1|g2|both] [--max_mb=1024] [--max_visits=60000]\n");
+    return 0;
+  }
+  const std::string gen_flag = flags.Get("gen", "both");
+  const uint64_t max_mb = flags.GetU64("max_mb", 1024);
+  const uint64_t max_visits = flags.GetU64("max_visits", 60000);
+
+  pmemsim_bench::PrintHeader("Figure 13", "misprefetch reduction via AVX redirect (Algorithm 2)");
+  std::printf("gen,variant,wss_kb,pm_ratio,imc_ratio\n");
+  for (Generation gen : {Generation::kG1, Generation::kG2}) {
+    if ((gen == Generation::kG1 && gen_flag == "g2") ||
+        (gen == Generation::kG2 && gen_flag == "g1")) {
+      continue;
+    }
+    for (const bool optimized : {false, true}) {
+      for (uint64_t kb = 4; kb <= max_mb * 1024; kb *= 4) {
+        const Ratios r = MeasureRedirect(gen, KiB(kb), optimized, max_visits, /*repeats=*/4);
+        std::printf("%s,%s,%llu,%.3f,%.3f\n", gen == Generation::kG1 ? "G1" : "G2",
+                    optimized ? "optimized" : "prefetching", static_cast<unsigned long long>(kb),
+                    r.pm, r.imc);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

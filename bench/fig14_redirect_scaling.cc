@@ -1,0 +1,142 @@
+// Figure 14 (paper §4.3): the performance tradeoff of the AVX redirect as
+// thread count grows. The extra PM->DRAM copy costs latency at low thread
+// counts; once the threads contend for media read bandwidth, the halved media
+// traffic (no misprefetched XPLines) wins both latency and throughput — the
+// paper sees the crossover at ~12 threads.
+//
+// Output: CSV  gen,variant,threads,cycles_per_block,throughput_gbps
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/core/platform.h"
+#include "src/cpu/scheduler.h"
+
+namespace {
+
+using namespace pmemsim;
+
+struct Result {
+  double cycles_per_block = 0;
+  double gbps = 0;
+};
+
+Result RunScaling(Generation gen, bool optimized, uint32_t threads, uint64_t wss,
+                  uint64_t blocks_per_thread) {
+  auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  const uint64_t blocks = wss / kXPLineSize;
+
+  struct Worker {
+    ThreadContext* ctx;
+    PmRegion bounce;
+    Rng rng{0};
+    uint64_t done = 0;
+  };
+  std::vector<Worker> workers(threads);
+  for (uint32_t t = 0; t < threads; ++t) {
+    workers[t].ctx = &system->CreateThread();
+    SetPrefetchers(*workers[t].ctx, true, true, true);
+    workers[t].bounce = system->AllocateDram(kXPLineSize, kXPLineSize);
+    workers[t].rng = Rng(0x14F + t);
+  }
+
+  auto visit = [&](Worker& w) {
+    const Addr base = region.base + w.rng.NextBelow(blocks) * kXPLineSize;
+    if (optimized) {
+      w.ctx->StreamCopyXPLine(base, w.bounce.base);
+      for (uint64_t cl = 0; cl < kLinesPerXPLine; ++cl) {
+        w.ctx->LoadLine(w.bounce.base + cl * kCacheLineSize);
+      }
+    } else {
+      for (uint64_t cl = 0; cl < kLinesPerXPLine; ++cl) {
+        w.ctx->LoadLine(base + cl * kCacheLineSize);
+      }
+    }
+    for (uint64_t cl = 0; cl < kLinesPerXPLine; ++cl) {
+      w.ctx->Clflushopt(base + cl * kCacheLineSize);
+    }
+    w.ctx->Sfence();
+  };
+
+  // Warmup.
+  std::vector<SimJob> warm_jobs;
+  for (Worker& w : workers) {
+    warm_jobs.push_back({w.ctx, [&w, &visit, blocks_per_thread]() {
+                           if (w.done >= blocks_per_thread / 4) {
+                             return StepResult::kDone;
+                           }
+                           visit(w);
+                           ++w.done;
+                           return StepResult::kProgress;
+                         }});
+  }
+  Scheduler::Run(warm_jobs);
+
+  Cycles start_max = 0;
+  for (Worker& w : workers) {
+    w.done = 0;
+    start_max = std::max(start_max, w.ctx->clock());
+    w.ctx->AdvanceTo(start_max);
+  }
+  std::vector<SimJob> jobs;
+  for (Worker& w : workers) {
+    jobs.push_back({w.ctx, [&w, &visit, blocks_per_thread]() {
+                      if (w.done >= blocks_per_thread) {
+                        return StepResult::kDone;
+                      }
+                      visit(w);
+                      ++w.done;
+                      return StepResult::kProgress;
+                    }});
+  }
+  const Cycles end_max = Scheduler::Run(jobs);
+
+  double total_cycles = 0;
+  for (Worker& w : workers) {
+    total_cycles += static_cast<double>(w.ctx->clock() - start_max);
+  }
+  const double ghz = gen == Generation::kG1 ? 2.1 : 3.0;
+  const double total_blocks = static_cast<double>(threads) * static_cast<double>(blocks_per_thread);
+  Result r;
+  r.cycles_per_block = total_cycles / total_blocks;
+  // Program-demanded bytes per second (the paper plots GB/s of useful data).
+  r.gbps = total_blocks * kXPLineSize * ghz / static_cast<double>(end_max - start_max);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: fig14_redirect_scaling [--gen=g1|g2|both] [--wss_mb=256] [--blocks=4000]\n");
+    return 0;
+  }
+  const std::string gen_flag = flags.Get("gen", "both");
+  const uint64_t wss = MiB(flags.GetU64("wss_mb", 256));
+  const uint64_t blocks = flags.GetU64("blocks", 4000);
+
+  pmemsim_bench::PrintHeader("Figure 14", "redirect latency/throughput vs thread count");
+  std::printf("gen,variant,threads,cycles_per_block,throughput_gbps\n");
+  for (Generation gen : {Generation::kG1, Generation::kG2}) {
+    if ((gen == Generation::kG1 && gen_flag == "g2") ||
+        (gen == Generation::kG2 && gen_flag == "g1")) {
+      continue;
+    }
+    const uint32_t max_threads = gen == Generation::kG1 ? 16 : 24;
+    for (const bool optimized : {false, true}) {
+      for (uint32_t t = 1; t <= max_threads; t += (t < 4 ? 1 : 2)) {
+        const Result r = RunScaling(gen, optimized, t, wss, blocks);
+        std::printf("%s,%s,%u,%.0f,%.3f\n", gen == Generation::kG1 ? "G1" : "G2",
+                    optimized ? "optimized" : "prefetching", t, r.cycles_per_block, r.gbps);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

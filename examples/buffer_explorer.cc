@@ -1,0 +1,78 @@
+// Interactive-ish tour of the on-DIMM buffers: sweeps a working set across
+// the read- and write-buffer capacities and prints the amplification story of
+// paper §3.1-§3.2 in one screen.
+//
+//   $ ./build/examples/buffer_explorer [g1|g2]
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/core/platform.h"
+#include "src/trace/counters.h"
+
+using namespace pmemsim;
+
+namespace {
+
+double ReadAmp(Generation gen, uint64_t wss) {
+  auto system = MakeSystem(gen, 1);
+  ThreadContext& cpu = system->CreateThread();
+  SetPrefetchers(cpu, false, false, false);
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  auto round = [&](int n) {
+    for (int p = 0; p < n; ++p) {
+      for (Addr a = region.base; a < region.end(); a += kXPLineSize) {
+        cpu.LoadLine(a);
+        cpu.Clflushopt(a);
+      }
+      cpu.Sfence();
+    }
+  };
+  round(3);
+  CounterDelta d(&system->counters());
+  round(6);
+  return d.Delta().ReadAmplification();
+}
+
+double WriteAmp(Generation gen, uint64_t wss) {
+  auto system = MakeSystem(gen, 1);
+  ThreadContext& cpu = system->CreateThread();
+  const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+  auto round = [&](int n) {
+    for (int p = 0; p < n; ++p) {
+      for (Addr a = region.base; a < region.end(); a += kXPLineSize) {
+        cpu.NtStore64(a, p);  // 25% partial write
+      }
+      cpu.Sfence();
+    }
+  };
+  round(3);
+  CounterDelta d(&system->counters());
+  round(6);
+  return d.Delta().WriteAmplification();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Generation gen =
+      argc > 1 && std::strcmp(argv[1], "g2") == 0 ? Generation::kG2 : Generation::kG1;
+  const PlatformConfig platform = PlatformFor(gen);
+
+  std::printf("=== %s on-DIMM buffer explorer ===\n", platform.name.c_str());
+  std::printf("read buffer %llu KB | write buffer %llu KB (%u entries reserved)\n\n",
+              (unsigned long long)(platform.optane.read_buffer_bytes / 1024),
+              (unsigned long long)(platform.optane.write_buffer_bytes / 1024),
+              platform.optane.write_buffer_partial_reserve);
+
+  std::printf("%8s  %18s  %20s\n", "WSS", "read amp (1 CpX)", "write amp (25%% part.)");
+  for (uint64_t kb = 2; kb <= 32; kb += 2) {
+    std::printf("%6llu KB  %18.2f  %20.2f\n", (unsigned long long)kb, ReadAmp(gen, KiB(kb)),
+                WriteAmp(gen, KiB(kb)));
+  }
+  std::printf(
+      "\nReading 1 of 4 cachelines per XPLine always re-fetches 256 B (amp 4);\n"
+      "the cliff marks the read-buffer capacity. Partial writes are absorbed\n"
+      "(amp 0) until the write buffer's usable capacity, then climb toward 4.\n");
+  return 0;
+}

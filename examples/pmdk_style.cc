@@ -1,0 +1,82 @@
+// PMDK-style persistent programming on the simulator: the libpmem copy/flush
+// API plus undo-log transactions, used to keep a small persistent array of
+// records failure-atomic.
+//
+//   $ ./build/examples/pmdk_style
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/api/pmem.h"
+#include "src/core/platform.h"
+#include "src/persist/undo_log.h"
+
+using namespace pmemsim;
+
+namespace {
+
+struct Record {
+  uint64_t id;
+  uint64_t version;
+  char name[48];
+};
+static_assert(sizeof(Record) == 64, "one cacheline per record");
+
+}  // namespace
+
+int main() {
+  std::unique_ptr<System> system = MakeG1System(6);
+  ThreadContext& cpu = system->CreateThread();
+
+  // "pmem_map_file": a persistent array of 64 records + a transaction arena.
+  const PmRegion pool = PmemMapFile(*system, 64 * sizeof(Record));
+  const PmRegion tx_arena = system->AllocatePm(KiB(8));
+  std::printf("auto-flush platform: %s\n", PmemHasAutoFlush(*system) ? "yes (eADR)" : "no (ADR)");
+
+  // Bulk-initialize with pmem_memcpy_persist (streams past the threshold).
+  std::vector<Record> init(64);
+  for (uint64_t i = 0; i < init.size(); ++i) {
+    init[i] = {i, 1, {}};
+    std::snprintf(init[i].name, sizeof(init[i].name), "record-%llu",
+                  static_cast<unsigned long long>(i));
+  }
+  PmemMemcpyPersist(cpu, pool.base, init.data(), init.size() * sizeof(Record));
+  std::printf("initialized %zu records (%zu bytes) with pmem_memcpy_persist\n", init.size(),
+              init.size() * sizeof(Record));
+
+  // Update two records atomically inside an undo-log transaction.
+  Transaction tx(system.get(), tx_arena);
+  tx.Begin(cpu);
+  const Addr rec3 = pool.base + 3 * sizeof(Record);
+  const Addr rec9 = pool.base + 9 * sizeof(Record);
+  tx.Snapshot(cpu, rec3, sizeof(Record));
+  tx.Snapshot(cpu, rec9, sizeof(Record));
+  Record r{};
+  cpu.Read(rec3, &r, sizeof(r));
+  r.version++;
+  std::strcpy(r.name, "renamed-in-tx");
+  cpu.Write(rec3, &r, sizeof(r));
+  cpu.Read(rec9, &r, sizeof(r));
+  r.version++;
+  cpu.Write(rec9, &r, sizeof(r));
+  tx.Commit(cpu);
+  cpu.Read(rec3, &r, sizeof(r));
+  std::printf("committed tx: record 3 -> version %llu, name \"%s\"\n",
+              static_cast<unsigned long long>(r.version), r.name);
+
+  // A transaction that crashes mid-flight rolls back on recovery.
+  {
+    Transaction doomed(system.get(), tx_arena);
+    doomed.Begin(cpu);
+    doomed.Store64(cpu, rec3 + 8, 999);  // version = 999
+    // Crash: no commit.
+  }
+  Transaction recovered(system.get(), tx_arena);
+  const size_t rolled_back = recovered.Recover(cpu);
+  cpu.Read(rec3, &r, sizeof(r));
+  std::printf("recovery rolled back %zu snapshots: record 3 version is %llu again\n",
+              rolled_back, static_cast<unsigned long long>(r.version));
+
+  std::printf("\ncounters: %s\n", system->counters().ToString().c_str());
+  return r.version == 2 ? 0 : 1;
+}

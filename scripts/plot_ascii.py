@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Dependency-free terminal plots for the bench CSV outputs.
+
+Usage:
+    build/bench/fig02_read_buffer --gen=g1 | scripts/plot_ascii.py --x=wss_kb \
+        --y=read_amplification --series=cpx
+    scripts/plot_ascii.py --x=distance --y=cycles --series=mode < results/fig07_rap.csv
+
+Reads CSV (with a header line; leading '#' comment lines are skipped), groups
+rows by the --series column(s), and renders each series as a column chart of
+y vs x in plain Unicode.
+"""
+
+import argparse
+import csv
+import sys
+
+BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width=70):
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by averaging buckets.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket):max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            / max(1, len(values[int(i * bucket):max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+            for i in range(width)
+        ]
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    return "".join(BLOCKS[1 + int((v - lo) / span * (len(BLOCKS) - 2))] for v in values)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--x", required=True, help="x-axis column name")
+    parser.add_argument("--y", required=True, help="y-axis column name")
+    parser.add_argument("--series", default="", help="comma-separated grouping columns")
+    parser.add_argument("file", nargs="?", help="CSV file (default: stdin)")
+    args = parser.parse_args()
+
+    stream = open(args.file) if args.file else sys.stdin
+    rows = [line for line in stream if not line.startswith("#") and line.strip()]
+    reader = csv.DictReader(rows)
+    group_cols = [c for c in args.series.split(",") if c]
+
+    series = {}
+    for row in reader:
+        if args.y not in row or row[args.y] is None:
+            continue
+        try:
+            x = float(row[args.x])
+            y = float(row[args.y])
+        except (TypeError, ValueError):
+            continue
+        key = ",".join(f"{c}={row.get(c, '?')}" for c in group_cols) or args.y
+        series.setdefault(key, []).append((x, y))
+
+    if not series:
+        sys.exit(f"no numeric rows with columns {args.x!r} and {args.y!r}")
+
+    width = max(len(k) for k in series)
+    for key, points in series.items():
+        points.sort()
+        ys = [y for _, y in points]
+        print(f"{key:<{width}}  {sparkline(ys)}  "
+              f"[{min(ys):.3g} .. {max(ys):.3g}] n={len(ys)}")
+
+
+if __name__ == "__main__":
+    main()

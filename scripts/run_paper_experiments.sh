@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper with the recommended
+# parameters (the analog of the original artifact's run.py). Results land in
+# results/<experiment>.csv.
+#
+# Usage: scripts/run_paper_experiments.sh [build_dir] [results_dir]
+
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-results}"
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"
+  shift
+  echo ">>> $name $*"
+  "$BUILD/bench/$name" "$@" | tee "$OUT/$name.csv"
+}
+
+# §3 microbenchmarks
+run fig02_read_buffer
+run fig03_write_amplification
+run fig04_write_buffer_hit
+run sec33_buffer_separation
+run fig06_prefetch --max_visits=60000
+run fig07_rap
+run fig08_latency --gen=g1
+echo ">>> fig08_latency (G2)"
+"$BUILD/bench/fig08_latency" --gen=g2 --max_mb=256 | tee "$OUT/fig08_latency_g2.csv"
+
+# §4 case studies
+run table1_cceh_breakdown --keys=2000000
+run fig10_cceh_prefetch --keys=600000
+run fig12_btree --keys=120000
+run fig13_redirect_ratio
+run fig14_redirect_scaling
+
+# Design-choice ablations
+run ablation_read_buffer
+run ablation_write_buffer
+run ablation_wpq_depth
+run ablation_persistency
+run ablation_eadr
+
+echo "All experiments written to $OUT/"

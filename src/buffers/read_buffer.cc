@@ -1,0 +1,110 @@
+#include "src/buffers/read_buffer.h"
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+ReadBuffer::ReadBuffer(uint64_t capacity_bytes, Counters* counters,
+                       ReadBufferEviction eviction, bool exclusive)
+    : counters_(counters),
+      eviction_(eviction),
+      exclusive_(exclusive),
+      slots_(static_cast<size_t>(capacity_bytes / kXPLineSize)) {
+  PMEMSIM_CHECK(!slots_.empty());
+  PMEMSIM_CHECK(counters_ != nullptr);
+}
+
+bool ReadBuffer::Probe(Addr line_addr) const {
+  auto it = map_.find(XPLineBase(line_addr));
+  if (it == map_.end()) {
+    return false;
+  }
+  const Slot& slot = slots_[it->second];
+  return (slot.valid_mask >> LineIndexInXPLine(line_addr)) & 1u;
+}
+
+bool ReadBuffer::ConsumeLine(Addr line_addr) {
+  auto it = map_.find(XPLineBase(line_addr));
+  if (it == map_.end()) {
+    ++counters_->read_buffer_misses;
+    return false;
+  }
+  Slot& slot = slots_[it->second];
+  const uint8_t bit = static_cast<uint8_t>(1u << LineIndexInXPLine(line_addr));
+  if (!(slot.valid_mask & bit)) {
+    ++counters_->read_buffer_misses;
+    return false;
+  }
+  if (exclusive_) {
+    // Exclusive with the CPU caches: once a line moves up, drop our copy.
+    slot.valid_mask = static_cast<uint8_t>(slot.valid_mask & ~bit);
+  }
+  slot.last_touch = ++touch_tick_;
+  ++counters_->read_buffer_hits;
+  return true;
+}
+
+size_t ReadBuffer::PickVictim() {
+  if (eviction_ == ReadBufferEviction::kFifo) {
+    const size_t v = next_fill_;
+    next_fill_ = (next_fill_ + 1) % slots_.size();
+    return v;
+  }
+  size_t best = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].in_use) {
+      return i;
+    }
+    if (slots_[i].last_touch < slots_[best].last_touch) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void ReadBuffer::Fill(Addr addr) {
+  const Addr xpline = XPLineBase(addr);
+  auto it = map_.find(xpline);
+  if (it != map_.end()) {
+    // Refetch of an XPLine still occupying a slot: refresh in place.
+    slots_[it->second].valid_mask = 0x0F;
+    slots_[it->second].last_touch = ++touch_tick_;
+    return;
+  }
+  const size_t victim = PickVictim();
+  Slot& slot = slots_[victim];
+  if (slot.in_use) {
+    map_.erase(slot.xpline);
+  }
+  slot.xpline = xpline;
+  slot.valid_mask = 0x0F;
+  slot.in_use = true;
+  slot.last_touch = ++touch_tick_;
+  map_[xpline] = victim;
+}
+
+bool ReadBuffer::ContainsXPLine(Addr addr) const {
+  auto it = map_.find(XPLineBase(addr));
+  return it != map_.end() && slots_[it->second].valid_mask != 0;
+}
+
+bool ReadBuffer::Remove(Addr addr) {
+  auto it = map_.find(XPLineBase(addr));
+  if (it == map_.end()) {
+    return false;
+  }
+  slots_[it->second].in_use = false;
+  slots_[it->second].valid_mask = 0;
+  map_.erase(it);
+  return true;
+}
+
+void ReadBuffer::Clear() {
+  for (Slot& s : slots_) {
+    s = Slot{};
+  }
+  map_.clear();
+  next_fill_ = 0;
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,79 @@
+// On-DIMM read buffer (paper §3.1).
+//
+// Findings modeled here:
+//  * capacity of 16 KB (G1) / 22 KB (G2), organized as 256 B XPLine entries;
+//  * FIFO eviction: a working set one entry larger than capacity misses on
+//    every access (the sharp RA jump in Fig. 2);
+//  * exclusivity with the CPU caches: delivering a cacheline to the iMC
+//    invalidates that cacheline's copy in the buffer, so re-reading a line
+//    always costs a fresh 256 B media fetch — RA never drops below 1.
+//
+// The buffer is a FIFO ring of XPLine slots; each slot carries a 4-bit valid
+// mask (one bit per cacheline).
+
+#ifndef SRC_BUFFERS_READ_BUFFER_H_
+#define SRC_BUFFERS_READ_BUFFER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/trace/counters.h"
+
+namespace pmemsim {
+
+// Replacement policy knobs (the shipped hardware behaves FIFO + exclusive,
+// per §3.1; the alternatives exist for the ablation benches).
+enum class ReadBufferEviction : uint8_t { kFifo, kLru };
+
+class ReadBuffer {
+ public:
+  ReadBuffer(uint64_t capacity_bytes, Counters* counters,
+             ReadBufferEviction eviction = ReadBufferEviction::kFifo, bool exclusive = true);
+
+  // True if the cacheline at `line_addr` can be served from the buffer.
+  bool Probe(Addr line_addr) const;
+
+  // Serves the cacheline: on hit, clears its valid bit (exclusive delivery)
+  // and returns true. On miss returns false.
+  bool ConsumeLine(Addr line_addr);
+
+  // Installs (or refreshes) the XPLine containing `addr` with all four
+  // cachelines valid, FIFO-evicting the oldest slot if the ring is full.
+  void Fill(Addr addr);
+
+  // True if the XPLine containing `addr` occupies a slot (any valid bits).
+  bool ContainsXPLine(Addr addr) const;
+
+  // Removes the XPLine containing `addr` (used when a write transitions the
+  // XPLine to the write buffer, paper §3.3). Returns true if it was present.
+  bool Remove(Addr addr);
+
+  void Clear();
+
+  size_t capacity_entries() const { return static_cast<size_t>(slots_.size()); }
+  size_t occupied_entries() const { return map_.size(); }
+
+ private:
+  struct Slot {
+    Addr xpline = 0;
+    uint64_t last_touch = 0;  // LRU bookkeeping
+    uint8_t valid_mask = 0;   // bit i = cacheline i valid
+    bool in_use = false;
+  };
+
+  size_t PickVictim();
+
+  Counters* counters_;
+  ReadBufferEviction eviction_;
+  bool exclusive_;
+  std::vector<Slot> slots_;
+  size_t next_fill_ = 0;   // FIFO cursor
+  uint64_t touch_tick_ = 0;
+  std::unordered_map<Addr, size_t> map_;  // XPLine base -> slot index
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_BUFFERS_READ_BUFFER_H_

@@ -1,0 +1,237 @@
+#include "src/buffers/write_buffer.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+WriteBuffer::WriteBuffer(const WriteBufferConfig& config, Counters* counters)
+    : config_(config),
+      counters_(counters),
+      rng_(config.rng_seed),
+      capacity_entries_(static_cast<size_t>(config.capacity_bytes / kXPLineSize)) {
+  PMEMSIM_CHECK(counters_ != nullptr);
+  PMEMSIM_CHECK(capacity_entries_ > 0);
+  PMEMSIM_CHECK(config.partial_reserve_entries < capacity_entries_);
+  partial_capacity_ = capacity_entries_ - config.partial_reserve_entries;
+}
+
+size_t WriteBuffer::CountPartial() const {
+  size_t n = 0;
+  for (const auto& [addr, e] : map_) {
+    if (IsPartial(e)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool WriteBuffer::Write(Addr line_addr, Cycles now, Cycles visible_at,
+                        std::vector<WritebackRequest>& writebacks) {
+  Tick(now, writebacks);
+  const Addr xpline = XPLineBase(line_addr);
+  const uint8_t bit = static_cast<uint8_t>(1u << LineIndexInXPLine(line_addr));
+
+  auto it = map_.find(xpline);
+  if (it != map_.end()) {
+    Entry& e = it->second;
+    e.dirty_mask |= bit;
+    e.valid_mask |= bit;
+    const uint64_t idx = LineIndexInXPLine(line_addr);
+    e.visible_at[idx] = std::max(e.visible_at[idx], visible_at);
+    e.clean = false;
+    ++counters_->write_buffer_hits;
+    return true;
+  }
+
+  ++counters_->write_buffer_misses;
+  EnsureRoom(writebacks);
+  Entry e;
+  e.dirty_mask = bit;
+  e.valid_mask = bit;
+  e.visible_at[LineIndexInXPLine(line_addr)] = visible_at;
+  map_.emplace(xpline, e);
+  key_pos_[xpline] = keys_.size();
+  keys_.push_back(xpline);
+  return false;
+}
+
+void WriteBuffer::Tick(Cycles now, std::vector<WritebackRequest>& writebacks) {
+  if (!config_.periodic_full_writeback || now < last_periodic_tick_ + config_.full_writeback_period) {
+    return;
+  }
+  last_periodic_tick_ = now;
+  for (auto& [addr, e] : map_) {
+    if (e.dirty_mask == 0x0F) {
+      writebacks.push_back({addr, /*needs_rmw=*/false, /*periodic=*/true});
+      e.dirty_mask = 0;
+      e.clean = true;
+      ++counters_->periodic_writebacks;
+    }
+  }
+}
+
+bool WriteBuffer::HoldsLine(Addr line_addr) const {
+  auto it = map_.find(XPLineBase(line_addr));
+  if (it == map_.end()) {
+    return false;
+  }
+  return (it->second.valid_mask >> LineIndexInXPLine(line_addr)) & 1u;
+}
+
+bool WriteBuffer::ContainsXPLine(Addr addr) const { return map_.count(XPLineBase(addr)) != 0; }
+
+Cycles WriteBuffer::VisibleAt(Addr line_addr) const {
+  auto it = map_.find(XPLineBase(line_addr));
+  if (it == map_.end()) {
+    return 0;
+  }
+  const Entry& e = it->second;
+  const uint64_t idx = LineIndexInXPLine(line_addr);
+  if (!(e.valid_mask & (1u << idx))) {
+    return 0;
+  }
+  return e.visible_at[idx];
+}
+
+void WriteBuffer::InstallTransition(Addr line_addr, Cycles now, Cycles visible_at,
+                                    std::vector<WritebackRequest>& writebacks) {
+  Tick(now, writebacks);
+  const Addr xpline = XPLineBase(line_addr);
+  PMEMSIM_DCHECK(map_.find(xpline) == map_.end());
+  EnsureRoom(writebacks);
+  Entry e;
+  e.dirty_mask = static_cast<uint8_t>(1u << LineIndexInXPLine(line_addr));
+  e.valid_mask = 0x0F;  // the read buffer held the whole XPLine
+  e.visible_at[LineIndexInXPLine(line_addr)] = visible_at;
+  map_.emplace(xpline, e);
+  key_pos_[xpline] = keys_.size();
+  keys_.push_back(xpline);
+  ++counters_->read_write_transitions;
+  ++counters_->write_buffer_hits;  // the 64 B write itself did not miss
+}
+
+bool WriteBuffer::AbsorbFill(Addr addr) {
+  auto it = map_.find(XPLineBase(addr));
+  if (it == map_.end()) {
+    return false;
+  }
+  it->second.valid_mask = 0x0F;
+  return true;
+}
+
+void WriteBuffer::EnsureRoom(std::vector<WritebackRequest>& writebacks) {
+  // Total-capacity constraint.
+  while (map_.size() >= capacity_entries_) {
+    EvictOne(writebacks);
+  }
+  // Partial-entry constraint (the G1 12 KB knee).
+  size_t partial = CountPartial();
+  if (partial < partial_capacity_) {
+    return;
+  }
+  const size_t target =
+      config_.batch_evict
+          ? static_cast<size_t>(static_cast<double>(partial_capacity_) *
+                                config_.batch_evict_keep_fraction)
+          : partial_capacity_ - 1;
+  while (partial > target) {
+    // Evict a *partial* victim chosen by the configured policy.
+    Addr victim = 0;
+    bool found = false;
+    if (config_.eviction == WriteBufferEviction::kOldest) {
+      for (const Addr cand : keys_) {
+        if (IsPartial(map_[cand])) {
+          victim = cand;
+          found = true;
+          break;
+        }
+      }
+    } else {
+      for (int tries = 0; tries < 64 && !found; ++tries) {
+        const Addr cand = keys_[rng_.NextBelow(keys_.size())];
+        if (IsPartial(map_[cand])) {
+          victim = cand;
+          found = true;
+        }
+      }
+    }
+    if (!found) {
+      for (const auto& [addr, e] : map_) {
+        if (IsPartial(e)) {
+          victim = addr;
+          found = true;
+          break;
+        }
+      }
+    }
+    PMEMSIM_CHECK(found);
+    EvictVictim(victim, writebacks);
+    --partial;
+  }
+}
+
+Addr WriteBuffer::PickRandomishVictim() {
+  if (config_.eviction == WriteBufferEviction::kOldest) {
+    return keys_.front();  // insertion order survives until eviction swaps
+  }
+  return keys_[rng_.NextBelow(keys_.size())];
+}
+
+void WriteBuffer::EvictOne(std::vector<WritebackRequest>& writebacks) {
+  PMEMSIM_CHECK(!keys_.empty());
+  // Prefer a clean entry (free to drop); otherwise a policy victim.
+  for (const auto& [addr, e] : map_) {
+    if (e.clean && e.dirty_mask == 0) {
+      EvictVictim(addr, writebacks);
+      return;
+    }
+  }
+  EvictVictim(PickRandomishVictim(), writebacks);
+}
+
+void WriteBuffer::EvictVictim(Addr xpline, std::vector<WritebackRequest>& writebacks) {
+  auto it = map_.find(xpline);
+  PMEMSIM_CHECK(it != map_.end());
+  const Entry& e = it->second;
+  if (e.dirty_mask != 0) {
+    // Partially dirty entries whose remaining lines are not held (valid_mask
+    // short of full) must fetch the rest of the XPLine before programming.
+    writebacks.push_back({xpline, /*needs_rmw=*/e.valid_mask != 0x0F, /*periodic=*/false});
+    ++counters_->write_buffer_evictions;
+  }
+  const size_t pos = key_pos_[xpline];
+  if (config_.eviction == WriteBufferEviction::kOldest) {
+    // Preserve insertion order (n <= 64, the erase is cheap).
+    keys_.erase(keys_.begin() + static_cast<ptrdiff_t>(pos));
+    for (size_t i = pos; i < keys_.size(); ++i) {
+      key_pos_[keys_[i]] = i;
+    }
+  } else {
+    const Addr last = keys_.back();
+    keys_[pos] = last;
+    key_pos_[last] = pos;
+    keys_.pop_back();
+  }
+  key_pos_.erase(xpline);
+  map_.erase(it);
+}
+
+void WriteBuffer::DrainAll(std::vector<WritebackRequest>& writebacks) {
+  for (const auto& [addr, e] : map_) {
+    if (e.dirty_mask != 0) {
+      writebacks.push_back({addr, e.valid_mask != 0x0F, false});
+      ++counters_->write_buffer_evictions;
+    }
+  }
+  Clear();
+}
+
+void WriteBuffer::Clear() {
+  map_.clear();
+  keys_.clear();
+  key_pos_.clear();
+}
+
+}  // namespace pmemsim

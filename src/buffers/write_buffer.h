@@ -1,0 +1,132 @@
+// On-DIMM write-combining buffer (paper §3.2).
+//
+// Findings modeled here:
+//  * ~16 KB of XPLine entries; on G1 only ~12 KB is usable for partially
+//    written XPLines (the WA knee at 12 KB in Fig. 3);
+//  * two write-back mechanisms on G1: fully written XPLines are flushed to
+//    media periodically (~5,000 cycles), partially written XPLines are
+//    retained until evicted;
+//  * random-victim eviction (the graceful hit-ratio decay of Fig. 4); G1
+//    drains a batch on overflow (sharper cliff), G2 evicts one victim;
+//  * evicting a partially written XPLine is a read-modify-write: the missing
+//    cachelines must be fetched from media (unless the XPLine sits in the
+//    read buffer — the §3.3 transition is handled by OptaneDimm).
+//
+// The buffer never touches the media itself: mutation methods return the set
+// of XPLines the owner must write back (and whether each needs an RMW fetch).
+
+#ifndef SRC_BUFFERS_WRITE_BUFFER_H_
+#define SRC_BUFFERS_WRITE_BUFFER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/trace/counters.h"
+
+namespace pmemsim {
+
+enum class WriteBufferEviction : uint8_t { kRandom, kOldest };
+
+struct WriteBufferConfig {
+  WriteBufferEviction eviction = WriteBufferEviction::kRandom;
+  uint64_t capacity_bytes = KiB(16);
+  uint32_t partial_reserve_entries = 16;  // entries unusable by partial XPLines
+  bool periodic_full_writeback = true;
+  Cycles full_writeback_period = 5000;
+  bool batch_evict = true;
+  double batch_evict_keep_fraction = 0.5;
+  uint64_t rng_seed = 0xC0FFEE;
+};
+
+// A write-back the owner must perform against the media.
+struct WritebackRequest {
+  Addr xpline = 0;
+  bool needs_rmw = false;  // partially dirty: fetch missing lines first
+  bool periodic = false;   // came from the periodic full-line write-back
+};
+
+class WriteBuffer {
+ public:
+  WriteBuffer(const WriteBufferConfig& config, Counters* counters);
+
+  // Records a 64 B write arriving from the WPQ at time `now` that becomes
+  // readable at `visible_at`. Appends any required write-backs (evictions
+  // needed to make room) to `writebacks`. Returns true if the write merged
+  // into a resident entry (a write-buffer hit).
+  bool Write(Addr line_addr, Cycles now, Cycles visible_at,
+             std::vector<WritebackRequest>& writebacks);
+
+  // Advances the periodic write-back clock; appends due full-line write-backs.
+  void Tick(Cycles now, std::vector<WritebackRequest>& writebacks);
+
+  // True if the cacheline's latest value resides in the buffer.
+  bool HoldsLine(Addr line_addr) const;
+
+  // True if the XPLine occupies an entry (dirty or clean).
+  bool ContainsXPLine(Addr addr) const;
+
+  // Time at which the most recent write to this cacheline becomes readable;
+  // 0 if the line is not resident (or already visible). Reads to the line
+  // must stall until this time (read-after-persist, paper §3.5).
+  Cycles VisibleAt(Addr line_addr) const;
+
+  // Installs an XPLine arriving from the read buffer with one line already
+  // written (the §3.3 read->write transition). Appends evictions if needed.
+  void InstallTransition(Addr line_addr, Cycles now, Cycles visible_at,
+                         std::vector<WritebackRequest>& writebacks);
+
+  // Completes a resident entry with the rest of its XPLine fetched from
+  // media (the on-demand read-modify-write merge: a read to a not-yet-valid
+  // line of a write-buffered XPLine pulls the whole XPLine in). Returns false
+  // if the XPLine is not resident.
+  bool AbsorbFill(Addr addr);
+
+  // Flushes every dirty entry (used by tests and drain-at-end accounting).
+  void DrainAll(std::vector<WritebackRequest>& writebacks);
+
+  void Clear();
+
+  size_t occupied_entries() const { return map_.size(); }
+  size_t capacity_entries() const { return capacity_entries_; }
+  size_t partial_capacity_entries() const { return partial_capacity_; }
+
+ private:
+  struct Entry {
+    uint8_t dirty_mask = 0;   // cachelines holding unwritten-to-media data
+    uint8_t valid_mask = 0;   // cachelines whose data the buffer holds
+    // Per-cacheline apply times: a persist's visibility is line-granular
+    // (reads/persists of one line never wait on a neighbour's apply).
+    Cycles visible_at[kLinesPerXPLine] = {0, 0, 0, 0};
+    bool clean = false;       // fully written back but still resident
+  };
+
+  bool IsPartial(const Entry& e) const { return e.dirty_mask != 0 && e.dirty_mask != 0x0F; }
+
+  size_t CountPartial() const;
+  void EvictOne(std::vector<WritebackRequest>& writebacks);
+  void EnsureRoom(std::vector<WritebackRequest>& writebacks);
+  void EvictVictim(Addr xpline, std::vector<WritebackRequest>& writebacks);
+
+  WriteBufferConfig config_;
+  Counters* counters_;
+  Rng rng_;
+
+  size_t capacity_entries_;
+  size_t partial_capacity_;
+  Cycles last_periodic_tick_ = 0;
+
+  Addr PickRandomishVictim();
+
+  std::unordered_map<Addr, Entry> map_;
+  // Dense key list for O(1) random victim selection; insertion-ordered for
+  // the kOldest ablation policy. Kept in sync with map_.
+  std::vector<Addr> keys_;
+  std::unordered_map<Addr, size_t> key_pos_;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_BUFFERS_WRITE_BUFFER_H_

@@ -1,0 +1,192 @@
+#include "src/cache/cache.h"
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+SetAssocCache::SetAssocCache(const CacheLevelConfig& config) : config_(config) {
+  PMEMSIM_CHECK(config.ways > 0);
+  PMEMSIM_CHECK(config.size_bytes >= kCacheLineSize * config.ways);
+  sets_ = static_cast<size_t>(config.size_bytes / (kCacheLineSize * config.ways));
+  PMEMSIM_CHECK(sets_ > 0);
+  ways_.resize(sets_ * config.ways);
+}
+
+SetAssocCache::Way* SetAssocCache::Find(Addr line_addr, Cycles now) {
+  const Addr line = CacheLineBase(line_addr);
+  Way* base = &ways_[SetIndex(line) * config_.ways];
+  for (uint32_t i = 0; i < config_.ways; ++i) {
+    Way& w = base[i];
+    if (w.valid && w.tag == line) {
+      if (w.pending_invalidate_at != 0 && now >= w.pending_invalidate_at) {
+        w.valid = false;  // the scheduled invalidation has taken effect
+        return nullptr;
+      }
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Way* SetAssocCache::FindConst(Addr line_addr, Cycles now) const {
+  const Addr line = CacheLineBase(line_addr);
+  const Way* base = &ways_[SetIndex(line) * config_.ways];
+  for (uint32_t i = 0; i < config_.ways; ++i) {
+    const Way& w = base[i];
+    if (w.valid && w.tag == line) {
+      if (w.pending_invalidate_at != 0 && now >= w.pending_invalidate_at) {
+        return nullptr;
+      }
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+bool SetAssocCache::Access(Addr line_addr, Cycles now, bool mark_dirty, bool* was_prefetched,
+                           Cycles* available_at) {
+  Way* w = Find(line_addr, now);
+  if (w == nullptr) {
+    if (was_prefetched != nullptr) {
+      *was_prefetched = false;
+    }
+    return false;
+  }
+  w->lru = ++tick_;
+  if (mark_dirty) {
+    w->dirty = true;
+    // A new store supersedes any scheduled clwb invalidation.
+    w->pending_invalidate_at = 0;
+  }
+  if (was_prefetched != nullptr) {
+    *was_prefetched = w->prefetched;
+  }
+  if (available_at != nullptr) {
+    *available_at = w->ready_at > now ? w->ready_at : now;
+  }
+  w->prefetched = false;
+  w->ready_at = 0;
+  return true;
+}
+
+bool SetAssocCache::Probe(Addr line_addr, Cycles now) const {
+  return FindConst(line_addr, now) != nullptr;
+}
+
+EvictedLine SetAssocCache::Insert(Addr line_addr, Cycles now, bool dirty, bool prefetched,
+                                  Cycles ready_at) {
+  const Addr line = CacheLineBase(line_addr);
+  Way* base = &ways_[SetIndex(line) * config_.ways];
+
+  // Already present: refresh in place.
+  for (uint32_t i = 0; i < config_.ways; ++i) {
+    Way& w = base[i];
+    if (w.valid && w.tag == line) {
+      w.lru = ++tick_;
+      w.dirty = w.dirty || dirty;
+      w.prefetched = prefetched && w.prefetched;
+      w.pending_invalidate_at = 0;
+      return {};
+    }
+  }
+
+  // Pick an invalid way, else the LRU way (expired pending invalidations count
+  // as invalid).
+  Way* victim = nullptr;
+  for (uint32_t i = 0; i < config_.ways; ++i) {
+    Way& w = base[i];
+    if (!w.valid || (w.pending_invalidate_at != 0 && now >= w.pending_invalidate_at)) {
+      victim = &w;
+      victim->valid = false;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = base;
+    for (uint32_t i = 1; i < config_.ways; ++i) {
+      if (base[i].lru < victim->lru) {
+        victim = &base[i];
+      }
+    }
+  }
+
+  EvictedLine evicted;
+  if (victim->valid) {
+    evicted = {victim->tag, true, victim->dirty};
+  }
+  victim->tag = line;
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->prefetched = prefetched;
+  victim->pending_invalidate_at = 0;
+  victim->ready_at = ready_at;
+  victim->lru = ++tick_;
+  return evicted;
+}
+
+SetAssocCache::InvalidateResult SetAssocCache::Invalidate(Addr line_addr) {
+  // Invalidation is unconditional; pass now=0 so even lines with scheduled
+  // invalidations are found.
+  const Addr line = CacheLineBase(line_addr);
+  Way* base = &ways_[SetIndex(line) * config_.ways];
+  for (uint32_t i = 0; i < config_.ways; ++i) {
+    Way& w = base[i];
+    if (w.valid && w.tag == line) {
+      InvalidateResult r{true, w.dirty};
+      w.valid = false;
+      w.dirty = false;
+      w.pending_invalidate_at = 0;
+      return r;
+    }
+  }
+  return {};
+}
+
+SetAssocCache::InvalidateResult SetAssocCache::WriteBack(Addr line_addr, Cycles invalidate_at,
+                                                         bool retain) {
+  const Addr line = CacheLineBase(line_addr);
+  Way* base = &ways_[SetIndex(line) * config_.ways];
+  for (uint32_t i = 0; i < config_.ways; ++i) {
+    Way& w = base[i];
+    if (w.valid && w.tag == line) {
+      InvalidateResult r{true, w.dirty};
+      w.dirty = false;
+      if (!retain) {
+        w.pending_invalidate_at = invalidate_at;
+      }
+      return r;
+    }
+  }
+  return {};
+}
+
+bool SetAssocCache::ConsumePrefetchedFlag(Addr line_addr, Cycles now) {
+  Way* w = Find(line_addr, now);
+  if (w == nullptr || !w->prefetched) {
+    return false;
+  }
+  w->prefetched = false;
+  return true;
+}
+
+void SetAssocCache::ApplyPendingInvalidate(Addr line_addr) {
+  const Addr line = CacheLineBase(line_addr);
+  Way* base = &ways_[SetIndex(line) * config_.ways];
+  for (uint32_t i = 0; i < config_.ways; ++i) {
+    Way& w = base[i];
+    if (w.valid && w.tag == line && w.pending_invalidate_at != 0) {
+      w.valid = false;
+      w.dirty = false;
+      w.pending_invalidate_at = 0;
+      return;
+    }
+  }
+}
+
+void SetAssocCache::Clear() {
+  for (Way& w : ways_) {
+    w = Way{};
+  }
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,96 @@
+// Set-associative write-back cache with LRU replacement and lazy, timed
+// invalidation (used to model the window between a clwb retiring and its
+// cache-side invalidation becoming visible to younger unordered loads on G1).
+
+#ifndef SRC_CACHE_CACHE_H_
+#define SRC_CACHE_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/types.h"
+
+namespace pmemsim {
+
+struct EvictedLine {
+  Addr line = 0;
+  bool valid = false;
+  bool dirty = false;
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheLevelConfig& config);
+
+  // Touches the line if present: updates LRU, optionally marks dirty.
+  // Returns true on hit. Applies any due pending invalidation first.
+  // `was_prefetched` (optional) reports whether this was the first demand
+  // touch of a prefetched line (the flag is cleared by the touch).
+  // `available_at` (optional) reports when the data is usable: an in-flight
+  // prefetch fill hit is not ready before its memory access completes.
+  bool Access(Addr line_addr, Cycles now, bool mark_dirty, bool* was_prefetched = nullptr,
+              Cycles* available_at = nullptr);
+
+  // Non-mutating presence check (honors pending invalidations).
+  bool Probe(Addr line_addr, Cycles now) const;
+
+  // Inserts the line, evicting the set's LRU way if needed. `ready_at` marks
+  // when the fill's data arrives (prefetch fills are issued asynchronously).
+  EvictedLine Insert(Addr line_addr, Cycles now, bool dirty, bool prefetched,
+                     Cycles ready_at = 0);
+
+  struct InvalidateResult {
+    bool was_present = false;
+    bool was_dirty = false;
+  };
+
+  // Immediate invalidation (clflush/clflushopt effect, nt-store snoop).
+  InvalidateResult Invalidate(Addr line_addr);
+
+  // clwb effect: clears dirty. If `retain` (G2) the line stays valid clean;
+  // otherwise (G1) it is scheduled to invalidate at `invalidate_at`.
+  InvalidateResult WriteBack(Addr line_addr, Cycles invalidate_at, bool retain);
+
+  // If the line is present and was filled by a prefetch that has not been
+  // demand-touched yet, clears the flag and returns true.
+  bool ConsumePrefetchedFlag(Addr line_addr, Cycles now);
+
+  // Applies a scheduled (pending) invalidation immediately, if one exists.
+  // Used by mfence, which orders younger loads after the flush's effects.
+  void ApplyPendingInvalidate(Addr line_addr);
+
+  Cycles hit_latency() const { return config_.hit_latency; }
+  size_t sets() const { return sets_; }
+  uint32_t ways() const { return config_.ways; }
+
+  void Clear();
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    uint64_t lru = 0;
+    Cycles pending_invalidate_at = 0;  // 0 = none scheduled
+    Cycles ready_at = 0;               // fill arrival time (0 = ready)
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;
+  };
+
+  size_t SetIndex(Addr line_addr) const {
+    return static_cast<size_t>((line_addr / kCacheLineSize) % sets_);
+  }
+  // Returns the way holding the line or nullptr; applies lazy invalidation.
+  Way* Find(Addr line_addr, Cycles now);
+  const Way* FindConst(Addr line_addr, Cycles now) const;
+
+  CacheLevelConfig config_;
+  size_t sets_;
+  std::vector<Way> ways_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_CACHE_CACHE_H_

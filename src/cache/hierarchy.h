@@ -1,0 +1,84 @@
+// Per-thread cache hierarchy: private L1d + L2 over a shared L3, with the
+// flush instruction semantics that drive the paper's G1/G2 differences and
+// the prefetch engine attached to the demand stream.
+
+#ifndef SRC_CACHE_HIERARCHY_H_
+#define SRC_CACHE_HIERARCHY_H_
+
+#include "src/cache/cache.h"
+#include "src/cache/prefetcher.h"
+#include "src/common/config.h"
+#include "src/common/types.h"
+#include "src/imc/memory_controller.h"
+#include "src/trace/counters.h"
+
+namespace pmemsim {
+
+struct HierAccessResult {
+  Cycles complete_at = 0;
+  uint8_t hit_level = 0;   // 1..3 = cache level, 0 = memory
+  Cycles stalled_for = 0;  // read-after-persist component
+};
+
+struct FlushResult {
+  bool wrote = false;      // a write-back entered the WPQ
+  Cycles accepted_at = 0;  // persist point, if wrote
+  Cycles cost = 0;         // cycles charged to the issuing thread
+};
+
+class CacheHierarchy : public PrefetchSink {
+ public:
+  CacheHierarchy(const CacheConfig& config, SetAssocCache* shared_l3, MemoryController* mc,
+                 Counters* counters, NodeId node, uint64_t rng_seed = 0xFEEDF00D);
+
+  // Demand cacheline load/store (store = RFO + dirty mark, write-allocate).
+  // `train` = false suppresses prefetcher training (AVX streaming path).
+  HierAccessResult Load(Addr addr, Cycles now, bool ordered, bool train = true);
+  HierAccessResult Store(Addr addr, Cycles now);
+
+  // clwb: writes back a dirty copy; G1 schedules invalidation after the
+  // dispatch window, G2 retains the line clean.
+  FlushResult Clwb(Addr addr, Cycles now);
+  // clflushopt: writes back a dirty copy and invalidates (same lazy window).
+  FlushResult Clflushopt(Addr addr, Cycles now);
+
+  // Removes the line everywhere immediately (nt-store snoop-invalidate).
+  void InvalidateAll(Addr addr);
+
+  // Applies any scheduled invalidation for the line (mfence ordering).
+  void ForcePendingInvalidate(Addr addr);
+
+  bool ProbeAny(Addr addr, Cycles now) const;
+
+  // PrefetchSink: fills a line into L2 (+L3), or L1 for the DCU streamer.
+  // Never charged to the thread clock.
+  void PrefetchFill(Addr line_addr, Cycles now, bool into_l1) override;
+
+  PrefetchEngine& prefetch_engine() { return engine_; }
+  SetAssocCache& l1() { return l1_; }
+  SetAssocCache& l2() { return l2_; }
+  SetAssocCache& shared_l3() { return *l3_; }
+
+  // Drops private-cache state (benchmark warm-boundary helper).
+  void ClearPrivate();
+
+ private:
+  HierAccessResult AccessInternal(Addr addr, Cycles now, bool is_store, bool ordered, bool train);
+  // Inserts into a level, cascading dirty evictions downward.
+  void FillInto(SetAssocCache& level, int level_idx, Addr line, Cycles now, bool dirty,
+                bool prefetched, Cycles ready_at = 0);
+
+  CacheConfig config_;
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  SetAssocCache* l3_;
+  MemoryController* mc_;
+  Counters* counters_;
+  NodeId node_;
+  PrefetchEngine engine_;
+  bool in_prefetch_fill_ = false;  // prefetch fills must not re-trigger training
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_CACHE_HIERARCHY_H_

@@ -1,0 +1,73 @@
+#include "src/common/backing_store.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+const BackingStore::Page* BackingStore::FindPage(Addr addr) const {
+  auto it = pages_.find(PageBase(addr));
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+BackingStore::Page& BackingStore::EnsurePage(Addr addr) {
+  std::unique_ptr<Page>& slot = pages_[PageBase(addr)];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+void BackingStore::Read(Addr addr, void* out, size_t len) const {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (len > 0) {
+    const uint64_t in_page = addr - PageBase(addr);
+    const size_t chunk = static_cast<size_t>(std::min<uint64_t>(len, kPageSize - in_page));
+    if (const Page* page = FindPage(addr)) {
+      std::memcpy(dst, page->data() + in_page, chunk);
+    } else {
+      std::memset(dst, 0, chunk);
+    }
+    dst += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+}
+
+void BackingStore::Write(Addr addr, const void* data, size_t len) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    const uint64_t in_page = addr - PageBase(addr);
+    const size_t chunk = static_cast<size_t>(std::min<uint64_t>(len, kPageSize - in_page));
+    std::memcpy(EnsurePage(addr).data() + in_page, src, chunk);
+    src += chunk;
+    addr += chunk;
+    len -= chunk;
+  }
+}
+
+uint64_t BackingStore::ReadU64(Addr addr) const {
+  uint64_t v = 0;
+  Read(addr, &v, sizeof(v));
+  return v;
+}
+
+void BackingStore::WriteU64(Addr addr, uint64_t value) { Write(addr, &value, sizeof(value)); }
+
+void BackingStore::Zero(Addr addr, uint64_t len) {
+  while (len > 0) {
+    const uint64_t in_page = addr - PageBase(addr);
+    const uint64_t chunk = std::min<uint64_t>(len, kPageSize - in_page);
+    if (in_page == 0 && chunk == kPageSize) {
+      pages_.erase(addr);  // whole page: drop it; reads return zeros
+    } else if (const Page* page = FindPage(addr)) {
+      std::memset(const_cast<Page*>(page)->data() + in_page, 0, static_cast<size_t>(chunk));
+    }
+    addr += chunk;
+    len -= chunk;
+  }
+}
+
+}  // namespace pmemsim

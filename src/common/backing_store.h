@@ -1,0 +1,45 @@
+// Sparse byte-addressable backing store for the simulated physical address
+// space. Timing is handled elsewhere; this holds the actual data so persistent
+// data structures built on the simulator are functionally real.
+//
+// Pages materialize on first write; reads of untouched pages return zeros
+// without allocating (large cold regions stay cheap).
+
+#ifndef SRC_COMMON_BACKING_STORE_H_
+#define SRC_COMMON_BACKING_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace pmemsim {
+
+class BackingStore {
+ public:
+  void Read(Addr addr, void* out, size_t len) const;
+  void Write(Addr addr, const void* data, size_t len);
+
+  uint64_t ReadU64(Addr addr) const;
+  void WriteU64(Addr addr, uint64_t value);
+
+  // Zero-fills a range (drops whole pages where possible).
+  void Zero(Addr addr, uint64_t len);
+
+  size_t allocated_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<uint8_t, kPageSize>;
+
+  const Page* FindPage(Addr addr) const;
+  Page& EnsurePage(Addr addr);
+
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_COMMON_BACKING_STORE_H_

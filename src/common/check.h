@@ -1,0 +1,38 @@
+// Lightweight invariant-checking macros.
+//
+// The simulator is deterministic; invariant violations are programming errors,
+// so CHECK aborts with a message rather than throwing. DCHECK compiles away in
+// release builds and is used on hot paths.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PMEMSIM_CHECK(cond)                                                              \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond);    \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#define PMEMSIM_CHECK_MSG(cond, msg)                                                     \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__, #cond, \
+                   (msg));                                                               \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define PMEMSIM_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define PMEMSIM_DCHECK(cond) PMEMSIM_CHECK(cond)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,51 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every stochastic choice in the simulator (write-buffer random eviction,
+// workload key orders, shuffles) draws from one of these generators so that
+// runs are reproducible from a single seed.
+
+#ifndef SRC_COMMON_RANDOM_H_
+#define SRC_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pmemsim {
+
+// SplitMix64: used for seeding and for cheap stateless mixing.
+uint64_t SplitMix64(uint64_t& state);
+
+// Stateless 64-bit finalizer (useful as a hash).
+uint64_t Mix64(uint64_t x);
+
+// xoshiro256**: the simulator's workhorse generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_COMMON_RANDOM_H_

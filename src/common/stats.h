@@ -1,0 +1,74 @@
+// Streaming statistics helpers used by benchmarks and tests.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmemsim {
+
+// Welford running mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void Reset();
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Log-bucketed latency histogram (power-of-two buckets with linear sub-buckets)
+// supporting approximate percentiles. Good enough for cycle latencies spanning
+// 1..10^7.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const;
+  // p in [0, 100].
+  uint64_t Percentile(double p) const;
+  uint64_t Min() const { return count_ ? min_ : 0; }
+  uint64_t Max() const { return count_ ? max_ : 0; }
+
+  void Reset();
+
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 4;  // 16 linear sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 40;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketMidpoint(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,21 @@
+#include "src/core/platform.h"
+
+namespace pmemsim {
+
+std::unique_ptr<System> MakeG1System(uint32_t optane_dimm_count) {
+  return std::make_unique<System>(G1Platform(), optane_dimm_count);
+}
+
+std::unique_ptr<System> MakeG2System(uint32_t optane_dimm_count) {
+  return std::make_unique<System>(G2Platform(), optane_dimm_count);
+}
+
+std::unique_ptr<System> MakeSystem(Generation gen, uint32_t optane_dimm_count) {
+  return std::make_unique<System>(PlatformFor(gen), optane_dimm_count);
+}
+
+void SetPrefetchers(ThreadContext& ctx, bool adjacent, bool dcu, bool stream) {
+  ctx.hierarchy().prefetch_engine().SetEnabled(adjacent, dcu, stream);
+}
+
+}  // namespace pmemsim

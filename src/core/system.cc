@@ -1,0 +1,51 @@
+#include "src/core/system.h"
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace pmemsim {
+
+System::System(const PlatformConfig& config, uint32_t optane_dimm_count) : config_(config) {
+  mc_ = std::make_unique<MemoryController>(config_, &counters_, optane_dimm_count);
+  l3_ = std::make_unique<SetAssocCache>(config_.cache.l3);
+}
+
+PmRegion System::AllocatePm(uint64_t bytes, uint64_t align) {
+  PMEMSIM_CHECK(bytes > 0);
+  pm_next_ = AlignUp(pm_next_, align);
+  const PmRegion region{pm_next_, bytes, MemoryKind::kOptane};
+  pm_next_ += AlignUp(bytes, align);
+  PMEMSIM_CHECK_MSG(pm_next_ < kDramAddressBase, "PM address space exhausted");
+  return region;
+}
+
+PmRegion System::AllocateDram(uint64_t bytes, uint64_t align) {
+  PMEMSIM_CHECK(bytes > 0);
+  dram_next_ = AlignUp(dram_next_, align);
+  const PmRegion region{dram_next_, bytes, MemoryKind::kDram};
+  dram_next_ += AlignUp(bytes, align);
+  return region;
+}
+
+ThreadContext& System::CreateThread(NodeId node) {
+  thread_seed_ = Mix64(thread_seed_ + 0x9E3779B97F4A7C15ull);
+  threads_.push_back(std::make_unique<ThreadContext>(config_, &backing_, mc_.get(), l3_.get(),
+                                                     &counters_, node, thread_seed_));
+  return *threads_.back();
+}
+
+ThreadContext& System::CreateSmtSibling(ThreadContext& sibling) {
+  threads_.push_back(
+      std::make_unique<ThreadContext>(config_, &backing_, mc_.get(), &counters_, &sibling));
+  return *threads_.back();
+}
+
+void System::ResetMicroarchState() {
+  mc_->Reset();
+  l3_->Clear();
+  for (auto& t : threads_) {
+    t->ResetMicroarchState();
+  }
+}
+
+}  // namespace pmemsim

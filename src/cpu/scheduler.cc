@@ -1,0 +1,45 @@
+#include "src/cpu/scheduler.h"
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+Cycles Scheduler::Run(std::vector<SimJob>& jobs) {
+  std::vector<bool> done(jobs.size(), false);
+  size_t remaining = jobs.size();
+  uint64_t stuck_guard = 0;
+
+  while (remaining > 0) {
+    // Pick the runnable job with the smallest clock.
+    size_t best = jobs.size();
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (!done[i] && (best == jobs.size() || jobs[i].ctx->clock() < jobs[best].ctx->clock())) {
+        best = i;
+      }
+    }
+    PMEMSIM_CHECK(best < jobs.size());
+
+    const Cycles before = jobs[best].ctx->clock();
+    const StepResult r = jobs[best].step();
+    if (r == StepResult::kDone) {
+      done[best] = true;
+      --remaining;
+      stuck_guard = 0;
+      continue;
+    }
+    // Livelock guard: steps must advance time.
+    if (jobs[best].ctx->clock() == before) {
+      PMEMSIM_CHECK_MSG(++stuck_guard < 1000000, "scheduler livelock: step did not advance clock");
+    } else {
+      stuck_guard = 0;
+    }
+  }
+
+  Cycles max_clock = 0;
+  for (const SimJob& job : jobs) {
+    max_clock = std::max(max_clock, job.ctx->clock());
+  }
+  return max_clock;
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,42 @@
+// Lockstep multi-thread driver.
+//
+// The simulator runs in a single OS thread; simulated concurrency interleaves
+// whole operations (e.g. one hash-table insert) across ThreadContexts in
+// simulated-clock order: the runnable context with the smallest clock executes
+// its next step. Shared resources (media ports, WPQs, the shared L3) observe
+// the interleaved request times, which is what produces contention effects.
+//
+// Contract: every Step() call must either advance its context's clock or
+// return kDone. A step that is logically blocked (e.g. a helper thread capped
+// at its prefetch depth) should AdvanceTo() just past the clock of whatever it
+// waits for and return kProgress.
+
+#ifndef SRC_CPU_SCHEDULER_H_
+#define SRC_CPU_SCHEDULER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/cpu/thread_context.h"
+
+namespace pmemsim {
+
+enum class StepResult {
+  kProgress,
+  kDone,
+};
+
+struct SimJob {
+  ThreadContext* ctx = nullptr;
+  std::function<StepResult()> step;
+};
+
+class Scheduler {
+ public:
+  // Runs all jobs to completion. Returns the max final clock across jobs.
+  static Cycles Run(std::vector<SimJob>& jobs);
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_CPU_SCHEDULER_H_

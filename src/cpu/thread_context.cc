@@ -1,0 +1,251 @@
+#include "src/cpu/thread_context.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+ThreadContext::ThreadContext(const PlatformConfig& config, BackingStore* backing,
+                             MemoryController* mc, SetAssocCache* shared_l3, Counters* counters,
+                             NodeId node, uint64_t rng_seed)
+    : cpu_(config.cpu),
+      eadr_(config.eadr_enabled),
+      backing_(backing),
+      mc_(mc),
+      counters_(counters),
+      node_(node),
+      own_hierarchy_(config.cache, shared_l3, mc, counters, node, rng_seed),
+      hier_(&own_hierarchy_) {
+  PMEMSIM_CHECK(backing != nullptr);
+  PMEMSIM_CHECK(mc != nullptr);
+}
+
+ThreadContext::ThreadContext(const PlatformConfig& config, BackingStore* backing,
+                             MemoryController* mc, Counters* counters, ThreadContext* sibling)
+    : cpu_(config.cpu),
+      eadr_(config.eadr_enabled),
+      backing_(backing),
+      mc_(mc),
+      counters_(counters),
+      node_(sibling->node_),
+      own_hierarchy_(config.cache, &sibling->hierarchy().shared_l3(), mc, counters,
+                     sibling->node_, 0),
+      hier_(&sibling->hierarchy()) {
+  PMEMSIM_CHECK(backing != nullptr);
+  PMEMSIM_CHECK(mc != nullptr);
+  clock_ = sibling->clock_;
+}
+
+void ThreadContext::AdvanceTo(Cycles t) { clock_ = std::max(clock_, t); }
+
+Cycles ThreadContext::ScaleCore(Cycles c) const {
+  return smt_scale_ == 1.0 ? c : static_cast<Cycles>(static_cast<double>(c) * smt_scale_);
+}
+
+uint64_t ThreadContext::LoadInternal(Addr addr, bool train) {
+  // Out-of-order early execution: an unordered load targeting a just-flushed
+  // line can issue before the flush's invalidation retires and hit the cache.
+  if (!loads_ordered_) {
+    const Addr line = CacheLineBase(addr);
+    for (const Addr f : recent_flushes_) {
+      if (f == line && hier_->ProbeAny(line, /*now=*/0)) {
+        const Cycles latency = ScaleCore(hier_->l1().hit_latency());
+        last_access_ = {1, latency, 0};
+        clock_ += latency;
+        return backing_->ReadU64(addr);
+      }
+    }
+  }
+  const HierAccessResult r = hier_->Load(addr, clock_, loads_ordered_, train);
+  Cycles latency = r.complete_at - clock_;
+  if (r.hit_level >= 1) {
+    latency = ScaleCore(latency);  // core-local: subject to SMT sharing
+  }
+  last_access_ = {r.hit_level, latency, r.stalled_for};
+  clock_ += latency;
+  return backing_->ReadU64(addr);
+}
+
+void ThreadContext::LoadMulti(const Addr* addrs, size_t count) {
+  const Cycles start = clock_;
+  Cycles latest = start;
+  for (size_t i = 0; i < count; ++i) {
+    clock_ = start;
+    (void)LoadInternal(addrs[i], /*train=*/true);
+    latest = std::max(latest, clock_);
+  }
+  clock_ = latest;
+}
+
+uint64_t ThreadContext::Load64(Addr addr) { return LoadInternal(addr, /*train=*/true); }
+
+uint64_t ThreadContext::Load64NoPrefetch(Addr addr) { return LoadInternal(addr, /*train=*/false); }
+
+void ThreadContext::LoadLine(Addr addr) { (void)LoadInternal(addr, /*train=*/true); }
+
+void ThreadContext::StoreTimed(Addr addr) {
+  const HierAccessResult r = hier_->Store(addr, clock_);
+  Cycles latency;
+  if (r.hit_level >= 1) {
+    latency = ScaleCore(r.complete_at - clock_);
+  } else {
+    // Posted store: the RFO proceeds in the background (its bandwidth and
+    // cache fills have been accounted); the pipeline pays a fixed cost.
+    latency = ScaleCore(cpu_.store_miss_post_cost);
+  }
+  last_access_ = {r.hit_level, latency, r.stalled_for};
+  clock_ += latency + ScaleCore(cpu_.store_issue_cost);
+}
+
+void ThreadContext::Store64(Addr addr, uint64_t value) {
+  StoreTimed(addr);
+  backing_->WriteU64(addr, value);
+}
+
+void ThreadContext::StoreLine(Addr addr) { StoreTimed(addr); }
+
+void ThreadContext::Read(Addr addr, void* out, size_t len) {
+  // Touch each covered cacheline once for timing, then copy the bytes.
+  for (Addr line = CacheLineBase(addr); line < addr + len; line += kCacheLineSize) {
+    (void)LoadInternal(line, /*train=*/true);
+  }
+  backing_->Read(addr, out, len);
+}
+
+void ThreadContext::Write(Addr addr, const void* data, size_t len) {
+  for (Addr line = CacheLineBase(addr); line < addr + len; line += kCacheLineSize) {
+    StoreTimed(line);
+  }
+  backing_->Write(addr, data, len);
+}
+
+void ThreadContext::TrackPersist(Addr line, Cycles accepted_at, bool is_flush) {
+  // Store-buffer back-pressure: too many unaccepted persists stall the core.
+  if (outstanding_.size() >= cpu_.store_buffer_depth) {
+    AdvanceTo(outstanding_.front().accepted_at);
+    outstanding_.pop_front();
+  }
+  outstanding_.push_back({line, accepted_at, is_flush});
+  DrainRetired();
+}
+
+void ThreadContext::DrainRetired() {
+  while (!outstanding_.empty() && outstanding_.front().accepted_at <= clock_) {
+    outstanding_.pop_front();
+  }
+}
+
+void ThreadContext::NoteRecentFlush(Addr line) {
+  for (const Addr f : recent_flushes_) {
+    if (f == line) {
+      return;
+    }
+  }
+  recent_flushes_.push_back(line);
+  while (recent_flushes_.size() > 2) {
+    recent_flushes_.pop_front();
+  }
+}
+
+void ThreadContext::Clwb(Addr addr) {
+  if (eadr_) {
+    // eADR (paper §6): the CPU caches are inside the persistence domain —
+    // stores are durable once globally visible, so clwb degenerates to a
+    // cheap no-op and programs simply stop flushing.
+    clock_ += 1;
+    return;
+  }
+  const FlushResult r = hier_->Clwb(addr, clock_);
+  clock_ += std::max<Cycles>(r.cost, cpu_.flush_issue_cost);
+  NoteRecentFlush(CacheLineBase(addr));
+  if (r.wrote) {
+    TrackPersist(CacheLineBase(addr), r.accepted_at, /*is_flush=*/true);
+  }
+}
+
+void ThreadContext::Clflushopt(Addr addr) {
+  const FlushResult r = hier_->Clflushopt(addr, clock_);
+  clock_ += std::max<Cycles>(r.cost, cpu_.flush_issue_cost);
+  NoteRecentFlush(CacheLineBase(addr));
+  if (r.wrote) {
+    TrackPersist(CacheLineBase(addr), r.accepted_at, /*is_flush=*/true);
+  }
+}
+
+void ThreadContext::NtStoreLine(Addr addr, const void* data64) {
+  const Addr line = CacheLineBase(addr);
+  hier_->InvalidateAll(line);
+  const McWriteResult w = mc_->Write(line, clock_, node_);
+  clock_ += cpu_.nt_store_issue_cost;
+  TrackPersist(line, w.accepted_at, /*is_flush=*/false);
+  if (data64 != nullptr) {
+    backing_->Write(line, data64, kCacheLineSize);
+  }
+}
+
+void ThreadContext::NtStore64(Addr addr, uint64_t value) {
+  // Timing is line-granular (write-combining buffers merge within the line).
+  const Addr line = CacheLineBase(addr);
+  hier_->InvalidateAll(line);
+  const McWriteResult w = mc_->Write(line, clock_, node_);
+  clock_ += cpu_.nt_store_issue_cost;
+  TrackPersist(line, w.accepted_at, /*is_flush=*/false);
+  backing_->WriteU64(addr, value);
+}
+
+void ThreadContext::NtWrite(Addr addr, const void* data, size_t len) {
+  for (Addr line = CacheLineBase(addr); line < addr + len; line += kCacheLineSize) {
+    hier_->InvalidateAll(line);
+    const McWriteResult w = mc_->Write(line, clock_, node_);
+    clock_ += cpu_.nt_store_issue_cost;
+    TrackPersist(line, w.accepted_at, /*is_flush=*/false);
+  }
+  backing_->Write(addr, data, len);
+}
+
+void ThreadContext::FenceCommon(bool is_mfence) {
+  Cycles wait_until = clock_;
+  for (const Outstanding& o : outstanding_) {
+    wait_until = std::max(wait_until, o.accepted_at);
+    if (is_mfence && o.is_flush) {
+      // mfence orders younger loads after the flush's effects: any scheduled
+      // invalidation becomes visible to them immediately.
+      hier_->ForcePendingInvalidate(o.line);
+    }
+  }
+  clock_ = wait_until + cpu_.fence_cost;
+  outstanding_.clear();
+  if (is_mfence) {
+    recent_flushes_.clear();  // younger loads are ordered after the flushes
+  }
+  loads_ordered_ = is_mfence;
+}
+
+void ThreadContext::Sfence() { FenceCommon(/*is_mfence=*/false); }
+
+void ThreadContext::Mfence() { FenceCommon(/*is_mfence=*/true); }
+
+void ThreadContext::StreamCopyXPLine(Addr pm_xpline, Addr dram_buffer) {
+  const Addr base = XPLineBase(pm_xpline);
+  uint8_t buf[kXPLineSize];
+  for (uint64_t i = 0; i < kLinesPerXPLine; ++i) {
+    // 512-bit load that bypasses prefetch training...
+    (void)LoadInternal(base + i * kCacheLineSize, /*train=*/false);
+    clock_ += cpu_.simd_copy_cost;
+    // ...paired with a store into the DRAM-resident bounce buffer.
+    const HierAccessResult r = hier_->Store(dram_buffer + i * kCacheLineSize, clock_);
+    clock_ = r.complete_at;
+  }
+  backing_->Read(base, buf, kXPLineSize);
+  backing_->Write(dram_buffer, buf, kXPLineSize);
+}
+
+void ThreadContext::ResetMicroarchState() {
+  hier_->ClearPrivate();
+  outstanding_.clear();
+  recent_flushes_.clear();
+  loads_ordered_ = false;
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,136 @@
+// ThreadContext: the per-(simulated-)thread execution engine. Owns the thread
+// clock and the private L1/L2 caches, and exposes an x86-flavoured operation
+// set — loads, stores, cacheline flushes, non-temporal stores, fences, and
+// the AVX streaming copy of Algorithm 2 — each advancing the clock by the
+// mechanistically computed latency.
+//
+// Data is real: every operation also reads/writes the shared BackingStore, so
+// data structures built on top behave like genuine persistent structures.
+
+#ifndef SRC_CPU_THREAD_CONTEXT_H_
+#define SRC_CPU_THREAD_CONTEXT_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/cache/hierarchy.h"
+#include "src/common/backing_store.h"
+#include "src/common/config.h"
+#include "src/common/types.h"
+#include "src/imc/memory_controller.h"
+#include "src/trace/counters.h"
+
+namespace pmemsim {
+
+class ThreadContext {
+ public:
+  ThreadContext(const PlatformConfig& config, BackingStore* backing, MemoryController* mc,
+                SetAssocCache* shared_l3, Counters* counters, NodeId node, uint64_t rng_seed);
+
+  // An SMT sibling shares `sibling`'s core: its private L1/L2 caches and
+  // prefetch engine are the same objects (the paper binds the helper thread
+  // to the worker's sibling hyperthread, §4.1).
+  ThreadContext(const PlatformConfig& config, BackingStore* backing, MemoryController* mc,
+                Counters* counters, ThreadContext* sibling);
+
+  // --- clock ---
+  Cycles clock() const { return clock_; }
+  void AdvanceTo(Cycles t);
+  void AddCompute(Cycles c) { clock_ += ScaleCore(c); }
+
+  // --- demand accesses (timed + data) ---
+  uint64_t Load64(Addr addr);
+  void Store64(Addr addr, uint64_t value);
+  // Timing-only cacheline touches.
+  void LoadLine(Addr addr);
+  void StoreLine(Addr addr);
+  // Bulk, line-granular timed accesses.
+  void Read(Addr addr, void* out, size_t len);
+  void Write(Addr addr, const void* data, size_t len);
+
+  // A load that does not train the prefetchers (AVX/streaming access path).
+  uint64_t Load64NoPrefetch(Addr addr);
+
+  // Issues independent loads with full memory-level parallelism: the clock
+  // advances to the latest completion rather than the sum (helper-thread
+  // prefetch loops have no dependent chain across addresses).
+  void LoadMulti(const Addr* addrs, size_t count);
+
+  // SMT co-run penalty: scales core-local costs (cache hits, compute, issue
+  // and fence costs) while memory-side latencies stay physical. Set to ~1.3
+  // when a sibling hyperthread (e.g. a helper prefetcher) shares the core.
+  void SetSmtScale(double scale) { smt_scale_ = scale; }
+  double smt_scale() const { return smt_scale_; }
+
+  // --- persistence ops ---
+  void Clwb(Addr addr);
+  void Clflushopt(Addr addr);
+  // Non-temporal 64 B store: bypasses (and snoop-invalidates) the caches,
+  // heads straight for the WPQ.
+  void NtStoreLine(Addr addr, const void* data64);
+  void NtStore64(Addr addr, uint64_t value);
+  // Non-temporal write of an arbitrary range (line granular under the hood).
+  void NtWrite(Addr addr, const void* data, size_t len);
+  void Sfence();
+  void Mfence();
+
+  // Algorithm 2: copy one XPLine from PM into a DRAM-resident buffer with
+  // four 512-bit moves that bypass prefetch training, then return the copy's
+  // completion. Subsequent reads should target `dram_buffer`.
+  void StreamCopyXPLine(Addr pm_xpline, Addr dram_buffer);
+
+  // --- introspection ---
+  struct LastAccess {
+    uint8_t hit_level = 0;
+    Cycles latency = 0;
+    Cycles stalled_for = 0;
+  };
+  const LastAccess& last_access() const { return last_access_; }
+  size_t outstanding_persists() const { return outstanding_.size(); }
+
+  CacheHierarchy& hierarchy() { return *hier_; }
+  BackingStore& backing() { return *backing_; }
+  NodeId node() const { return node_; }
+
+  // Test helper: drop private cache state and pending persist tracking.
+  void ResetMicroarchState();
+
+ private:
+  struct Outstanding {
+    Addr line = 0;
+    Cycles accepted_at = 0;
+    bool is_flush = false;  // clwb/clflushopt (has a scheduled invalidation)
+  };
+
+  void TrackPersist(Addr line, Cycles accepted_at, bool is_flush);
+  void DrainRetired();
+  uint64_t LoadInternal(Addr addr, bool train);
+  void FenceCommon(bool is_mfence);
+  Cycles ScaleCore(Cycles c) const;
+  void StoreTimed(Addr addr);
+  void NoteRecentFlush(Addr line);
+
+  CpuConfig cpu_;
+  bool eadr_ = false;  // caches are persistent: flushes are unnecessary
+  BackingStore* backing_;
+  MemoryController* mc_;
+  Counters* counters_;
+  NodeId node_;
+
+  CacheHierarchy own_hierarchy_;
+  CacheHierarchy* hier_;  // == &own_hierarchy_, or the SMT sibling's
+  Cycles clock_ = 0;
+  LastAccess last_access_;
+
+  std::deque<Outstanding> outstanding_;
+  bool loads_ordered_ = false;  // true after mfence, false after sfence
+  // Lines flushed by the most recent clwb/clflushopt ops whose cache-side
+  // invalidation has not architecturally retired for younger unordered loads
+  // (the out-of-order window that keeps sfence RAP low at distance <= 1).
+  std::deque<Addr> recent_flushes_;
+  double smt_scale_ = 1.0;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_CPU_THREAD_CONTEXT_H_

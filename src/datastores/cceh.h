@@ -1,0 +1,109 @@
+// Cacheline-Conscious Extendible Hashing (CCEH, FAST'19) on the simulator —
+// the paper's §4.1 case-study workload.
+//
+// Structure (paper Fig. 9): a global directory of segment addresses indexed by
+// the key hash's top `global_depth` bits; 16 KB segments of 256 cacheline-
+// sized buckets behind a one-cacheline header (local depth + pattern); each
+// bucket holds four 16 B key-value slots. Collisions linear-probe up to four
+// adjacent buckets; a failed probe splits the segment (doubling the directory
+// when local depth reaches global depth).
+//
+// Insertions are phase-timed so Table 1's breakdown can be regenerated:
+//   directory  — directory entry load (cached, hot)
+//   segment    — segment header load (the expensive random media read)
+//   bucket     — bucket probe loads + slot scans
+//   persist    — stores + clwb + fence for the committed slot
+//   split      — segment split + directory maintenance
+//
+// Crash consistency follows CCEH: the 8-byte key write commits a slot (value
+// is written first), and splits persist the new segment before publishing it
+// in the directory.
+
+#ifndef SRC_DATASTORES_CCEH_H_
+#define SRC_DATASTORES_CCEH_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/core/system.h"
+#include "src/cpu/thread_context.h"
+
+namespace pmemsim {
+
+struct CcehBreakdown {
+  Cycles directory = 0;
+  Cycles segment_meta = 0;
+  Cycles bucket_probe = 0;
+  Cycles persist = 0;
+  Cycles split = 0;
+  uint64_t inserts = 0;
+  uint64_t splits = 0;
+
+  Cycles total() const { return directory + segment_meta + bucket_probe + persist + split; }
+};
+
+class Cceh {
+ public:
+  static constexpr uint64_t kBucketsPerSegment = 256;
+  static constexpr uint64_t kSlotsPerBucket = 4;
+  static constexpr uint64_t kSlotSize = 16;  // 8 B key + 8 B value
+  static constexpr uint64_t kSegmentHeaderSize = kCacheLineSize;
+  static constexpr uint64_t kSegmentSize =
+      kSegmentHeaderSize + kBucketsPerSegment * kCacheLineSize;
+  static constexpr uint32_t kLinearProbeBuckets = 4;
+  static constexpr uint64_t kInvalidKey = 0;  // keys must be non-zero
+
+  // Builds an empty table with 2^initial_depth segments. `kind` selects PM or
+  // DRAM placement (the paper's Fig. 10 DRAM baseline keeps the persistence
+  // barriers and only changes the device). Construction is timed on `ctx`.
+  Cceh(System* system, ThreadContext& ctx, uint32_t initial_depth, MemoryKind kind);
+
+  // Inserts (or updates) key -> value. Keys must be non-zero. Returns false
+  // only if the key could not be placed (never happens: splits retry).
+  bool Insert(ThreadContext& ctx, uint64_t key, uint64_t value);
+
+  bool Get(ThreadContext& ctx, uint64_t key, uint64_t* value_out);
+
+  // Removes the key (8-byte atomic slot invalidation + persist). Returns
+  // false if the key is absent.
+  bool Erase(ThreadContext& ctx, uint64_t key);
+
+  // Helper-thread path (§4.1): replays only the index-walk loads for `key` —
+  // directory entry, segment header, and the probe bucket line — with memory-
+  // level parallelism and no stores, fences, or synchronization.
+  void PrefetchProbePath(ThreadContext& ctx, uint64_t key);
+
+  CcehBreakdown& breakdown() { return breakdown_; }
+  uint32_t global_depth() const { return global_depth_; }
+  uint64_t segment_count() const { return segment_count_; }
+  uint64_t size() const { return size_; }
+
+ private:
+  static uint64_t HashOf(uint64_t key);
+  uint64_t DirIndex(uint64_t hash) const;
+  static uint64_t BucketIndex(uint64_t hash) { return hash & (kBucketsPerSegment - 1); }
+
+  Addr SegmentBucketAddr(Addr segment, uint64_t bucket) const {
+    return segment + kSegmentHeaderSize + bucket * kCacheLineSize;
+  }
+
+  PmRegion AllocateSegment();
+  // Initializes a fresh segment header (timed, persisted).
+  void InitSegment(ThreadContext& ctx, Addr segment, uint64_t local_depth, uint64_t pattern);
+
+  // Splits the segment holding `hash`; returns after directory update.
+  void Split(ThreadContext& ctx, Addr segment, uint64_t hash);
+  void DoubleDirectory(ThreadContext& ctx);
+
+  System* system_;
+  MemoryKind kind_;
+  Addr directory_ = 0;      // region of 2^global_depth 8 B entries
+  uint32_t global_depth_ = 0;
+  uint64_t segment_count_ = 0;
+  uint64_t size_ = 0;
+  CcehBreakdown breakdown_;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_DATASTORES_CCEH_H_

@@ -1,0 +1,102 @@
+#include "src/datastores/chase_list.h"
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace pmemsim {
+
+ChaseList::ChaseList(System* system, PmRegion region, bool sequential, uint64_t seed)
+    : system_(system), region_(region), count_(region.size / kElementSize) {
+  PMEMSIM_CHECK(system != nullptr);
+  PMEMSIM_CHECK(count_ >= 2);
+  PMEMSIM_CHECK(IsXPLineAligned(region.base));
+
+  std::vector<uint64_t> perm(count_);
+  for (uint64_t i = 0; i < count_; ++i) {
+    perm[i] = i;
+  }
+  if (!sequential) {
+    Rng rng(seed);
+    rng.Shuffle(perm);
+  }
+
+  order_.reserve(count_);
+  for (uint64_t i = 0; i < count_; ++i) {
+    order_.push_back(region_.base + perm[i] * kElementSize);
+  }
+  // Link the cycle directly in the backing store (untimed construction).
+  BackingStore& backing = system_->backing();
+  for (uint64_t i = 0; i < count_; ++i) {
+    backing.WriteU64(order_[i], order_[(i + 1) % count_]);
+  }
+  cursor_ = order_.front();
+}
+
+Cycles ChaseList::TraverseUpdate(ThreadContext& ctx, uint64_t elements, PersistMode mode,
+                                 Persistency persistency, uint64_t epoch_len) {
+  const Cycles start = ctx.clock();
+  Addr element = cursor_;
+  for (uint64_t i = 0; i < elements; ++i) {
+    const Addr next = ctx.Load64(element);
+    const Addr pad = element + kPadOffset;
+    if (UsesClwb(mode)) {
+      ctx.Store64(pad, i);
+      ctx.Clwb(pad);
+    } else {
+      ctx.NtStore64(pad, i);
+    }
+    if (persistency == Persistency::kStrict ||
+        (persistency == Persistency::kEpoch && (i + 1) % epoch_len == 0)) {
+      if (UsesMfence(mode)) {
+        ctx.Mfence();
+      } else {
+        ctx.Sfence();
+      }
+    }
+    element = next;
+  }
+  if (persistency != Persistency::kStrict) {
+    ctx.Sfence();  // close the pass (relaxed) or the trailing epoch
+  }
+  cursor_ = element;
+  return ctx.clock() - start;
+}
+
+Cycles ChaseList::TraverseRead(ThreadContext& ctx, uint64_t elements) {
+  const Cycles start = ctx.clock();
+  Addr element = cursor_;
+  for (uint64_t i = 0; i < elements; ++i) {
+    element = ctx.Load64(element);
+  }
+  cursor_ = element;
+  return ctx.clock() - start;
+}
+
+Cycles ChaseList::PureWrite(ThreadContext& ctx, uint64_t elements, PersistMode mode,
+                            Persistency persistency, uint64_t epoch_len) {
+  const Cycles start = ctx.clock();
+  for (uint64_t i = 0; i < elements; ++i) {
+    const Addr pad = order_[(cursor_index_ + i) % count_] + kPadOffset;
+    if (UsesClwb(mode)) {
+      ctx.Store64(pad, i);
+      ctx.Clwb(pad);
+    } else {
+      ctx.NtStore64(pad, i);
+    }
+    if (persistency == Persistency::kStrict ||
+        (persistency == Persistency::kEpoch && (i + 1) % epoch_len == 0)) {
+      if (UsesMfence(mode)) {
+        ctx.Mfence();
+      } else {
+        ctx.Sfence();
+      }
+    }
+  }
+  if (persistency != Persistency::kStrict) {
+    ctx.Sfence();
+  }
+  cursor_index_ = (cursor_index_ + elements) % count_;
+  return ctx.clock() - start;
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,99 @@
+// A FAST&FAIR-style persistent B+-tree (paper §4.2).
+//
+// Nodes are 512 B, XPLine-aligned: one header cacheline (count, leaf flag,
+// sibling pointer) followed by 28 sorted 16 B entries. In-place insertion
+// shifts entries rightward one by one with a persistence barrier after every
+// shift — the paper's baseline, which on G1 Optane repeatedly flushes and
+// rereads the same cacheline and eats read-after-persist/same-line-persist
+// stalls. The out-of-place mode redirects every shift to a RedoLog (fresh log
+// cachelines, no repeated-line persists), commits per target cacheline, and
+// writes the group back from the DRAM shadow (Fig. 11).
+//
+// Crash consistency of the baseline follows FAST&FAIR's argument (transient
+// duplicate entries are detected by the no-duplicate-pointer invariant); the
+// redo mode is recoverable from committed log groups (RedoLog::Recover).
+
+#ifndef SRC_DATASTORES_FAST_FAIR_H_
+#define SRC_DATASTORES_FAST_FAIR_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "src/common/types.h"
+#include "src/core/system.h"
+#include "src/cpu/thread_context.h"
+#include "src/persist/redo_log.h"
+
+namespace pmemsim {
+
+enum class BTreeUpdateMode : uint8_t {
+  kInPlace,  // barrier after every shift (baseline)
+  kRedoLog,  // out-of-place logging per cacheline (optimization)
+};
+
+class FastFairTree {
+ public:
+  static constexpr uint64_t kNodeSize = 512;
+  static constexpr uint64_t kEntriesOffset = kCacheLineSize;
+  static constexpr uint64_t kEntrySize = 16;
+  static constexpr uint64_t kMaxEntries = (kNodeSize - kEntriesOffset) / kEntrySize;  // 28
+  static constexpr uint64_t kMinKey = 0;  // internal-node sentinel; user keys are > 0
+
+  FastFairTree(System* system, ThreadContext& ctx, MemoryKind kind = MemoryKind::kOptane);
+
+  // Inserts key -> value (keys must be non-zero and unique per caller).
+  // `log` is required in kRedoLog mode and must be exclusive to the caller.
+  void Insert(ThreadContext& ctx, uint64_t key, uint64_t value, BTreeUpdateMode mode,
+              RedoLog* log = nullptr);
+
+  bool Get(ThreadContext& ctx, uint64_t key, uint64_t* value_out);
+
+  // Range scan: collects up to `max_results` (key, value) pairs with
+  // key >= from, in ascending key order, walking the leaf sibling chain.
+  // Returns the number of pairs written to `out`.
+  size_t Scan(ThreadContext& ctx, uint64_t from, size_t max_results,
+              std::pair<uint64_t, uint64_t>* out);
+
+  uint64_t height() const { return height_; }
+  uint64_t size() const { return size_; }
+  uint64_t node_count() const { return node_count_; }
+
+ private:
+  struct Promoted {
+    uint64_t key;
+    Addr node;
+  };
+
+  // Field helpers (all timed through ctx).
+  static Addr EntryAddr(Addr node, uint64_t index) {
+    return node + kEntriesOffset + index * kEntrySize;
+  }
+  uint64_t Count(ThreadContext& ctx, Addr node) { return ctx.Load64(node); }
+  uint64_t IsLeaf(ThreadContext& ctx, Addr node) { return ctx.Load64(node + 8); }
+
+  Addr AllocateNode(ThreadContext& ctx, bool leaf);
+
+  // Shifts entries [pos, count) one slot right and writes the new entry at
+  // pos, honoring the update mode. Updates and persists the count.
+  void ShiftInsert(ThreadContext& ctx, Addr node, uint64_t count, uint64_t pos, uint64_t key,
+                   uint64_t value, BTreeUpdateMode mode, RedoLog* log);
+
+  std::optional<Promoted> InsertRecurse(ThreadContext& ctx, Addr node, uint64_t key,
+                                        uint64_t value, BTreeUpdateMode mode, RedoLog* log);
+
+  // Splits a full node; returns the separator to promote.
+  Promoted SplitNode(ThreadContext& ctx, Addr node, bool leaf);
+
+  System* system_;
+  MemoryKind kind_;
+  Addr meta_ = 0;  // persisted root pointer cacheline
+  Addr root_ = 0;
+  uint64_t height_ = 1;
+  uint64_t size_ = 0;
+  uint64_t node_count_ = 0;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_DATASTORES_FAST_FAIR_H_

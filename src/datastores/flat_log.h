@@ -1,0 +1,70 @@
+// A FlatStore-style log-structured KV store (paper §5 related work; §3.2's
+// programming guideline made concrete): small records are staged in DRAM and
+// written to PM as full, XPLine-aligned 256 B batches with non-temporal
+// stores — one persist fence per batch instead of per record. Full-XPLine
+// writes never trigger read-modify-write on the media, so the write
+// amplification of small-record workloads drops from ~4x to ~1x.
+//
+// Layout: an append-only PM log of 64 B record slots.
+//   [0..8) key | [8..12) payload length (<= 44) | [12..16) kRecordMagic
+//   [16..16+len) payload
+// A batch is 4 slots = one XPLine. The volatile index (key -> newest record
+// address) lives in DRAM and is rebuilt by Recover() after a crash; records
+// staged but not yet flushed are lost on a crash (the FlatStore tradeoff —
+// call Flush() to force a durability point).
+
+#ifndef SRC_DATASTORES_FLAT_LOG_H_
+#define SRC_DATASTORES_FLAT_LOG_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/system.h"
+#include "src/cpu/thread_context.h"
+
+namespace pmemsim {
+
+class FlatLog {
+ public:
+  static constexpr uint64_t kSlotSize = kCacheLineSize;
+  static constexpr uint64_t kSlotsPerBatch = kLinesPerXPLine;
+  static constexpr uint32_t kMaxPayload = 44;
+  static constexpr uint32_t kRecordMagic = 0x464C4154;  // "FLAT"
+
+  // `log_region` must be PM and XPLine aligned.
+  FlatLog(System* system, PmRegion log_region);
+
+  // Appends key -> value. The record becomes durable when its batch flushes
+  // (every 4th record, or at Flush()). Returns false when the log is full.
+  bool Put(ThreadContext& ctx, uint64_t key, const void* value, uint32_t len);
+
+  // Reads the newest value for `key` into `out` (sized >= kMaxPayload).
+  bool Get(ThreadContext& ctx, uint64_t key, void* out, uint32_t* len_out);
+
+  // Pads and persists the current partial batch (a durability point).
+  void Flush(ThreadContext& ctx);
+
+  // Rebuilds the volatile index by scanning the log (newest record per key
+  // wins). Returns the number of records indexed.
+  size_t Recover(ThreadContext& ctx);
+
+  uint64_t records_appended() const { return appended_; }
+  uint64_t capacity_slots() const { return region_.size / kSlotSize; }
+
+ private:
+  Addr SlotAddr(uint64_t index) const { return region_.base + index * kSlotSize; }
+  void FlushBatch(ThreadContext& ctx);
+
+  System* system_;
+  PmRegion region_;
+  std::unordered_map<uint64_t, Addr> index_;  // volatile (DRAM) index
+  std::vector<uint8_t> staged_;               // DRAM staging buffer, <= 1 XPLine
+  uint64_t next_slot_ = 0;
+  uint64_t appended_ = 0;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_DATASTORES_FLAT_LOG_H_

@@ -1,0 +1,56 @@
+// Abstract memory DIMM as seen by the integrated memory controller: a sink
+// for 64 B cacheline reads and writes with its own notion of time.
+
+#ifndef SRC_DIMM_DIMM_H_
+#define SRC_DIMM_DIMM_H_
+
+#include "src/common/types.h"
+#include "src/trace/counters.h"
+
+namespace pmemsim {
+
+struct DimmReadResult {
+  Cycles complete_at = 0;   // when the data is available at the iMC
+  Cycles stalled_for = 0;   // portion spent waiting on an in-flight persist
+};
+
+struct DimmWriteResult {
+  // When the written value becomes readable on the DIMM. DDR-T writes are
+  // asynchronous: acceptance is persistence, visibility lags (paper §3.5).
+  Cycles visible_at = 0;
+  // Back-pressure signal: the earliest time the DIMM wants the next write
+  // (non-zero when absorbing this write forced media evictions and the media
+  // write ports are saturated). The WPQ delays subsequent drains until then.
+  Cycles backpressure_until = 0;
+};
+
+class Dimm {
+ public:
+  virtual ~Dimm() = default;
+
+  // Serves a 64 B read request arriving at `now`. `ordered` marks loads that
+  // execute under a full memory fence: their read-after-persist stalls are
+  // fully exposed, while unordered loads overlap part of the stall with other
+  // work in the out-of-order window.
+  virtual DimmReadResult Read(Addr line_addr, Cycles now, bool ordered) = 0;
+
+  // Accepts a 64 B write draining from the WPQ at `now`.
+  virtual DimmWriteResult Write(Addr line_addr, Cycles now) = 0;
+
+  virtual MemoryKind kind() const = 0;
+
+  // If the cacheline has a persist in flight, the time it becomes visible;
+  // 0 otherwise (read-after-persist stalls).
+  virtual Cycles PendingVisibleAt(Addr line_addr) const = 0;
+
+  // Earliest time a new persist to the line may be accepted (same-address
+  // write ordering); 0 = no constraint.
+  virtual Cycles SameLineStallUntil(Addr line_addr) const = 0;
+
+  // Drops all buffered state and port schedules (fresh benchmark runs).
+  virtual void Reset() = 0;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_DIMM_DIMM_H_

@@ -1,0 +1,61 @@
+#include "src/dimm/dram_dimm.h"
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+DramDimm::DramDimm(const DramConfig& config, Counters* counters)
+    : config_(config), counters_(counters), ports_(config.ports, config.port_service) {
+  PMEMSIM_CHECK(counters_ != nullptr);
+}
+
+DimmReadResult DramDimm::Read(Addr addr, Cycles now, bool ordered) {
+  const Addr line = CacheLineBase(addr);
+  counters_->dram_read_bytes += kCacheLineSize;
+
+  DimmReadResult result;
+  Cycles start = now;
+  auto it = pending_visible_.find(line);
+  if (it != pending_visible_.end()) {
+    Cycles visible = it->second;
+    if (!ordered && visible > now) {
+      visible = visible > config_.unordered_read_overlap ? visible - config_.unordered_read_overlap : 0;
+    }
+    if (visible > now) {
+      result.stalled_for = visible - now;
+      counters_->rap_stall_cycles += result.stalled_for;
+      ++counters_->rap_stalled_loads;
+      start = visible;
+    }
+    if (it->second <= now) {
+      pending_visible_.erase(it);
+    }
+  }
+  result.complete_at = ports_.Schedule(start, config_.load_latency);
+  return result;
+}
+
+DimmWriteResult DramDimm::Write(Addr addr, Cycles now) {
+  const Addr line = CacheLineBase(addr);
+  counters_->dram_write_bytes += kCacheLineSize;
+  const Cycles visible_at = now + config_.write_visible_delay;
+  pending_visible_[line] = visible_at;
+  MaybeSweep(now);
+  return {visible_at, 0};
+}
+
+void DramDimm::MaybeSweep(Cycles now) {
+  if (pending_visible_.size() < 65536) {
+    return;
+  }
+  for (auto it = pending_visible_.begin(); it != pending_visible_.end();) {
+    it = it->second <= now ? pending_visible_.erase(it) : std::next(it);
+  }
+}
+
+void DramDimm::Reset() {
+  ports_.Reset();
+  pending_visible_.clear();
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,44 @@
+// Conventional DRAM DIMM model: flat load latency behind a generous port
+// pool, synchronous DDR4-style writes with a short visibility lag. Serves as
+// the paper's DRAM baseline (Fig. 7 b/d/f/h, Fig. 10 c/d).
+
+#ifndef SRC_DIMM_DRAM_DIMM_H_
+#define SRC_DIMM_DRAM_DIMM_H_
+
+#include <unordered_map>
+
+#include "src/common/config.h"
+#include "src/dimm/dimm.h"
+#include "src/media/xpoint_media.h"
+
+namespace pmemsim {
+
+class DramDimm : public Dimm {
+ public:
+  DramDimm(const DramConfig& config, Counters* counters);
+
+  DimmReadResult Read(Addr line_addr, Cycles now, bool ordered) override;
+  DimmWriteResult Write(Addr line_addr, Cycles now) override;
+  MemoryKind kind() const override { return MemoryKind::kDram; }
+  Cycles PendingVisibleAt(Addr line_addr) const override {
+    auto it = pending_visible_.find(CacheLineBase(line_addr));
+    return it == pending_visible_.end() ? 0 : it->second;
+  }
+  Cycles SameLineStallUntil(Addr) const override { return 0; }  // DDR4 merges
+  void Reset() override;
+
+ private:
+  void MaybeSweep(Cycles now);
+
+  DramConfig config_;
+  Counters* counters_;
+  PortPool ports_;
+
+  // Lines with a write still propagating (read-after-persist on DRAM is mild
+  // but measurable: Fig. 7 b/d). Swept lazily to stay bounded.
+  std::unordered_map<Addr, Cycles> pending_visible_;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_DIMM_DRAM_DIMM_H_

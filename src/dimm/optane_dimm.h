@@ -1,0 +1,72 @@
+// Optane DCPMM DIMM model: 3D-Xpoint media behind separate on-DIMM read and
+// write buffers, with an AIT translation cache and an asynchronous write
+// pipeline. Composition of the structures the paper infers in §3.1-§3.5.
+//
+// Read path:  write buffer (freshest data; may stall on in-flight persist)
+//             -> read buffer (exclusive, FIFO)
+//             -> AIT + media XPLine fetch (fills the read buffer).
+// Write path: merge into write buffer / transition from read buffer /
+//             allocate entry (evictions write back to media, partial lines
+//             via RMW). Visibility lags acceptance by write_visible_delay.
+
+#ifndef SRC_DIMM_OPTANE_DIMM_H_
+#define SRC_DIMM_OPTANE_DIMM_H_
+
+#include <vector>
+
+#include "src/buffers/read_buffer.h"
+#include "src/buffers/write_buffer.h"
+#include "src/common/config.h"
+#include "src/common/types.h"
+#include "src/dimm/dimm.h"
+#include "src/media/ait.h"
+#include "src/media/xpoint_media.h"
+#include "src/trace/counters.h"
+
+namespace pmemsim {
+
+class OptaneDimm : public Dimm {
+ public:
+  OptaneDimm(const OptaneDimmConfig& config, Counters* counters, uint64_t rng_seed = 0xD1337);
+
+  DimmReadResult Read(Addr line_addr, Cycles now, bool ordered) override;
+  DimmWriteResult Write(Addr line_addr, Cycles now) override;
+  MemoryKind kind() const override { return MemoryKind::kOptane; }
+  Cycles PendingVisibleAt(Addr line_addr) const override {
+    return write_buffer_.VisibleAt(line_addr);
+  }
+  Cycles SameLineStallUntil(Addr line_addr) const override {
+    if (!config_.same_line_flush_stall) {
+      return 0;
+    }
+    const Cycles visible = write_buffer_.VisibleAt(line_addr);
+    if (visible == 0) {
+      return 0;
+    }
+    const Cycles drained = visible > config_.write_visible_delay
+                               ? visible - config_.write_visible_delay
+                               : 0;
+    return drained + config_.same_line_stall_window;
+  }
+  void Reset() override;
+
+  // Test/introspection hooks.
+  const ReadBuffer& read_buffer() const { return read_buffer_; }
+  const WriteBuffer& write_buffer() const { return write_buffer_; }
+  const OptaneDimmConfig& config() const { return config_; }
+
+ private:
+  void PerformWritebacks(const std::vector<WritebackRequest>& requests, Cycles now);
+
+  OptaneDimmConfig config_;
+  Counters* counters_;
+  Ait ait_;
+  XpointMedia media_;
+  ReadBuffer read_buffer_;
+  WriteBuffer write_buffer_;
+  std::vector<WritebackRequest> writeback_scratch_;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_DIMM_OPTANE_DIMM_H_

@@ -1,0 +1,85 @@
+#include "src/imc/memory_controller.h"
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+MemoryController::MemoryController(const PlatformConfig& platform, Counters* counters,
+                                   uint32_t optane_dimm_count)
+    : config_(platform.imc), counters_(counters) {
+  PMEMSIM_CHECK(counters_ != nullptr);
+  const uint32_t n = optane_dimm_count ? optane_dimm_count : config_.optane_dimm_count;
+  PMEMSIM_CHECK(n > 0);
+  const WpqConfig wpq_config{config_.wpq_entries, config_.wpq_accept_latency,
+                             config_.wpq_drain_latency};
+  for (uint32_t i = 0; i < n; ++i) {
+    optane_dimms_.push_back(
+        std::make_unique<OptaneDimm>(platform.optane, counters, 0xD1337 + i * 0x9E37));
+    optane_wpqs_.push_back(std::make_unique<Wpq>(wpq_config, counters));
+  }
+  dram_dimm_ = std::make_unique<DramDimm>(platform.dram, counters);
+  dram_wpq_ = std::make_unique<Wpq>(wpq_config, counters);
+}
+
+size_t MemoryController::OptaneIndexFor(Addr addr) const {
+  return static_cast<size_t>((addr / config_.interleave_granularity) % optane_dimms_.size());
+}
+
+McReadResult MemoryController::Read(Addr addr, Cycles now, NodeId requester, bool ordered) {
+  const Cycles hop = requester == home_node_ ? 0 : config_.numa_hop_latency;
+  const Cycles issue = now + hop + config_.read_overhead;
+
+  DimmReadResult r;
+  if (KindOf(addr) == MemoryKind::kDram) {
+    r = dram_dimm_->Read(addr, issue, ordered);
+  } else {
+    r = optane_dimms_[OptaneIndexFor(addr)]->Read(addr, issue, ordered);
+  }
+  return {r.complete_at + hop, r.stalled_for};
+}
+
+McWriteResult MemoryController::Write(Addr addr, Cycles now, NodeId requester) {
+  const Cycles hop = requester == home_node_ ? 0 : config_.numa_hop_latency;
+  const Cycles arrival = now + hop;
+
+  Wpq* wpq = nullptr;
+  Dimm* dimm = nullptr;
+  if (KindOf(addr) == MemoryKind::kDram) {
+    wpq = dram_wpq_.get();
+    dimm = dram_dimm_.get();
+  } else {
+    const size_t i = OptaneIndexFor(addr);
+    wpq = optane_wpqs_[i].get();
+    dimm = optane_dimms_[i].get();
+  }
+
+  Cycles effective_arrival = arrival;
+  const Cycles same_line_until = dimm->SameLineStallUntil(addr);
+  if (same_line_until > effective_arrival) {
+    counters_->wpq_stall_cycles += same_line_until - effective_arrival;
+    effective_arrival = same_line_until;
+  }
+  const Wpq::AcceptResult accept = wpq->Accept(effective_arrival, /*dimm_backpressure_until=*/0);
+  const DimmWriteResult w = dimm->Write(addr, accept.drained_at);
+  if (w.backpressure_until > accept.drained_at) {
+    wpq->DelayDrain(w.backpressure_until);
+  }
+  McWriteResult result;
+  // The store's persist point includes the interconnect crossing.
+  result.accepted_at = accept.accepted_at + hop;
+  result.visible_at = w.visible_at;
+  return result;
+}
+
+void MemoryController::Reset() {
+  for (auto& d : optane_dimms_) {
+    d->Reset();
+  }
+  for (auto& q : optane_wpqs_) {
+    q->Reset();
+  }
+  dram_dimm_->Reset();
+  dram_wpq_->Reset();
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,76 @@
+// Integrated memory controller: routes cacheline requests from the CPU to the
+// DIMM population, maintains per-DIMM write pending queues (the ADR domain's
+// persist point), applies the PM interleave and the NUMA interconnect hop.
+//
+// Address map: Optane (App Direct) regions live below kDramAddressBase and
+// interleave across the configured DIMM count at 4 KB granularity; DRAM
+// regions live at/above kDramAddressBase and route to the DRAM model.
+
+#ifndef SRC_IMC_MEMORY_CONTROLLER_H_
+#define SRC_IMC_MEMORY_CONTROLLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/types.h"
+#include "src/dimm/dimm.h"
+#include "src/dimm/dram_dimm.h"
+#include "src/dimm/optane_dimm.h"
+#include "src/imc/wpq.h"
+#include "src/trace/counters.h"
+
+namespace pmemsim {
+
+// All DRAM addresses have this bit set; PM addresses do not.
+inline constexpr Addr kDramAddressBase = 1ull << 46;
+
+struct McReadResult {
+  Cycles complete_at = 0;
+  Cycles stalled_for = 0;  // read-after-persist component
+};
+
+struct McWriteResult {
+  Cycles accepted_at = 0;  // in the ADR domain: this is the persist point
+  Cycles visible_at = 0;   // when a subsequent read sees the value
+};
+
+class MemoryController {
+ public:
+  // `optane_dimm_count` overrides the platform's count when non-zero (the
+  // paper evaluates both a single non-interleaved DIMM and 6 interleaved).
+  MemoryController(const PlatformConfig& platform, Counters* counters,
+                   uint32_t optane_dimm_count = 0);
+
+  // 64 B cacheline read. `ordered` marks loads executing under a full fence.
+  McReadResult Read(Addr addr, Cycles now, NodeId requester, bool ordered);
+
+  // 64 B persist-path write (clwb write-back, nt-store, or dirty eviction).
+  McWriteResult Write(Addr addr, Cycles now, NodeId requester);
+
+  static MemoryKind KindOf(Addr addr) {
+    return addr >= kDramAddressBase ? MemoryKind::kDram : MemoryKind::kOptane;
+  }
+
+  void Reset();
+
+  size_t optane_dimm_count() const { return optane_dimms_.size(); }
+  OptaneDimm& optane_dimm(size_t i) { return *optane_dimms_[i]; }
+  DramDimm& dram_dimm() { return *dram_dimm_; }
+
+ private:
+  size_t OptaneIndexFor(Addr addr) const;
+
+  ImcConfig config_;
+  Counters* counters_;
+  NodeId home_node_ = 0;  // all DIMMs sit on socket 0, as on the testbeds
+
+  std::vector<std::unique_ptr<OptaneDimm>> optane_dimms_;
+  std::vector<std::unique_ptr<Wpq>> optane_wpqs_;  // one per Optane DIMM
+  std::unique_ptr<DramDimm> dram_dimm_;
+  std::unique_ptr<Wpq> dram_wpq_;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_IMC_MEMORY_CONTROLLER_H_

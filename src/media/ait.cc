@@ -1,0 +1,38 @@
+#include "src/media/ait.h"
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+Ait::Ait(uint64_t coverage_bytes, Cycles miss_penalty, Counters* counters)
+    : capacity_(static_cast<size_t>(coverage_bytes / kPageSize)),
+      miss_penalty_(miss_penalty),
+      counters_(counters) {
+  PMEMSIM_CHECK(capacity_ > 0);
+  PMEMSIM_CHECK(counters_ != nullptr);
+}
+
+Cycles Ait::Access(Addr addr) {
+  const Addr page = PageBase(addr);
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    ++counters_->ait_hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  ++counters_->ait_misses;
+  Touch(page);
+  return miss_penalty_;
+}
+
+void Ait::Touch(Addr page) {
+  if (map_.size() >= capacity_) {
+    const Addr victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,49 @@
+// Address Indirection Table (AIT) translation cache.
+//
+// Optane DIMMs translate DIMM-physical addresses to media addresses through an
+// on-media AIT; a small on-controller cache holds hot translations. The paper
+// (§3.6, following LENS/MICRO'20) attributes the sharp read-latency increase
+// beyond ~16 MB working sets partly to this cache overflowing. We model it as
+// an LRU cache of 4 KB translation entries with a fixed coverage.
+
+#ifndef SRC_MEDIA_AIT_H_
+#define SRC_MEDIA_AIT_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/types.h"
+#include "src/trace/counters.h"
+
+namespace pmemsim {
+
+class Ait {
+ public:
+  // `coverage_bytes` of media are translatable without a miss;
+  // `miss_penalty` cycles are charged per miss. Entries cover 4 KB each.
+  Ait(uint64_t coverage_bytes, Cycles miss_penalty, Counters* counters);
+
+  // Translates the page containing `addr`. Returns the cycle cost (0 on hit).
+  Cycles Access(Addr addr);
+
+  // Test hooks.
+  size_t entry_count() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList = std::list<Addr>;
+
+  void Touch(Addr page);
+
+  size_t capacity_;
+  Cycles miss_penalty_;
+  Counters* counters_;
+
+  LruList lru_;  // front = most recent
+  std::unordered_map<Addr, LruList::iterator> map_;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_MEDIA_AIT_H_

@@ -1,0 +1,171 @@
+#include "src/persist/redo_log.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/persist/barrier.h"
+
+namespace pmemsim {
+
+RedoLog::RedoLog(System* system, PmRegion log_region) : system_(system), region_(log_region) {
+  PMEMSIM_CHECK(system != nullptr);
+  PMEMSIM_CHECK(region_.kind == MemoryKind::kOptane);
+  PMEMSIM_CHECK(region_.size >= 4 * kRecordSize);
+  PMEMSIM_CHECK(IsCacheLineAligned(region_.base));
+}
+
+void RedoLog::Advance(ThreadContext& ctx) {
+  ++next_record_;
+  if (next_record_ < capacity_records()) {
+    return;
+  }
+  // Ring wrap: bump the epoch and, so that no group ever straddles epochs,
+  // re-log the *open* group's updates at the start of the new lap. Any
+  // sealed-but-unapplied entries stay in the shadow for the pending Apply;
+  // recovery only guarantees groups committed within the newest epoch, so
+  // callers should Apply() promptly after Commit() (as the B+-tree does).
+  next_record_ = 0;
+  ++epoch_;
+  if (open_group_size_ == 0) {
+    return;
+  }
+  PMEMSIM_CHECK(open_group_size_ <= shadow_.size());
+  const std::vector<ShadowUpdate> open_suffix(shadow_.end() - static_cast<ptrdiff_t>(open_group_size_),
+                                              shadow_.end());
+  shadow_.resize(shadow_.size() - open_group_size_);
+  open_group_size_ = 0;
+  for (const ShadowUpdate& s : open_suffix) {
+    LogUpdate(ctx, s.target, s.data, s.len);
+  }
+}
+
+void RedoLog::LogUpdate(ThreadContext& ctx, Addr target, const void* data, uint32_t len) {
+  PMEMSIM_CHECK(len > 0 && len <= kMaxPayload);
+
+  uint8_t record[kRecordSize] = {};
+  std::memcpy(record, &target, sizeof(target));
+  std::memcpy(record + 8, &len, sizeof(len));
+  const uint32_t magic = kUpdateMagic;
+  std::memcpy(record + 12, &magic, sizeof(magic));
+  std::memcpy(record + 16, &epoch_, sizeof(epoch_));
+  std::memcpy(record + 24, data, len);
+  // Fresh log cacheline: the nt-store+fence persists without ever re-flushing
+  // a recently persisted line.
+  ctx.NtStoreLine(RecordAddr(next_record_), record);
+  ctx.Sfence();
+  ++open_group_size_;
+
+  ShadowUpdate s;
+  s.target = target;
+  s.len = len;
+  std::memcpy(s.data, data, len);
+  shadow_.push_back(s);
+  Advance(ctx);
+}
+
+void RedoLog::Commit(ThreadContext& ctx) {
+  if (shadow_.empty()) {
+    return;
+  }
+  uint8_t record[kRecordSize] = {};
+  std::memcpy(record, &open_group_size_, sizeof(open_group_size_));
+  const uint32_t magic = kCommitMagic;
+  std::memcpy(record + 12, &magic, sizeof(magic));
+  std::memcpy(record + 16, &epoch_, sizeof(epoch_));
+  ctx.NtStoreLine(RecordAddr(next_record_), record);
+  ctx.Sfence();
+  open_group_size_ = 0;
+  Advance(ctx);
+}
+
+void RedoLog::Apply(ThreadContext& ctx) {
+  // Plain cached stores: durability already comes from the committed log;
+  // the target lines reach PM later as ordinary dirty evictions.
+  for (const ShadowUpdate& s : shadow_) {
+    ctx.Write(s.target, s.data, s.len);
+  }
+  shadow_.clear();
+  open_group_size_ = 0;
+}
+
+size_t RedoLog::Recover(ThreadContext& ctx) {
+  const uint64_t records = capacity_records();
+  // Pass 1: find the newest epoch present.
+  uint64_t max_epoch = 0;
+  for (uint64_t i = 0; i < records; ++i) {
+    uint8_t rec[kRecordSize];
+    ctx.Read(RecordAddr(i), rec, sizeof(rec));
+    uint32_t magic = 0;
+    uint64_t rec_epoch = 0;
+    std::memcpy(&magic, rec + 12, sizeof(magic));
+    std::memcpy(&rec_epoch, rec + 16, sizeof(rec_epoch));
+    if ((magic == kUpdateMagic || magic == kCommitMagic) && rec_epoch > max_epoch) {
+      max_epoch = rec_epoch;
+    }
+  }
+  if (max_epoch == 0) {
+    shadow_.clear();
+    next_record_ = 0;
+    open_group_size_ = 0;
+    epoch_ = 1;
+    return 0;
+  }
+
+  // Pass 2: replay committed groups of the newest epoch in ring order.
+  size_t replayed = 0;
+  std::vector<ShadowUpdate> group;
+  uint64_t last_seen = 0;
+  for (uint64_t i = 0; i < records; ++i) {
+    uint8_t rec[kRecordSize];
+    ctx.Read(RecordAddr(i), rec, sizeof(rec));
+    uint32_t magic = 0;
+    uint64_t rec_epoch = 0;
+    std::memcpy(&magic, rec + 12, sizeof(magic));
+    std::memcpy(&rec_epoch, rec + 16, sizeof(rec_epoch));
+    if (rec_epoch != max_epoch) {
+      continue;
+    }
+    if (magic == kUpdateMagic) {
+      ShadowUpdate s{};
+      uint32_t len = 0;
+      std::memcpy(&s.target, rec, sizeof(s.target));
+      std::memcpy(&len, rec + 8, sizeof(len));
+      if (len == 0 || len > kMaxPayload) {
+        continue;  // torn record
+      }
+      s.len = len;
+      std::memcpy(s.data, rec + 24, len);
+      group.push_back(s);
+      last_seen = i + 1;
+    } else if (magic == kCommitMagic) {
+      // The commit record names its group size: replay exactly the last
+      // `count` updates. Earlier strays (an aborted group's records) are
+      // discarded — they were never covered by a commit.
+      uint64_t count = 0;
+      std::memcpy(&count, rec, sizeof(count));
+      if (count > group.size()) {
+        count = group.size();  // torn commit: replay what exists
+      }
+      const size_t first = group.size() - static_cast<size_t>(count);
+      for (size_t g = first; g < group.size(); ++g) {
+        ctx.Write(group[g].target, group[g].data, group[g].len);
+        FlushRange(ctx, group[g].target, group[g].len);  // persist replayed data
+      }
+      ctx.Sfence();
+      replayed += static_cast<size_t>(count);
+      group.clear();
+      last_seen = i + 1;
+    }
+  }
+  // Uncommitted tail (the open group at crash time) is discarded.
+  shadow_.clear();
+  open_group_size_ = 0;
+  epoch_ = max_epoch;
+  next_record_ = last_seen % records;
+  if (next_record_ == 0 && last_seen != 0) {
+    ++epoch_;
+  }
+  return replayed;
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,88 @@
+// Out-of-place redo logging (paper §4.2, Fig. 11).
+//
+// Instead of updating a PM cacheline in place (which on G1 stalls on the
+// still-in-flight previous persist of that same line), every update is
+// appended to a *fresh* log cacheline on PM via an nt-store and fenced there;
+// a DRAM-side shadow holds the same updates. Once all updates for a target
+// cacheline are logged, a commit entry (again a fresh log cacheline) seals
+// the group, and the shadow is written back to the real location with plain
+// cached stores — no flushes: the log already guarantees durability, and the
+// node lines reach PM later as ordinary dirty evictions (this is where the
+// paper's "doubled PM writes" come from).
+//
+// Layout: a ring of 64 B records. Update record:
+//   [0..8) target address | [8..12) length | [12..16) kUpdateMagic
+//   [16..24) epoch         | [24..24+len) payload (len <= 40)
+// Commit record:
+//   [0..8) group size | [8..12) unused | [12..16) kCommitMagic | [16..24) epoch
+//
+// The epoch increments on every ring wrap-around, so stale records from
+// earlier laps are ignored. Recovery replays, in ring order, every update
+// record of the newest epoch that is covered by a commit record; replay is
+// idempotent (re-applying logged values in order reproduces the same state).
+// Groups that were never committed are discarded — the crash-consistency
+// contract of redo logging.
+
+#ifndef SRC_PERSIST_REDO_LOG_H_
+#define SRC_PERSIST_REDO_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/system.h"
+#include "src/cpu/thread_context.h"
+
+namespace pmemsim {
+
+class RedoLog {
+ public:
+  static constexpr uint64_t kRecordSize = kCacheLineSize;
+  static constexpr uint32_t kMaxPayload = 40;
+  static constexpr uint32_t kUpdateMagic = 0x5244554C;  // "RDUL"
+  static constexpr uint32_t kCommitMagic = 0x5244434D;  // "RDCM"
+
+  // `log_region` must be PM, cacheline aligned, and hold >= 4 records.
+  RedoLog(System* system, PmRegion log_region);
+
+  // Appends one update to the open group and persists the log record.
+  void LogUpdate(ThreadContext& ctx, Addr target, const void* data, uint32_t len);
+
+  // Persists the group's commit record. After this returns the group is
+  // durable and recovery will replay it.
+  void Commit(ThreadContext& ctx);
+
+  // Writes the shadowed updates back to their targets with cached stores
+  // (no flushes — see header comment) and opens a new group.
+  void Apply(ThreadContext& ctx);
+
+  // Crash recovery on a fresh RedoLog over an existing region: replays all
+  // committed groups of the newest epoch in order, discards the rest, and
+  // repositions the ring. Returns the number of updates replayed.
+  size_t Recover(ThreadContext& ctx);
+
+  size_t open_entries() const { return shadow_.size(); }
+  uint64_t capacity_records() const { return region_.size / kRecordSize; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  struct ShadowUpdate {
+    Addr target;
+    uint32_t len;
+    uint8_t data[kMaxPayload];
+  };
+
+  Addr RecordAddr(uint64_t index) const { return region_.base + kRecordSize * index; }
+  void Advance(ThreadContext& ctx);
+
+  System* system_;
+  PmRegion region_;
+  std::vector<ShadowUpdate> shadow_;  // DRAM-side copy of the open group
+  uint64_t next_record_ = 0;
+  uint64_t epoch_ = 1;
+  uint64_t open_group_size_ = 0;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_PERSIST_REDO_LOG_H_

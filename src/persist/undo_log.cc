@@ -1,0 +1,159 @@
+#include "src/persist/undo_log.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/persist/barrier.h"
+
+namespace pmemsim {
+
+Transaction::Transaction(System* system, PmRegion log_region)
+    : system_(system), region_(log_region) {
+  PMEMSIM_CHECK(system != nullptr);
+  PMEMSIM_CHECK(region_.kind == MemoryKind::kOptane);
+  PMEMSIM_CHECK(region_.size >= 4 * kRecordSize);
+  PMEMSIM_CHECK(IsCacheLineAligned(region_.base));
+}
+
+void Transaction::WriteHead(ThreadContext& ctx, uint64_t state, uint64_t seq) {
+  uint8_t head[kRecordSize] = {};
+  const uint32_t magic = kHeadMagic;
+  std::memcpy(head, &magic, sizeof(magic));
+  std::memcpy(head + 4, &state, 4);
+  std::memcpy(head + 8, &seq, sizeof(seq));
+  ctx.NtStoreLine(region_.base, head);
+  ctx.Sfence();
+}
+
+void Transaction::Begin(ThreadContext& ctx) {
+  PMEMSIM_CHECK_MSG(!active_, "transactions do not nest");
+  ++seq_;
+  next_record_ = 1;
+  shadows_.clear();
+  WriteHead(ctx, kStateActive, seq_);
+  active_ = true;
+}
+
+void Transaction::AppendSnapshotRecord(ThreadContext& ctx, Addr target,
+                                       const uint8_t* old_bytes, uint32_t len) {
+  PMEMSIM_CHECK_MSG(next_record_ < capacity_records(), "undo log arena full");
+  uint8_t rec[kRecordSize] = {};
+  std::memcpy(rec, &target, sizeof(target));
+  std::memcpy(rec + 8, &len, sizeof(len));
+  const uint32_t magic = kSnapMagic;
+  std::memcpy(rec + 12, &magic, sizeof(magic));
+  std::memcpy(rec + 16, &seq_, sizeof(seq_));
+  std::memcpy(rec + 24, old_bytes, len);
+  ctx.NtStoreLine(RecordAddr(next_record_), rec);
+  ++next_record_;
+
+  Shadow s;
+  s.target = target;
+  s.len = len;
+  std::memcpy(s.old_bytes, old_bytes, len);
+  shadows_.push_back(s);
+}
+
+void Transaction::Snapshot(ThreadContext& ctx, Addr addr, uint32_t len) {
+  PMEMSIM_CHECK_MSG(active_, "Snapshot outside a transaction");
+  PMEMSIM_CHECK(len > 0);
+  uint8_t buf[kMaxPayload];
+  while (len > 0) {
+    const uint32_t chunk = len < kMaxPayload ? len : kMaxPayload;
+    ctx.Read(addr, buf, chunk);  // the old image, timed
+    AppendSnapshotRecord(ctx, addr, buf, chunk);
+    addr += chunk;
+    len -= chunk;
+  }
+  // The snapshot must be durable before the caller's in-place stores.
+  ctx.Sfence();
+}
+
+void Transaction::Store64(ThreadContext& ctx, Addr addr, uint64_t value) {
+  Snapshot(ctx, addr, sizeof(value));
+  ctx.Store64(addr, value);
+}
+
+void Transaction::Commit(ThreadContext& ctx) {
+  PMEMSIM_CHECK_MSG(active_, "Commit outside a transaction");
+  // Persist the new in-place data for every snapshotted range.
+  for (const Shadow& s : shadows_) {
+    FlushRange(ctx, s.target, s.len);
+  }
+  ctx.Sfence();
+  WriteHead(ctx, kStateIdle, seq_);
+  active_ = false;
+  shadows_.clear();
+  next_record_ = 1;
+}
+
+void Transaction::Abort(ThreadContext& ctx) {
+  PMEMSIM_CHECK_MSG(active_, "Abort outside a transaction");
+  // Restore old images in reverse order (overlapping snapshots restore the
+  // oldest state last).
+  for (auto it = shadows_.rbegin(); it != shadows_.rend(); ++it) {
+    ctx.Write(it->target, it->old_bytes, it->len);
+    FlushRange(ctx, it->target, it->len);
+  }
+  ctx.Sfence();
+  WriteHead(ctx, kStateIdle, seq_);
+  active_ = false;
+  shadows_.clear();
+  next_record_ = 1;
+}
+
+size_t Transaction::Recover(ThreadContext& ctx) {
+  uint8_t head[kRecordSize];
+  ctx.Read(region_.base, head, sizeof(head));
+  uint32_t magic = 0;
+  uint64_t state = 0, seq = 0;
+  std::memcpy(&magic, head, sizeof(magic));
+  std::memcpy(&state, head + 4, 4);
+  std::memcpy(&seq, head + 8, sizeof(seq));
+
+  active_ = false;
+  shadows_.clear();
+  next_record_ = 1;
+  if (magic != kHeadMagic || state != kStateActive) {
+    seq_ = magic == kHeadMagic ? seq : 0;
+    return 0;  // no transaction was in flight
+  }
+
+  // Collect this transaction's snapshot records, then roll back in reverse.
+  struct Rec {
+    Addr target;
+    uint32_t len;
+    uint8_t bytes[kMaxPayload];
+  };
+  std::vector<Rec> records;
+  for (uint64_t i = 1; i < capacity_records(); ++i) {
+    uint8_t rec[kRecordSize];
+    ctx.Read(RecordAddr(i), rec, sizeof(rec));
+    uint32_t rec_magic = 0, len = 0;
+    uint64_t rec_seq = 0;
+    std::memcpy(&rec_magic, rec + 12, sizeof(rec_magic));
+    std::memcpy(&len, rec + 8, sizeof(len));
+    std::memcpy(&rec_seq, rec + 16, sizeof(rec_seq));
+    if (rec_magic != kSnapMagic || rec_seq != seq) {
+      break;  // end of this transaction's contiguous records
+    }
+    if (len == 0 || len > kMaxPayload) {
+      break;  // torn record: everything after it is unreliable
+    }
+    Rec r;
+    std::memcpy(&r.target, rec, sizeof(r.target));
+    r.len = len;
+    std::memcpy(r.bytes, rec + 24, len);
+    records.push_back(r);
+  }
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    ctx.Write(it->target, it->bytes, it->len);
+    FlushRange(ctx, it->target, it->len);
+  }
+  ctx.Sfence();
+  WriteHead(ctx, kStateIdle, seq);
+  seq_ = seq;
+  return records.size();
+}
+
+}  // namespace pmemsim

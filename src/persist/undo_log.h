@@ -1,0 +1,90 @@
+// Undo-log transactions (libpmemobj-flavoured failure atomicity).
+//
+// Complements the §4.2 redo log with the other classic scheme: before a range
+// is modified in place, its OLD contents are snapshotted to the undo log and
+// persisted; on commit the new in-place data is persisted and the log is
+// deactivated; a crash mid-transaction rolls the snapshots back. Undo records
+// are appended to fresh log cachelines via nt-stores, so — like the redo log —
+// the log itself never re-persists a recently persisted line on G1.
+//
+// PM layout: an arena of 64 B records.
+//   record 0 (head):    [0..4) kHeadMagic | [4..8) state | [8..16) seq
+//   snapshot record:    [0..8) target | [8..12) len(<=40) | [12..16) kSnapMagic
+//                       [16..24) seq | [24..24+len) old bytes
+// Large snapshots split across multiple records. Recovery applies matching-
+// seq records in reverse order, restoring the pre-transaction image.
+
+#ifndef SRC_PERSIST_UNDO_LOG_H_
+#define SRC_PERSIST_UNDO_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/core/system.h"
+#include "src/cpu/thread_context.h"
+
+namespace pmemsim {
+
+class Transaction {
+ public:
+  static constexpr uint64_t kRecordSize = kCacheLineSize;
+  static constexpr uint32_t kMaxPayload = 40;
+  static constexpr uint32_t kHeadMagic = 0x554E4448;  // "UNDH"
+  static constexpr uint32_t kSnapMagic = 0x554E4453;  // "UNDS"
+  static constexpr uint64_t kStateIdle = 0;
+  static constexpr uint64_t kStateActive = 1;
+
+  // `log_region` must be PM; its first record is the transaction head.
+  Transaction(System* system, PmRegion log_region);
+
+  // Starts a transaction. No nesting.
+  void Begin(ThreadContext& ctx);
+
+  // Snapshots [addr, addr+len) before the caller modifies it. Must be inside
+  // an active transaction; persisting the snapshot happens here.
+  void Snapshot(ThreadContext& ctx, Addr addr, uint32_t len);
+
+  // Convenience: snapshot + 64-bit store.
+  void Store64(ThreadContext& ctx, Addr addr, uint64_t value);
+
+  // Persists all ranges modified through Store64/registered via Snapshot,
+  // then deactivates the log. After this returns the new state is durable.
+  void Commit(ThreadContext& ctx);
+
+  // Rolls the in-flight transaction back from the (DRAM-shadowed) snapshots
+  // and deactivates the log.
+  void Abort(ThreadContext& ctx);
+
+  // Crash recovery on a fresh Transaction over an existing region: if the
+  // head is active, restores all matching snapshots from PM in reverse order
+  // and deactivates. Returns the number of records rolled back.
+  size_t Recover(ThreadContext& ctx);
+
+  bool active() const { return active_; }
+  uint64_t capacity_records() const { return region_.size / kRecordSize; }
+  size_t snapshot_records() const { return next_record_ - 1; }
+
+ private:
+  struct Shadow {
+    Addr target;
+    uint32_t len;
+    uint8_t old_bytes[kMaxPayload];
+  };
+
+  Addr RecordAddr(uint64_t index) const { return region_.base + index * kRecordSize; }
+  void WriteHead(ThreadContext& ctx, uint64_t state, uint64_t seq);
+  void AppendSnapshotRecord(ThreadContext& ctx, Addr target, const uint8_t* old_bytes,
+                            uint32_t len);
+
+  System* system_;
+  PmRegion region_;
+  bool active_ = false;
+  uint64_t seq_ = 0;
+  uint64_t next_record_ = 1;  // record 0 is the head
+  std::vector<Shadow> shadows_;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_PERSIST_UNDO_LOG_H_

@@ -1,0 +1,57 @@
+#include "src/prefetch/helper_thread.h"
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+SpeculativeHelperPair::SpeculativeHelperPair(ThreadContext* worker, ThreadContext* helper,
+                                             size_t count, WorkFn work, WorkFn prefetch,
+                                             HelperConfig config)
+    : worker_(worker),
+      helper_(helper),
+      count_(count),
+      work_(std::move(work)),
+      prefetch_(std::move(prefetch)),
+      config_(config) {
+  PMEMSIM_CHECK(worker != nullptr);
+  PMEMSIM_CHECK(helper != nullptr);
+  PMEMSIM_CHECK(config_.prefetch_depth > 0);
+  worker_->SetSmtScale(config_.smt_scale);
+  helper_->SetSmtScale(config_.smt_scale);
+}
+
+StepResult SpeculativeHelperPair::WorkerStep() {
+  if (worker_index_ >= count_) {
+    worker_->SetSmtScale(1.0);
+    return StepResult::kDone;
+  }
+  work_(*worker_, worker_index_);
+  ++worker_index_;
+  return StepResult::kProgress;
+}
+
+StepResult SpeculativeHelperPair::HelperStep() {
+  if (helper_index_ >= count_ || worker_index_ >= count_) {
+    helper_->SetSmtScale(1.0);
+    return StepResult::kDone;
+  }
+  if (helper_index_ >= worker_index_ + config_.prefetch_depth) {
+    // Depth cap reached: idle alongside the worker.
+    helper_->AdvanceTo(worker_->clock() + 1);
+    return StepResult::kProgress;
+  }
+  if (helper_index_ < worker_index_) {
+    // Fell behind: prefetching already-visited keys is useless; skip ahead.
+    helper_index_ = worker_index_;
+  }
+  prefetch_(*helper_, helper_index_);
+  ++helper_index_;
+  return StepResult::kProgress;
+}
+
+void SpeculativeHelperPair::AppendJobs(std::vector<SimJob>& jobs) {
+  jobs.push_back({worker_, [this] { return WorkerStep(); }});
+  jobs.push_back({helper_, [this] { return HelperStep(); }});
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,72 @@
+#include "src/trace/counters.h"
+
+#include <cstdio>
+
+namespace pmemsim {
+
+namespace {
+// Applies `op(lhs_field, rhs_field)` across every counter field, keeping the
+// subtraction/addition code in one place so new fields can't be missed in one
+// of the operators.
+template <typename Op>
+void ForEachField(Counters& lhs, const Counters& rhs, Op op) {
+  op(lhs.imc_read_bytes, rhs.imc_read_bytes);
+  op(lhs.imc_write_bytes, rhs.imc_write_bytes);
+  op(lhs.media_read_bytes, rhs.media_read_bytes);
+  op(lhs.media_write_bytes, rhs.media_write_bytes);
+  op(lhs.read_buffer_hits, rhs.read_buffer_hits);
+  op(lhs.read_buffer_misses, rhs.read_buffer_misses);
+  op(lhs.write_buffer_hits, rhs.write_buffer_hits);
+  op(lhs.write_buffer_misses, rhs.write_buffer_misses);
+  op(lhs.write_buffer_evictions, rhs.write_buffer_evictions);
+  op(lhs.periodic_writebacks, rhs.periodic_writebacks);
+  op(lhs.rmw_media_reads, rhs.rmw_media_reads);
+  op(lhs.read_write_transitions, rhs.read_write_transitions);
+  op(lhs.ait_hits, rhs.ait_hits);
+  op(lhs.ait_misses, rhs.ait_misses);
+  op(lhs.wpq_stall_cycles, rhs.wpq_stall_cycles);
+  op(lhs.rap_stall_cycles, rhs.rap_stall_cycles);
+  op(lhs.rap_stalled_loads, rhs.rap_stalled_loads);
+  op(lhs.demand_loads, rhs.demand_loads);
+  op(lhs.demand_stores, rhs.demand_stores);
+  op(lhs.prefetch_requests, rhs.prefetch_requests);
+  op(lhs.l1_hits, rhs.l1_hits);
+  op(lhs.l2_hits, rhs.l2_hits);
+  op(lhs.l3_hits, rhs.l3_hits);
+  op(lhs.cache_misses, rhs.cache_misses);
+  op(lhs.dram_read_bytes, rhs.dram_read_bytes);
+  op(lhs.dram_write_bytes, rhs.dram_write_bytes);
+}
+}  // namespace
+
+Counters Counters::operator-(const Counters& rhs) const {
+  Counters out = *this;
+  ForEachField(out, rhs, [](uint64_t& a, const uint64_t& b) { a -= b; });
+  return out;
+}
+
+Counters& Counters::operator+=(const Counters& rhs) {
+  ForEachField(*this, rhs, [](uint64_t& a, const uint64_t& b) { a += b; });
+  return *this;
+}
+
+std::string Counters::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "imc r/w: %llu/%llu B, media r/w: %llu/%llu B (RA=%.2f WA=%.2f), "
+                "rdbuf h/m: %llu/%llu, wrbuf h/m/e: %llu/%llu/%llu, ait h/m: %llu/%llu",
+                static_cast<unsigned long long>(imc_read_bytes),
+                static_cast<unsigned long long>(imc_write_bytes),
+                static_cast<unsigned long long>(media_read_bytes),
+                static_cast<unsigned long long>(media_write_bytes), ReadAmplification(),
+                WriteAmplification(), static_cast<unsigned long long>(read_buffer_hits),
+                static_cast<unsigned long long>(read_buffer_misses),
+                static_cast<unsigned long long>(write_buffer_hits),
+                static_cast<unsigned long long>(write_buffer_misses),
+                static_cast<unsigned long long>(write_buffer_evictions),
+                static_cast<unsigned long long>(ait_hits),
+                static_cast<unsigned long long>(ait_misses));
+  return buf;
+}
+
+}  // namespace pmemsim

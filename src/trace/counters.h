@@ -1,0 +1,100 @@
+// Telemetry counters: the simulator's equivalent of `ipmwatch` plus internal
+// buffer statistics the real hardware never exposes.
+//
+// Counting points mirror the paper's metric definitions (§2.4):
+//   imc_*_bytes   — traffic crossing the iMC<->DIMM boundary (64 B units)
+//   media_*_bytes — traffic crossing the buffer<->3D-Xpoint boundary (256 B)
+//   WA = media_write_bytes / imc_write_bytes
+//   RA = media_read_bytes  / imc_read_bytes
+
+#ifndef SRC_TRACE_COUNTERS_H_
+#define SRC_TRACE_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pmemsim {
+
+struct Counters {
+  // iMC boundary (what the processor requested of persistent memory).
+  uint64_t imc_read_bytes = 0;
+  uint64_t imc_write_bytes = 0;
+
+  // Media boundary (what actually hit the 3D-Xpoint media).
+  uint64_t media_read_bytes = 0;
+  uint64_t media_write_bytes = 0;
+
+  // On-DIMM buffer behaviour.
+  uint64_t read_buffer_hits = 0;
+  uint64_t read_buffer_misses = 0;
+  uint64_t write_buffer_hits = 0;    // 64 B write merged into a resident XPLine
+  uint64_t write_buffer_misses = 0;  // 64 B write that allocated a new entry
+  uint64_t write_buffer_evictions = 0;
+  uint64_t periodic_writebacks = 0;
+  uint64_t rmw_media_reads = 0;  // media reads forced by partial-line eviction
+  uint64_t read_write_transitions = 0;  // XPLine moved read buffer -> write buffer
+
+  // AIT translation cache.
+  uint64_t ait_hits = 0;
+  uint64_t ait_misses = 0;
+
+  // iMC queues.
+  uint64_t wpq_stall_cycles = 0;  // cycles stores waited for WPQ space
+  uint64_t rap_stall_cycles = 0;  // cycles loads waited on in-flight persists
+  uint64_t rap_stalled_loads = 0;
+
+  // CPU-side.
+  uint64_t demand_loads = 0;
+  uint64_t demand_stores = 0;
+  uint64_t prefetch_requests = 0;  // prefetches that reached the iMC
+  uint64_t l1_hits = 0;
+  uint64_t l2_hits = 0;
+  uint64_t l3_hits = 0;
+  uint64_t cache_misses = 0;  // demand misses that reached memory
+
+  // DRAM boundary.
+  uint64_t dram_read_bytes = 0;
+  uint64_t dram_write_bytes = 0;
+
+  double WriteAmplification() const {
+    return imc_write_bytes ? static_cast<double>(media_write_bytes) /
+                                 static_cast<double>(imc_write_bytes)
+                           : 0.0;
+  }
+  double ReadAmplification() const {
+    return imc_read_bytes ? static_cast<double>(media_read_bytes) /
+                                static_cast<double>(imc_read_bytes)
+                          : 0.0;
+  }
+  double WriteBufferHitRatio() const {
+    const uint64_t total = write_buffer_hits + write_buffer_misses;
+    return total ? static_cast<double>(write_buffer_hits) / static_cast<double>(total) : 0.0;
+  }
+  double ReadBufferHitRatio() const {
+    const uint64_t total = read_buffer_hits + read_buffer_misses;
+    return total ? static_cast<double>(read_buffer_hits) / static_cast<double>(total) : 0.0;
+  }
+
+  Counters operator-(const Counters& rhs) const;
+  Counters& operator+=(const Counters& rhs);
+
+  std::string ToString() const;
+};
+
+// RAII snapshot: captures `*counters` at construction; Delta() returns the
+// difference accumulated since.
+class CounterDelta {
+ public:
+  explicit CounterDelta(const Counters* counters) : counters_(counters), base_(*counters) {}
+
+  Counters Delta() const { return *counters_ - base_; }
+  void Rebase() { base_ = *counters_; }
+
+ private:
+  const Counters* counters_;
+  Counters base_;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_TRACE_COUNTERS_H_

@@ -1,0 +1,50 @@
+#include "src/workload/ycsb.h"
+
+#include "src/common/check.h"
+#include "src/workload/zipf.h"
+
+namespace pmemsim {
+
+std::vector<uint64_t> MakeLoadKeys(uint64_t count, uint64_t seed) {
+  std::vector<uint64_t> keys(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    keys[i] = i + 1;  // keys must be non-zero
+  }
+  Rng rng(seed);
+  rng.Shuffle(keys);
+  return keys;
+}
+
+std::vector<std::vector<uint64_t>> ShardKeys(const std::vector<uint64_t>& keys, uint32_t shards) {
+  PMEMSIM_CHECK(shards > 0);
+  std::vector<std::vector<uint64_t>> out(shards);
+  const uint64_t per = keys.size() / shards;
+  for (uint32_t s = 0; s < shards; ++s) {
+    const uint64_t begin = s * per;
+    const uint64_t end = s + 1 == shards ? keys.size() : begin + per;
+    out[s].assign(keys.begin() + static_cast<ptrdiff_t>(begin),
+                  keys.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return out;
+}
+
+std::vector<uint64_t> MakeRequestKeys(const std::vector<uint64_t>& loaded, uint64_t count,
+                                      KeyDistribution dist, uint64_t seed) {
+  PMEMSIM_CHECK(!loaded.empty());
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (dist == KeyDistribution::kUniform) {
+    Rng rng(seed);
+    for (uint64_t i = 0; i < count; ++i) {
+      out.push_back(loaded[rng.NextBelow(loaded.size())]);
+    }
+  } else {
+    ZipfGenerator zipf(loaded.size(), 0.99, seed);
+    for (uint64_t i = 0; i < count; ++i) {
+      out.push_back(loaded[zipf.Next()]);
+    }
+  }
+  return out;
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,31 @@
+// YCSB-style workload driver (paper §4: 16 M 16 B key-value inserts; scaled
+// key counts preserve the shape since behaviour is working-set driven).
+
+#ifndef SRC_WORKLOAD_YCSB_H_
+#define SRC_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace pmemsim {
+
+enum class KeyDistribution : uint8_t {
+  kUniform,   // uniformly random existing key
+  kZipfian,   // theta = 0.99
+};
+
+// The YCSB load phase: `count` unique non-zero keys in randomized order.
+std::vector<uint64_t> MakeLoadKeys(uint64_t count, uint64_t seed);
+
+// Splits keys into `shards` contiguous chunks (one per worker thread).
+std::vector<std::vector<uint64_t>> ShardKeys(const std::vector<uint64_t>& keys, uint32_t shards);
+
+// A request stream of `count` operations against `loaded` keys.
+std::vector<uint64_t> MakeRequestKeys(const std::vector<uint64_t>& loaded, uint64_t count,
+                                      KeyDistribution dist, uint64_t seed);
+
+}  // namespace pmemsim
+
+#endif  // SRC_WORKLOAD_YCSB_H_

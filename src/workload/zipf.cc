@@ -1,0 +1,49 @@
+#include "src/workload/zipf.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  // Exact up to 10M items (fast enough, done once); callers needing more
+  // should cache across instances.
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  PMEMSIM_CHECK(n > 0);
+  PMEMSIM_CHECK(theta >= 0.0 && theta < 1.0);
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+  threshold1_ = 1.0 / zetan_;
+  threshold2_ = (1.0 + std::pow(0.5, theta)) / zetan_;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const double v =
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t item = static_cast<uint64_t>(v);
+  if (item >= n_) {
+    item = n_ - 1;
+  }
+  return item;
+}
+
+}  // namespace pmemsim

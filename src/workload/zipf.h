@@ -1,0 +1,39 @@
+// Zipfian distribution generator (Gray et al. / YCSB-style) with rejection-
+// free inverse-CDF sampling over a precomputed harmonic table for small N and
+// the Jim Gray approximation for large N.
+
+#ifndef SRC_WORKLOAD_ZIPF_H_
+#define SRC_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/random.h"
+
+namespace pmemsim {
+
+class ZipfGenerator {
+ public:
+  // Items in [0, n); `theta` is the skew (0.99 = YCSB default).
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double threshold1_;
+  double threshold2_;
+  Rng rng_;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_WORKLOAD_ZIPF_H_

@@ -1,0 +1,91 @@
+// Tests for the libpmem-flavoured API layer.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/api/pmem.h"
+#include "src/core/platform.h"
+
+namespace pmemsim {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<System> system = MakeG1System(1);
+  ThreadContext* cpu = &system->CreateThread();
+};
+
+TEST(PmemApiTest, MapFileReservesRange) {
+  Fixture f;
+  const PmRegion a = PmemMapFile(*f.system, MiB(1));
+  const PmRegion b = PmemMapFile(*f.system, MiB(1));
+  EXPECT_EQ(a.kind, MemoryKind::kOptane);
+  EXPECT_GE(b.base, a.end());
+}
+
+TEST(PmemApiTest, AutoFlushReflectsEadr) {
+  Fixture f;
+  EXPECT_FALSE(PmemHasAutoFlush(*f.system));
+  auto eadr_system = std::make_unique<System>(G2EadrPlatform(), 1);
+  EXPECT_TRUE(PmemHasAutoFlush(*eadr_system));
+}
+
+TEST(PmemApiTest, MemcpyPersistRoundTrip) {
+  Fixture f;
+  const PmRegion region = PmemMapFile(*f.system, KiB(64));
+  uint8_t src[1000];
+  for (size_t i = 0; i < sizeof(src); ++i) {
+    src[i] = static_cast<uint8_t>(i * 13);
+  }
+  PmemMemcpyPersist(*f.cpu, region.base + 24, src, sizeof(src));  // unaligned
+  uint8_t out[1000];
+  f.cpu->Read(region.base + 24, out, sizeof(out));
+  EXPECT_EQ(std::memcmp(src, out, sizeof(src)), 0);
+  EXPECT_EQ(f.cpu->outstanding_persists(), 0u);  // drained
+}
+
+TEST(PmemApiTest, SmallCopyGoesThroughCaches) {
+  Fixture f;
+  const PmRegion region = PmemMapFile(*f.system, KiB(4));
+  const uint64_t v = 0x77;
+  PmemMemcpyPersist(*f.cpu, region.base, &v, sizeof(v));
+  // Cached path: the iMC saw one cacheline write-back from the flush.
+  EXPECT_EQ(f.system->counters().imc_write_bytes, kCacheLineSize);
+}
+
+TEST(PmemApiTest, LargeCopyStreams) {
+  Fixture f;
+  const PmRegion region = PmemMapFile(*f.system, KiB(64));
+  std::vector<uint8_t> buf(KiB(4), 0xAB);
+  const uint64_t loads_before = f.system->counters().demand_loads;
+  PmemMemcpyPersist(*f.cpu, region.base, buf.data(), buf.size());
+  // Streaming nt-store path: no RFO reads of the destination.
+  EXPECT_EQ(f.system->counters().demand_loads, loads_before);
+  EXPECT_EQ(f.system->counters().imc_write_bytes, KiB(4));
+  // Destination lines are not cached afterward.
+  EXPECT_FALSE(f.cpu->hierarchy().ProbeAny(region.base, f.cpu->clock()));
+}
+
+TEST(PmemApiTest, MemsetPersist) {
+  Fixture f;
+  const PmRegion region = PmemMapFile(*f.system, KiB(4));
+  PmemMemsetPersist(*f.cpu, region.base, 0x5A, 300);
+  uint8_t out[300];
+  f.cpu->Read(region.base, out, sizeof(out));
+  for (const uint8_t b : out) {
+    ASSERT_EQ(b, 0x5A);
+  }
+}
+
+TEST(PmemApiTest, NodrainLeavesPersistsOutstanding) {
+  Fixture f;
+  const PmRegion region = PmemMapFile(*f.system, KiB(64));
+  std::vector<uint8_t> buf(KiB(1), 1);
+  PmemMemcpyNodrain(*f.cpu, region.base, buf.data(), buf.size());
+  EXPECT_GT(f.cpu->outstanding_persists(), 0u);
+  PmemDrain(*f.cpu);
+  EXPECT_EQ(f.cpu->outstanding_persists(), 0u);
+}
+
+}  // namespace
+}  // namespace pmemsim

@@ -1,0 +1,218 @@
+// Tests for src/common: types/address math, RNG, stats, backing store, config.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/backing_store.h"
+#include "src/common/config.h"
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/common/types.h"
+
+namespace pmemsim {
+namespace {
+
+TEST(TypesTest, AddressMath) {
+  EXPECT_EQ(CacheLineBase(0), 0u);
+  EXPECT_EQ(CacheLineBase(63), 0u);
+  EXPECT_EQ(CacheLineBase(64), 64u);
+  EXPECT_EQ(XPLineBase(255), 0u);
+  EXPECT_EQ(XPLineBase(256), 256u);
+  EXPECT_EQ(LineIndexInXPLine(0), 0u);
+  EXPECT_EQ(LineIndexInXPLine(64), 1u);
+  EXPECT_EQ(LineIndexInXPLine(128), 2u);
+  EXPECT_EQ(LineIndexInXPLine(192 + 63), 3u);
+  EXPECT_EQ(PageBase(4097), 4096u);
+  EXPECT_TRUE(IsXPLineAligned(512));
+  EXPECT_FALSE(IsXPLineAligned(576));
+  EXPECT_EQ(AlignUp(1, 256), 256u);
+  EXPECT_EQ(AlignUp(256, 256), 256u);
+  EXPECT_EQ(KiB(16), 16384u);
+  EXPECT_EQ(MiB(1), 1048576u);
+}
+
+TEST(TypesTest, XPLineHoldsFourCacheLines) {
+  EXPECT_EQ(kXPLineSize / kCacheLineSize, kLinesPerXPLine);
+  EXPECT_EQ(kLinesPerXPLine, 4u);
+}
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) {
+    differs |= a2.Next() != c.Next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RandomTest, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBelow(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, NextDoubleUnit) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RandomTest, Mix64Distinct) {
+  std::set<uint64_t> out;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    out.insert(Mix64(i));
+  }
+  EXPECT_EQ(out.size(), 1000u);
+}
+
+TEST(StatsTest, RunningStatBasics) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  for (double x : {2.0, 4.0, 6.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-9);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-9);
+}
+
+TEST(StatsTest, HistogramPercentiles) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), 1000u);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 500.0, 50.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(99)), 990.0, 80.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-6);
+}
+
+TEST(StatsTest, HistogramMerge) {
+  Histogram a, b;
+  for (uint64_t i = 0; i < 100; ++i) {
+    a.Add(10);
+    b.Add(1000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.Min(), 10u);
+  EXPECT_EQ(a.Max(), 1000u);
+}
+
+TEST(StatsTest, HistogramLargeValues) {
+  Histogram h;
+  h.Add(1ull << 40);
+  h.Add(1);
+  EXPECT_EQ(h.Max(), 1ull << 40);
+  EXPECT_GE(h.Percentile(100), (1ull << 39));
+}
+
+TEST(BackingStoreTest, ZeroFilledReads) {
+  BackingStore bs;
+  EXPECT_EQ(bs.ReadU64(0x1234), 0u);
+  EXPECT_EQ(bs.allocated_pages(), 0u);  // reads never allocate
+}
+
+TEST(BackingStoreTest, ReadBackWrites) {
+  BackingStore bs;
+  bs.WriteU64(4096, 0xDEADBEEF);
+  EXPECT_EQ(bs.ReadU64(4096), 0xDEADBEEFu);
+  EXPECT_EQ(bs.allocated_pages(), 1u);
+}
+
+TEST(BackingStoreTest, CrossPageAccess) {
+  BackingStore bs;
+  uint8_t data[100];
+  for (int i = 0; i < 100; ++i) {
+    data[i] = static_cast<uint8_t>(i);
+  }
+  const Addr addr = kPageSize - 50;  // straddles a page boundary
+  bs.Write(addr, data, sizeof(data));
+  uint8_t out[100] = {};
+  bs.Read(addr, out, sizeof(out));
+  EXPECT_EQ(std::memcmp(data, out, sizeof(data)), 0);
+  EXPECT_EQ(bs.allocated_pages(), 2u);
+}
+
+TEST(BackingStoreTest, ZeroRange) {
+  BackingStore bs;
+  bs.WriteU64(0, 7);
+  bs.WriteU64(kPageSize, 9);
+  bs.Zero(0, kPageSize);  // full page: dropped
+  EXPECT_EQ(bs.ReadU64(0), 0u);
+  EXPECT_EQ(bs.ReadU64(kPageSize), 9u);
+  bs.Zero(kPageSize, 8);  // partial page: cleared in place
+  EXPECT_EQ(bs.ReadU64(kPageSize), 0u);
+}
+
+TEST(ConfigTest, G1Preset) {
+  const PlatformConfig p = G1Platform();
+  EXPECT_EQ(p.generation, Generation::kG1);
+  EXPECT_EQ(p.optane.read_buffer_bytes, KiB(16));
+  EXPECT_EQ(p.optane.write_buffer_bytes, KiB(16));
+  EXPECT_TRUE(p.optane.periodic_full_writeback);
+  EXPECT_TRUE(p.optane.same_line_flush_stall);
+  EXPECT_FALSE(p.cache.clwb_retains_line);
+  // 12 KB usable for partial XPLines.
+  EXPECT_EQ(p.optane.write_buffer_partial_reserve, 16u);
+}
+
+TEST(ConfigTest, G2Preset) {
+  const PlatformConfig p = G2Platform();
+  EXPECT_EQ(p.generation, Generation::kG2);
+  EXPECT_EQ(p.optane.read_buffer_bytes, KiB(22));
+  EXPECT_FALSE(p.optane.periodic_full_writeback);
+  EXPECT_FALSE(p.optane.same_line_flush_stall);
+  EXPECT_TRUE(p.cache.clwb_retains_line);
+  EXPECT_EQ(p.optane.write_buffer_partial_reserve, 0u);
+}
+
+TEST(ConfigTest, CacheGeometryDividesEvenly) {
+  for (const PlatformConfig& p : {G1Platform(), G2Platform()}) {
+    for (const CacheLevelConfig& lvl : {p.cache.l1, p.cache.l2, p.cache.l3}) {
+      EXPECT_EQ(lvl.size_bytes % (kCacheLineSize * lvl.ways), 0u)
+          << p.name << " level size " << lvl.size_bytes;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmemsim

@@ -1,0 +1,250 @@
+// Tests for ThreadContext (the x86-flavoured op set + clock) and the
+// lockstep Scheduler.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/core/platform.h"
+#include "src/cpu/scheduler.h"
+
+namespace pmemsim {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<System> system;
+  ThreadContext* ctx;
+  PmRegion pm;
+  PmRegion dram;
+
+  explicit Fixture(Generation gen = Generation::kG1) {
+    system = MakeSystem(gen, 1);
+    ctx = &system->CreateThread();
+    SetPrefetchers(*ctx, false, false, false);
+    pm = system->AllocatePm(KiB(64));
+    dram = system->AllocateDram(KiB(64));
+  }
+};
+
+TEST(ThreadContextTest, DataRoundTrip) {
+  Fixture f;
+  f.ctx->Store64(f.pm.base, 0xABCD);
+  EXPECT_EQ(f.ctx->Load64(f.pm.base), 0xABCDu);
+  uint8_t blob[300];
+  for (size_t i = 0; i < sizeof(blob); ++i) {
+    blob[i] = static_cast<uint8_t>(i * 7);
+  }
+  f.ctx->Write(f.pm.base + 1000, blob, sizeof(blob));
+  uint8_t out[300];
+  f.ctx->Read(f.pm.base + 1000, out, sizeof(out));
+  EXPECT_EQ(std::memcmp(blob, out, sizeof(blob)), 0);
+}
+
+TEST(ThreadContextTest, ClockMonotonicallyAdvances) {
+  Fixture f;
+  Cycles prev = f.ctx->clock();
+  for (int i = 0; i < 100; ++i) {
+    f.ctx->Load64(f.pm.base + static_cast<uint64_t>(i) * 512);
+    EXPECT_GT(f.ctx->clock(), prev);
+    prev = f.ctx->clock();
+  }
+}
+
+TEST(ThreadContextTest, CachedLoadIsCheap) {
+  Fixture f;
+  f.ctx->Load64(f.pm.base);
+  const Cycles before = f.ctx->clock();
+  f.ctx->Load64(f.pm.base);
+  EXPECT_EQ(f.ctx->clock() - before, G1Platform().cache.l1.hit_latency);
+  EXPECT_EQ(f.ctx->last_access().hit_level, 1);
+}
+
+TEST(ThreadContextTest, MissCostsMemoryLatency) {
+  Fixture f;
+  f.ctx->Load64(f.pm.base);
+  const Cycles before = f.ctx->clock();
+  f.ctx->Load64(f.pm.base + KiB(32));
+  EXPECT_GT(f.ctx->clock() - before, G1Platform().optane.media_read_latency);
+  EXPECT_EQ(f.ctx->last_access().hit_level, 0);
+}
+
+TEST(ThreadContextTest, StoreMissIsPosted) {
+  Fixture f;
+  const Cycles before = f.ctx->clock();
+  f.ctx->Store64(f.pm.base + KiB(48), 1);  // cold line
+  EXPECT_LT(f.ctx->clock() - before, 100u);  // far below a media round trip
+}
+
+TEST(ThreadContextTest, NtStoreBypassesCaches) {
+  Fixture f;
+  f.ctx->Load64(f.pm.base);  // cache the line
+  f.ctx->NtStore64(f.pm.base, 42);
+  EXPECT_FALSE(f.ctx->hierarchy().ProbeAny(f.pm.base, f.ctx->clock()));
+  EXPECT_EQ(f.ctx->Load64(f.pm.base), 42u);  // data still correct
+}
+
+TEST(ThreadContextTest, SfenceWaitsForAcceptance) {
+  Fixture f;
+  f.ctx->NtStore64(f.pm.base, 1);
+  EXPECT_EQ(f.ctx->outstanding_persists(), 1u);
+  const Cycles before = f.ctx->clock();
+  f.ctx->Sfence();
+  EXPECT_GT(f.ctx->clock(), before);
+  EXPECT_EQ(f.ctx->outstanding_persists(), 0u);
+}
+
+TEST(ThreadContextTest, G1RapMfenceVsSfence) {
+  // Distance-0 RAP: under sfence the load still hits the cache; under mfence
+  // it stalls for the persist pipeline (Fig. 7 a).
+  Fixture sfence_fix, mfence_fix;
+  auto iteration = [](Fixture& f, bool use_mfence) {
+    f.ctx->Store64(f.pm.base, 7);
+    f.ctx->Clwb(f.pm.base);
+    if (use_mfence) {
+      f.ctx->Mfence();
+    } else {
+      f.ctx->Sfence();
+    }
+    const Cycles before = f.ctx->clock();
+    f.ctx->Load64(f.pm.base);
+    return f.ctx->clock() - before;
+  };
+  const Cycles sfence_load = iteration(sfence_fix, false);
+  const Cycles mfence_load = iteration(mfence_fix, true);
+  EXPECT_LT(sfence_load, 20u);
+  EXPECT_GT(mfence_load, 1000u);
+}
+
+TEST(ThreadContextTest, G2ClwbLoadAlwaysHits) {
+  Fixture f(Generation::kG2);
+  f.ctx->Store64(f.pm.base, 7);
+  f.ctx->Clwb(f.pm.base);
+  f.ctx->Mfence();
+  const Cycles before = f.ctx->clock();
+  f.ctx->Load64(f.pm.base);
+  EXPECT_LT(f.ctx->clock() - before, 20u);
+}
+
+TEST(ThreadContextTest, G2NtStoreStillRaps) {
+  Fixture f(Generation::kG2);
+  f.ctx->NtStore64(f.pm.base, 7);
+  f.ctx->Mfence();
+  const Cycles before = f.ctx->clock();
+  f.ctx->Load64(f.pm.base);
+  EXPECT_GT(f.ctx->clock() - before, 800u);
+}
+
+TEST(ThreadContextTest, LoadMultiOverlaps) {
+  Fixture f;
+  // Two independent cold lines: overlapped cost is far below the serial sum.
+  Fixture serial;
+  const Addr a = serial.pm.base, b = serial.pm.base + KiB(32);
+  const Cycles s0 = serial.ctx->clock();
+  serial.ctx->Load64(a);
+  serial.ctx->Load64(b);
+  const Cycles serial_cost = serial.ctx->clock() - s0;
+
+  const Addr addrs[2] = {f.pm.base, f.pm.base + KiB(32)};
+  const Cycles m0 = f.ctx->clock();
+  f.ctx->LoadMulti(addrs, 2);
+  const Cycles multi_cost = f.ctx->clock() - m0;
+  EXPECT_LT(multi_cost, serial_cost);
+  EXPECT_GE(multi_cost, serial_cost / 2);
+}
+
+TEST(ThreadContextTest, StreamCopyMovesData) {
+  Fixture f;
+  uint8_t src[kXPLineSize];
+  for (size_t i = 0; i < sizeof(src); ++i) {
+    src[i] = static_cast<uint8_t>(255 - i % 251);
+  }
+  f.system->backing().Write(f.pm.base, src, sizeof(src));
+  f.ctx->StreamCopyXPLine(f.pm.base, f.dram.base);
+  uint8_t dst[kXPLineSize];
+  f.system->backing().Read(f.dram.base, dst, sizeof(dst));
+  EXPECT_EQ(std::memcmp(src, dst, sizeof(src)), 0);
+}
+
+TEST(ThreadContextTest, SmtScaleInflatesCoreWork) {
+  Fixture f;
+  f.ctx->Load64(f.pm.base);
+  const Cycles base_before = f.ctx->clock();
+  f.ctx->Load64(f.pm.base);
+  const Cycles unscaled = f.ctx->clock() - base_before;
+  f.ctx->SetSmtScale(2.0);
+  const Cycles scaled_before = f.ctx->clock();
+  f.ctx->Load64(f.pm.base);
+  EXPECT_EQ(f.ctx->clock() - scaled_before, 2 * unscaled);
+}
+
+TEST(ThreadContextTest, StoreBufferBackpressure) {
+  Fixture f;
+  // Unfenced persists beyond the store-buffer depth force waiting.
+  const uint32_t depth = G1Platform().cpu.store_buffer_depth;
+  for (uint32_t i = 0; i < depth + 10; ++i) {
+    f.ctx->NtStore64(f.pm.base + i * kCacheLineSize, i);
+  }
+  EXPECT_LE(f.ctx->outstanding_persists(), depth);
+}
+
+TEST(SchedulerTest, InterleavesByClock) {
+  auto system = MakeG1System(1);
+  ThreadContext& a = system->CreateThread();
+  ThreadContext& b = system->CreateThread();
+  std::vector<int> order;
+  int na = 0, nb = 0;
+  std::vector<SimJob> jobs;
+  jobs.push_back({&a, [&]() {
+                    if (na >= 3) {
+                      return StepResult::kDone;
+                    }
+                    order.push_back(0);
+                    a.AddCompute(100);
+                    ++na;
+                    return StepResult::kProgress;
+                  }});
+  jobs.push_back({&b, [&]() {
+                    if (nb >= 3) {
+                      return StepResult::kDone;
+                    }
+                    order.push_back(1);
+                    b.AddCompute(100);
+                    ++nb;
+                    return StepResult::kProgress;
+                  }});
+  const Cycles end = Scheduler::Run(jobs);
+  EXPECT_EQ(end, 300u);
+  // Equal step costs must interleave strictly.
+  const std::vector<int> expected{0, 1, 0, 1, 0, 1};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SchedulerTest, SlowThreadYieldsToFast) {
+  auto system = MakeG1System(1);
+  ThreadContext& slow = system->CreateThread();
+  ThreadContext& fast = system->CreateThread();
+  int ns = 0, nf = 0;
+  std::vector<SimJob> jobs;
+  jobs.push_back({&slow, [&]() {
+                    if (ns >= 1) {
+                      return StepResult::kDone;
+                    }
+                    slow.AddCompute(1000);
+                    ++ns;
+                    return StepResult::kProgress;
+                  }});
+  jobs.push_back({&fast, [&]() {
+                    if (nf >= 10) {
+                      return StepResult::kDone;
+                    }
+                    fast.AddCompute(10);
+                    ++nf;
+                    return StepResult::kProgress;
+                  }});
+  Scheduler::Run(jobs);
+  EXPECT_EQ(ns, 1);
+  EXPECT_EQ(nf, 10);
+}
+
+}  // namespace
+}  // namespace pmemsim

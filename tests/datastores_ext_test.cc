@@ -1,0 +1,161 @@
+// Extended data-store features: B+-tree range scans, CCEH deletion, eADR
+// behavior, and epoch persistency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/platform.h"
+#include "src/datastores/cceh.h"
+#include "src/datastores/chase_list.h"
+#include "src/datastores/fast_fair.h"
+#include "src/workload/ycsb.h"
+
+namespace pmemsim {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<System> system = MakeG1System(1);
+  ThreadContext* ctx = &system->CreateThread();
+};
+
+// ---------- FastFairTree::Scan ----------
+
+TEST(BtreeScanTest, ScansSortedRange) {
+  Fixture f;
+  FastFairTree tree(f.system.get(), *f.ctx);
+  const auto keys = MakeLoadKeys(3000, 17);
+  for (const uint64_t k : keys) {
+    tree.Insert(*f.ctx, k * 2, k, BTreeUpdateMode::kInPlace);  // even keys only
+  }
+  std::pair<uint64_t, uint64_t> out[100];
+  const size_t n = tree.Scan(*f.ctx, 1001, 100, out);
+  ASSERT_EQ(n, 100u);
+  EXPECT_EQ(out[0].first, 1002u);  // first even key >= 1001
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i].first, 1002 + 2 * i);
+    EXPECT_EQ(out[i].second, out[i].first / 2);
+  }
+}
+
+TEST(BtreeScanTest, ScanFromBelowMinAndAboveMax) {
+  Fixture f;
+  FastFairTree tree(f.system.get(), *f.ctx);
+  for (uint64_t k = 10; k <= 50; k += 10) {
+    tree.Insert(*f.ctx, k, k, BTreeUpdateMode::kInPlace);
+  }
+  std::pair<uint64_t, uint64_t> out[10];
+  EXPECT_EQ(tree.Scan(*f.ctx, 1, 10, out), 5u);
+  EXPECT_EQ(out[0].first, 10u);
+  EXPECT_EQ(tree.Scan(*f.ctx, 51, 10, out), 0u);
+  EXPECT_EQ(tree.Scan(*f.ctx, 50, 10, out), 1u);
+}
+
+TEST(BtreeScanTest, ScanCrossesLeaves) {
+  Fixture f;
+  FastFairTree tree(f.system.get(), *f.ctx);
+  const uint64_t total = 500;  // many leaf splits
+  for (uint64_t k = 1; k <= total; ++k) {
+    tree.Insert(*f.ctx, k, k, BTreeUpdateMode::kInPlace);
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> out(total);
+  const size_t n = tree.Scan(*f.ctx, 1, total, out.data());
+  ASSERT_EQ(n, total);
+  for (uint64_t i = 0; i < total; ++i) {
+    ASSERT_EQ(out[i].first, i + 1);
+  }
+}
+
+// ---------- CCEH::Erase ----------
+
+TEST(CcehEraseTest, EraseRemovesKey) {
+  Fixture f;
+  Cceh table(f.system.get(), *f.ctx, 2, MemoryKind::kOptane);
+  table.Insert(*f.ctx, 5, 55);
+  EXPECT_TRUE(table.Erase(*f.ctx, 5));
+  EXPECT_FALSE(table.Get(*f.ctx, 5, nullptr));
+  EXPECT_FALSE(table.Erase(*f.ctx, 5));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(CcehEraseTest, EraseThenReinsert) {
+  Fixture f;
+  Cceh table(f.system.get(), *f.ctx, 2, MemoryKind::kOptane);
+  for (uint64_t k = 1; k <= 2000; ++k) {
+    table.Insert(*f.ctx, k, k);
+  }
+  for (uint64_t k = 1; k <= 2000; k += 2) {
+    ASSERT_TRUE(table.Erase(*f.ctx, k));
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  for (uint64_t k = 1; k <= 2000; k += 2) {
+    table.Insert(*f.ctx, k, k * 10);
+  }
+  uint64_t v = 0;
+  ASSERT_TRUE(table.Get(*f.ctx, 7, &v));
+  EXPECT_EQ(v, 70u);
+  ASSERT_TRUE(table.Get(*f.ctx, 8, &v));
+  EXPECT_EQ(v, 8u);
+}
+
+// ---------- eADR ----------
+
+TEST(EadrTest, ClwbIsFreeUnderEadr) {
+  auto eadr_system = std::make_unique<System>(G2EadrPlatform(), 1);
+  ThreadContext& cpu = eadr_system->CreateThread();
+  const PmRegion region = eadr_system->AllocatePm(KiB(4));
+  cpu.Store64(region.base, 1);
+  const Cycles t0 = cpu.clock();
+  cpu.Clwb(region.base);
+  cpu.Sfence();
+  EXPECT_LT(cpu.clock() - t0, 20u);
+  // The flush sent nothing to the WPQ.
+  EXPECT_EQ(eadr_system->counters().imc_write_bytes, 0u);
+}
+
+TEST(EadrTest, NoReadAfterPersistUnderEadr) {
+  auto eadr_system = std::make_unique<System>(G2EadrPlatform(), 1);
+  ThreadContext& cpu = eadr_system->CreateThread();
+  const PmRegion region = eadr_system->AllocatePm(KiB(4));
+  cpu.Store64(region.base, 7);
+  cpu.Clwb(region.base);
+  cpu.Mfence();
+  const Cycles t0 = cpu.clock();
+  EXPECT_EQ(cpu.Load64(region.base), 7u);
+  EXPECT_LT(cpu.clock() - t0, 20u);
+}
+
+TEST(EadrTest, StrictPersistencyCostCollapses) {
+  auto measure = [](const PlatformConfig& cfg) {
+    auto system = std::make_unique<System>(cfg, 1);
+    ThreadContext& cpu = system->CreateThread();
+    const PmRegion region = system->AllocatePm(KiB(64), kXPLineSize);
+    ChaseList list(system.get(), region, false, 3);
+    list.TraverseUpdate(cpu, 2000, PersistMode::kClwbSfence, Persistency::kStrict);
+    return list.TraverseUpdate(cpu, 4000, PersistMode::kClwbSfence, Persistency::kStrict) / 4000;
+  };
+  EXPECT_LT(measure(G2EadrPlatform()), measure(G2Platform()) / 2);
+}
+
+// ---------- Epoch persistency ----------
+
+TEST(EpochPersistencyTest, BetweenStrictAndRelaxed) {
+  auto measure = [](Persistency model, uint64_t epoch) {
+    auto system = MakeG1System(1);
+    ThreadContext& cpu = system->CreateThread();
+    const PmRegion region = system->AllocatePm(KiB(64), kXPLineSize);
+    ChaseList list(system.get(), region, false, 3);
+    list.TraverseUpdate(cpu, 2000, PersistMode::kClwbSfence, model, epoch);
+    return list.TraverseUpdate(cpu, 4000, PersistMode::kClwbSfence, model, epoch) / 4000;
+  };
+  const Cycles strict = measure(Persistency::kStrict, 1);
+  const Cycles epoch8 = measure(Persistency::kEpoch, 8);
+  const Cycles relaxed = measure(Persistency::kRelaxed, 0);
+  EXPECT_LE(epoch8, strict);
+  EXPECT_LE(relaxed, epoch8);
+  EXPECT_LT(relaxed, strict);
+}
+
+}  // namespace
+}  // namespace pmemsim

@@ -1,0 +1,272 @@
+// Functional tests for the case-study data structures: CCEH and the
+// FAST&FAIR-style B+-tree are validated against std:: reference containers
+// (property-style), plus ChaseList structure checks.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "src/core/platform.h"
+#include "src/datastores/cceh.h"
+#include "src/datastores/chase_list.h"
+#include "src/datastores/fast_fair.h"
+#include "src/persist/redo_log.h"
+#include "src/workload/ycsb.h"
+
+namespace pmemsim {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<System> system = MakeG1System(1);
+  ThreadContext* ctx = &system->CreateThread();
+};
+
+// ---------- CCEH ----------
+
+TEST(CcehTest, InsertAndGet) {
+  Fixture f;
+  Cceh table(f.system.get(), *f.ctx, 2, MemoryKind::kOptane);
+  EXPECT_TRUE(table.Insert(*f.ctx, 42, 4200));
+  uint64_t v = 0;
+  EXPECT_TRUE(table.Get(*f.ctx, 42, &v));
+  EXPECT_EQ(v, 4200u);
+  EXPECT_FALSE(table.Get(*f.ctx, 43, &v));
+}
+
+TEST(CcehTest, UpdateOverwrites) {
+  Fixture f;
+  Cceh table(f.system.get(), *f.ctx, 2, MemoryKind::kOptane);
+  table.Insert(*f.ctx, 7, 1);
+  table.Insert(*f.ctx, 7, 2);
+  uint64_t v = 0;
+  EXPECT_TRUE(table.Get(*f.ctx, 7, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(CcehTest, GrowsThroughSplitsAndDirectoryDoubling) {
+  Fixture f;
+  Cceh table(f.system.get(), *f.ctx, 2, MemoryKind::kOptane);
+  const uint32_t initial_depth = table.global_depth();
+  const uint64_t initial_segments = table.segment_count();
+  for (uint64_t k = 1; k <= 20000; ++k) {
+    ASSERT_TRUE(table.Insert(*f.ctx, k, k * 2));
+  }
+  EXPECT_GT(table.segment_count(), initial_segments);
+  EXPECT_GT(table.global_depth(), initial_depth);
+  EXPECT_GT(table.breakdown().splits, 0u);
+}
+
+class CcehProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CcehProperty, MatchesReferenceMap) {
+  Fixture f;
+  Cceh table(f.system.get(), *f.ctx, 4, MemoryKind::kOptane);
+  std::unordered_map<uint64_t, uint64_t> reference;
+  Rng rng(GetParam());
+  for (int i = 0; i < 30000; ++i) {
+    const uint64_t key = 1 + rng.NextBelow(8000);  // collisions and updates
+    const uint64_t value = rng.Next();
+    ASSERT_TRUE(table.Insert(*f.ctx, key, value));
+    reference[key] = value;
+  }
+  EXPECT_EQ(table.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    uint64_t v = 0;
+    ASSERT_TRUE(table.Get(*f.ctx, key, &v)) << "key " << key;
+    EXPECT_EQ(v, value) << "key " << key;
+  }
+  // Absent keys stay absent.
+  for (uint64_t k = 8001; k < 8101; ++k) {
+    EXPECT_FALSE(table.Get(*f.ctx, k, nullptr));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CcehProperty, ::testing::Values(11u, 22u, 33u));
+
+TEST(CcehTest, DramVariantWorks) {
+  Fixture f;
+  Cceh table(f.system.get(), *f.ctx, 2, MemoryKind::kDram);
+  for (uint64_t k = 1; k <= 5000; ++k) {
+    ASSERT_TRUE(table.Insert(*f.ctx, k, k));
+  }
+  uint64_t v = 0;
+  EXPECT_TRUE(table.Get(*f.ctx, 4321, &v));
+  EXPECT_EQ(v, 4321u);
+  EXPECT_GT(f.system->counters().dram_read_bytes, 0u);
+  EXPECT_EQ(f.system->counters().media_read_bytes, 0u);
+}
+
+TEST(CcehTest, PrefetchProbePathTouchesIndexOnly) {
+  Fixture f;
+  Cceh table(f.system.get(), *f.ctx, 4, MemoryKind::kOptane);
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    table.Insert(*f.ctx, k, k);
+  }
+  const uint64_t stores_before = f.system->counters().demand_stores;
+  ThreadContext& helper = f.system->CreateThread();
+  table.PrefetchProbePath(helper, 500);
+  EXPECT_EQ(f.system->counters().demand_stores, stores_before);  // loads only
+  EXPECT_EQ(helper.outstanding_persists(), 0u);
+}
+
+// ---------- FAST&FAIR B+-tree ----------
+
+TEST(FastFairTest, InsertAndGetBothModes) {
+  for (const BTreeUpdateMode mode : {BTreeUpdateMode::kInPlace, BTreeUpdateMode::kRedoLog}) {
+    Fixture f;
+    FastFairTree tree(f.system.get(), *f.ctx);
+    RedoLog log(f.system.get(), f.system->AllocatePm(KiB(16)));
+    tree.Insert(*f.ctx, 10, 100, mode, &log);
+    tree.Insert(*f.ctx, 5, 50, mode, &log);
+    tree.Insert(*f.ctx, 20, 200, mode, &log);
+    uint64_t v = 0;
+    EXPECT_TRUE(tree.Get(*f.ctx, 10, &v));
+    EXPECT_EQ(v, 100u);
+    EXPECT_TRUE(tree.Get(*f.ctx, 5, &v));
+    EXPECT_EQ(v, 50u);
+    EXPECT_FALSE(tree.Get(*f.ctx, 15, &v));
+  }
+}
+
+TEST(FastFairTest, SplitsGrowHeight) {
+  Fixture f;
+  FastFairTree tree(f.system.get(), *f.ctx);
+  for (uint64_t k = 1; k <= 2000; ++k) {
+    tree.Insert(*f.ctx, k, k, BTreeUpdateMode::kInPlace);
+  }
+  EXPECT_GT(tree.height(), 2u);
+  EXPECT_GT(tree.node_count(), 50u);
+  for (uint64_t k = 1; k <= 2000; k += 97) {
+    uint64_t v = 0;
+    ASSERT_TRUE(tree.Get(*f.ctx, k, &v)) << k;
+    EXPECT_EQ(v, k);
+  }
+}
+
+class FastFairProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, BTreeUpdateMode>> {};
+
+TEST_P(FastFairProperty, MatchesReferenceMap) {
+  const uint64_t seed = std::get<0>(GetParam());
+  const BTreeUpdateMode mode = std::get<1>(GetParam());
+  Fixture f;
+  FastFairTree tree(f.system.get(), *f.ctx);
+  RedoLog log(f.system.get(), f.system->AllocatePm(KiB(16)));
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(seed);
+  for (int i = 0; i < 8000; ++i) {
+    uint64_t key = 1 + rng.NextBelow(1u << 30);
+    if (reference.count(key)) {
+      continue;  // unique keys, as in the YCSB load phase
+    }
+    tree.Insert(*f.ctx, key, key ^ seed, mode, &log);
+    reference[key] = key ^ seed;
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  size_t checked = 0;
+  for (const auto& [key, value] : reference) {
+    uint64_t v = 0;
+    ASSERT_TRUE(tree.Get(*f.ctx, key, &v)) << key;
+    ASSERT_EQ(v, value) << key;
+    if (++checked > 2000) {
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, FastFairProperty,
+    ::testing::Combine(::testing::Values(3u, 5u),
+                       ::testing::Values(BTreeUpdateMode::kInPlace, BTreeUpdateMode::kRedoLog)));
+
+TEST(FastFairTest, ModesProduceIdenticalContents) {
+  Fixture a, b;
+  FastFairTree in_place(a.system.get(), *a.ctx);
+  FastFairTree redo(b.system.get(), *b.ctx);
+  RedoLog log(b.system.get(), b.system->AllocatePm(KiB(16)));
+  const std::vector<uint64_t> keys = MakeLoadKeys(3000, 9);
+  for (const uint64_t k : keys) {
+    in_place.Insert(*a.ctx, k, k * 7, BTreeUpdateMode::kInPlace);
+    redo.Insert(*b.ctx, k, k * 7, BTreeUpdateMode::kRedoLog, &log);
+  }
+  for (uint64_t k = 1; k <= 3000; k += 13) {
+    uint64_t va = 0, vb = 0;
+    ASSERT_TRUE(in_place.Get(*a.ctx, k, &va));
+    ASSERT_TRUE(redo.Get(*b.ctx, k, &vb));
+    EXPECT_EQ(va, vb);
+  }
+}
+
+TEST(FastFairTest, RedoCheaperThanInPlaceOnG1) {
+  Fixture a, b;
+  FastFairTree in_place(a.system.get(), *a.ctx);
+  FastFairTree redo(b.system.get(), *b.ctx);
+  RedoLog log(b.system.get(), b.system->AllocatePm(KiB(16)));
+  const std::vector<uint64_t> keys = MakeLoadKeys(4000, 4);
+  const Cycles a0 = a.ctx->clock(), b0 = b.ctx->clock();
+  for (const uint64_t k : keys) {
+    in_place.Insert(*a.ctx, k, k, BTreeUpdateMode::kInPlace);
+  }
+  for (const uint64_t k : keys) {
+    redo.Insert(*b.ctx, k, k, BTreeUpdateMode::kRedoLog, &log);
+  }
+  EXPECT_LT(b.ctx->clock() - b0, a.ctx->clock() - a0);
+}
+
+// ---------- ChaseList ----------
+
+TEST(ChaseListTest, FormsSingleCycle) {
+  for (const bool sequential : {true, false}) {
+    Fixture f;
+    const PmRegion region = f.system->AllocatePm(KiB(16), kXPLineSize);
+    ChaseList list(f.system.get(), region, sequential, 77);
+    const uint64_t n = list.size();
+    ASSERT_EQ(n, KiB(16) / kXPLineSize);
+    Addr cur = list.head();
+    std::set<Addr> seen;
+    for (uint64_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(seen.insert(cur).second) << "revisited before cycle end";
+      EXPECT_TRUE(IsXPLineAligned(cur));
+      cur = f.system->backing().ReadU64(cur);
+    }
+    EXPECT_EQ(cur, list.head());  // closes exactly after n hops
+  }
+}
+
+TEST(ChaseListTest, SequentialOrderIsAddressOrder) {
+  Fixture f;
+  const PmRegion region = f.system->AllocatePm(KiB(4), kXPLineSize);
+  ChaseList list(f.system.get(), region, /*sequential=*/true, 1);
+  const auto& order = list.order();
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], order[i - 1] + ChaseList::kElementSize);
+  }
+}
+
+TEST(ChaseListTest, TraversalsAdvanceCursor) {
+  Fixture f;
+  const PmRegion region = f.system->AllocatePm(KiB(4), kXPLineSize);
+  ChaseList list(f.system.get(), region, false, 3);
+  const Cycles c1 = list.TraverseRead(*f.ctx, 8);
+  const Cycles c2 = list.TraverseRead(*f.ctx, 8);
+  EXPECT_GT(c1, 0u);
+  EXPECT_GT(c2, 0u);
+}
+
+TEST(ChaseListTest, UpdateWritesData) {
+  Fixture f;
+  const PmRegion region = f.system->AllocatePm(KiB(4), kXPLineSize);
+  ChaseList list(f.system.get(), region, true, 3);
+  list.TraverseUpdate(*f.ctx, list.size(), PersistMode::kClwbSfence, Persistency::kStrict);
+  // Every element's pad cacheline was stored to (values are loop indices).
+  uint64_t nonzero = 0;
+  for (const Addr e : list.order()) {
+    nonzero += f.system->backing().ReadU64(e + ChaseList::kPadOffset) != 0 ? 1 : 0;
+  }
+  EXPECT_GE(nonzero, list.size() - 1);  // index 0 stores value 0
+}
+
+}  // namespace
+}  // namespace pmemsim

@@ -1,0 +1,162 @@
+// Tests for the FlatStore-style coalescing log.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unordered_map>
+
+#include "src/core/platform.h"
+#include "src/datastores/flat_log.h"
+#include "src/trace/counters.h"
+
+namespace pmemsim {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<System> system = MakeG1System(1);
+  ThreadContext* ctx = &system->CreateThread();
+  PmRegion log_region = system->AllocatePm(KiB(64), kXPLineSize);
+};
+
+TEST(FlatLogTest, PutGetRoundTrip) {
+  Fixture f;
+  FlatLog log(f.system.get(), f.log_region);
+  const char msg[] = "hello, xpline";
+  ASSERT_TRUE(log.Put(*f.ctx, 42, msg, sizeof(msg)));
+  char out[FlatLog::kMaxPayload];
+  uint32_t len = 0;
+  ASSERT_TRUE(log.Get(*f.ctx, 42, out, &len));  // staged record readable
+  EXPECT_EQ(len, sizeof(msg));
+  EXPECT_STREQ(out, msg);
+  EXPECT_FALSE(log.Get(*f.ctx, 43, out, &len));
+}
+
+TEST(FlatLogTest, NewestRecordWins) {
+  Fixture f;
+  FlatLog log(f.system.get(), f.log_region);
+  for (uint64_t v = 1; v <= 10; ++v) {
+    log.Put(*f.ctx, 7, &v, sizeof(v));
+  }
+  uint64_t out = 0;
+  uint32_t len = 0;
+  ASSERT_TRUE(log.Get(*f.ctx, 7, &out, &len));
+  EXPECT_EQ(out, 10u);
+}
+
+TEST(FlatLogTest, BatchesPersistAsFullXPLines) {
+  Fixture f;
+  FlatLog log(f.system.get(), f.log_region);
+  CounterDelta delta(&f.system->counters());
+  const uint64_t v = 1;
+  for (uint64_t k = 1; k <= 4; ++k) {  // exactly one batch
+    log.Put(*f.ctx, k, &v, sizeof(v));
+  }
+  const Counters d = delta.Delta();
+  EXPECT_EQ(d.imc_write_bytes, kXPLineSize);  // one 256 B burst
+  EXPECT_EQ(f.ctx->outstanding_persists(), 0u);
+}
+
+TEST(FlatLogTest, CoalescedWritesHaveUnitAmplification) {
+  Fixture bigger;
+  const PmRegion big_log = bigger.system->AllocatePm(MiB(8), kXPLineSize);
+  FlatLog log(bigger.system.get(), big_log);
+  CounterDelta delta(&bigger.system->counters());
+  for (uint64_t k = 1; k <= 60000; ++k) {
+    log.Put(*bigger.ctx, k, &k, sizeof(k));
+  }
+  log.Flush(*bigger.ctx);
+  EXPECT_NEAR(delta.Delta().WriteAmplification(), 1.0, 0.05);
+}
+
+TEST(FlatLogTest, FlushMakesPartialBatchDurable) {
+  Fixture f;
+  {
+    FlatLog log(f.system.get(), f.log_region);
+    const uint64_t v = 0xD00D;
+    log.Put(*f.ctx, 9, &v, sizeof(v));
+    log.Flush(*f.ctx);
+    // Crash after the flush.
+  }
+  FlatLog recovered(f.system.get(), f.log_region);
+  EXPECT_EQ(recovered.Recover(*f.ctx), 1u);
+  uint64_t out = 0;
+  uint32_t len = 0;
+  ASSERT_TRUE(recovered.Get(*f.ctx, 9, &out, &len));
+  EXPECT_EQ(out, 0xD00Du);
+}
+
+TEST(FlatLogTest, UnflushedRecordsLostOnCrash) {
+  Fixture f;
+  {
+    FlatLog log(f.system.get(), f.log_region);
+    const uint64_t v = 1;
+    log.Put(*f.ctx, 1, &v, sizeof(v));
+    log.Put(*f.ctx, 2, &v, sizeof(v));
+    log.Put(*f.ctx, 3, &v, sizeof(v));
+    log.Put(*f.ctx, 4, &v, sizeof(v));  // batch flushed here
+    log.Put(*f.ctx, 5, &v, sizeof(v));  // staged only
+    // Crash without Flush().
+  }
+  FlatLog recovered(f.system.get(), f.log_region);
+  EXPECT_EQ(recovered.Recover(*f.ctx), 4u);
+  uint64_t out = 0;
+  EXPECT_TRUE(recovered.Get(*f.ctx, 4, &out, nullptr));
+  EXPECT_FALSE(recovered.Get(*f.ctx, 5, &out, nullptr));  // the tradeoff
+}
+
+TEST(FlatLogTest, RecoveryMatchesReference) {
+  Fixture f;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  {
+    FlatLog log(f.system.get(), f.log_region);
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t key = 1 + rng.NextBelow(64);
+      const uint64_t value = rng.Next();
+      log.Put(*f.ctx, key, &value, sizeof(value));
+      ref[key] = value;
+    }
+    log.Flush(*f.ctx);
+  }
+  FlatLog recovered(f.system.get(), f.log_region);
+  recovered.Recover(*f.ctx);
+  for (const auto& [key, value] : ref) {
+    uint64_t out = 0;
+    ASSERT_TRUE(recovered.Get(*f.ctx, key, &out, nullptr)) << key;
+    EXPECT_EQ(out, value) << key;
+  }
+}
+
+TEST(FlatLogTest, AppendAfterRecovery) {
+  Fixture f;
+  {
+    FlatLog log(f.system.get(), f.log_region);
+    const uint64_t v = 11;
+    log.Put(*f.ctx, 1, &v, sizeof(v));
+    log.Flush(*f.ctx);
+  }
+  FlatLog log(f.system.get(), f.log_region);
+  log.Recover(*f.ctx);
+  const uint64_t v2 = 22;
+  ASSERT_TRUE(log.Put(*f.ctx, 2, &v2, sizeof(v2)));
+  log.Flush(*f.ctx);
+  uint64_t out = 0;
+  EXPECT_TRUE(log.Get(*f.ctx, 1, &out, nullptr));
+  EXPECT_EQ(out, 11u);
+  EXPECT_TRUE(log.Get(*f.ctx, 2, &out, nullptr));
+  EXPECT_EQ(out, 22u);
+}
+
+TEST(FlatLogTest, FullLogRejectsAppends) {
+  Fixture f;
+  const PmRegion tiny = f.system->AllocatePm(kXPLineSize, kXPLineSize);
+  FlatLog log(f.system.get(), tiny);
+  const uint64_t v = 1;
+  for (uint64_t k = 1; k <= 4; ++k) {
+    EXPECT_TRUE(log.Put(*f.ctx, k, &v, sizeof(v)));
+  }
+  EXPECT_FALSE(log.Put(*f.ctx, 5, &v, sizeof(v)));
+}
+
+}  // namespace
+}  // namespace pmemsim

@@ -1,0 +1,140 @@
+// Tests for the memory controller: WPQ acceptance/stall semantics, PM
+// interleave routing, NUMA hop, and the same-line persist ordering.
+
+#include <gtest/gtest.h>
+
+#include "src/common/config.h"
+#include "src/imc/memory_controller.h"
+#include "src/imc/wpq.h"
+
+namespace pmemsim {
+namespace {
+
+TEST(WpqTest, AcceptanceBeforeDrain) {
+  Counters c;
+  Wpq wpq({16, 150, 30}, &c);
+  const Wpq::AcceptResult r = wpq.Accept(1000, 0);
+  EXPECT_EQ(r.accepted_at, 1150u);
+  EXPECT_EQ(r.drained_at, 1180u);
+}
+
+TEST(WpqTest, DrainSerializes) {
+  Counters c;
+  Wpq wpq({16, 150, 30}, &c);
+  const Wpq::AcceptResult a = wpq.Accept(0, 0);
+  const Wpq::AcceptResult b = wpq.Accept(0, 0);
+  EXPECT_EQ(b.drained_at, a.drained_at + 30);
+}
+
+TEST(WpqTest, FullQueueStallsAcceptance) {
+  Counters c;
+  Wpq wpq({4, 10, 100}, &c);
+  Cycles last_accept = 0;
+  for (int i = 0; i < 4; ++i) {
+    last_accept = wpq.Accept(0, 0).accepted_at;
+  }
+  EXPECT_EQ(c.wpq_stall_cycles, 0u);
+  const Wpq::AcceptResult r = wpq.Accept(0, 0);  // 5th entry: queue full
+  EXPECT_GT(c.wpq_stall_cycles, 0u);
+  EXPECT_GT(r.accepted_at, last_accept);
+}
+
+TEST(WpqTest, BackpressureDelaysDrains) {
+  Counters c;
+  Wpq wpq({16, 10, 30}, &c);
+  wpq.Accept(0, 0);
+  wpq.DelayDrain(5000);
+  const Wpq::AcceptResult r = wpq.Accept(0, 0);
+  EXPECT_GE(r.drained_at, 5030u);
+}
+
+TEST(WpqTest, OccupancyTracksTime) {
+  Counters c;
+  Wpq wpq({16, 10, 100}, &c);
+  const Wpq::AcceptResult r = wpq.Accept(0, 0);
+  EXPECT_EQ(wpq.OccupancyAt(0), 1u);
+  EXPECT_EQ(wpq.OccupancyAt(r.drained_at), 0u);
+}
+
+TEST(McTest, KindRouting) {
+  EXPECT_EQ(MemoryController::KindOf(0x1000), MemoryKind::kOptane);
+  EXPECT_EQ(MemoryController::KindOf(kDramAddressBase + 64), MemoryKind::kDram);
+}
+
+TEST(McTest, InterleaveAcrossDimms) {
+  Counters c;
+  MemoryController mc(G1Platform(), &c, /*optane_dimm_count=*/6);
+  // Writes landing on different 4 KB pages hit different DIMM write buffers.
+  for (uint64_t page = 0; page < 6; ++page) {
+    mc.Write(page * kPageSize, 1000, 0);
+  }
+  size_t populated = 0;
+  for (size_t i = 0; i < mc.optane_dimm_count(); ++i) {
+    populated += mc.optane_dimm(i).write_buffer().occupied_entries() > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(populated, 6u);
+}
+
+TEST(McTest, SingleDimmTakesAll) {
+  Counters c;
+  MemoryController mc(G1Platform(), &c, 1);
+  for (uint64_t page = 0; page < 6; ++page) {
+    mc.Write(page * kPageSize, 1000, 0);
+  }
+  EXPECT_EQ(mc.optane_dimm(0).write_buffer().occupied_entries(), 6u);
+}
+
+TEST(McTest, NumaHopAddsRoundTrip) {
+  const PlatformConfig p = G1Platform();
+  Counters c1, c2;
+  MemoryController local(p, &c1, 1);
+  MemoryController remote(p, &c2, 1);
+  const McReadResult rl = local.Read(0, 1000, /*requester=*/0, false);
+  const McReadResult rr = remote.Read(0, 1000, /*requester=*/1, false);
+  EXPECT_EQ(rr.complete_at - rl.complete_at, 2 * p.imc.numa_hop_latency);
+}
+
+TEST(McTest, PersistPointPrecedesVisibility) {
+  Counters c;
+  MemoryController mc(G1Platform(), &c, 1);
+  const McWriteResult w = mc.Write(0, 1000, 0);
+  EXPECT_GT(w.accepted_at, 1000u);
+  EXPECT_GT(w.visible_at, w.accepted_at);
+  // ADR: acceptance is the persist point; visibility lags by the pipeline.
+  EXPECT_GE(w.visible_at - w.accepted_at, G1Platform().optane.write_visible_delay / 2);
+}
+
+TEST(McTest, SameLinePersistStallsOnG1) {
+  Counters c;
+  MemoryController mc(G1Platform(), &c, 1);
+  const McWriteResult w1 = mc.Write(0, 1000, 0);
+  const McWriteResult w2 = mc.Write(0, 1100, 0);  // same line, within window
+  EXPECT_GT(w2.accepted_at - 1100, G1Platform().imc.wpq_accept_latency);
+  (void)w1;
+  EXPECT_GT(c.wpq_stall_cycles, 0u);
+
+  Counters c2;
+  MemoryController mc2(G2Platform(), &c2, 1);
+  mc2.Write(0, 1000, 0);
+  const McWriteResult g2w = mc2.Write(0, 1100, 0);
+  EXPECT_EQ(g2w.accepted_at, 1100 + G2Platform().imc.wpq_accept_latency);
+}
+
+TEST(McTest, DifferentLinesDoNotStall) {
+  Counters c;
+  MemoryController mc(G1Platform(), &c, 1);
+  mc.Write(0, 1000, 0);
+  const McWriteResult w2 = mc.Write(kCacheLineSize, 1100, 0);
+  EXPECT_EQ(w2.accepted_at, 1100 + G1Platform().imc.wpq_accept_latency);
+}
+
+TEST(McTest, DramWritesRouteToDramModel) {
+  Counters c;
+  MemoryController mc(G1Platform(), &c, 1);
+  mc.Write(kDramAddressBase, 1000, 0);
+  EXPECT_EQ(c.dram_write_bytes, kCacheLineSize);
+  EXPECT_EQ(c.imc_write_bytes, 0u);  // PM-side counter untouched
+}
+
+}  // namespace
+}  // namespace pmemsim

@@ -1,0 +1,219 @@
+// Cross-module integration tests: each pins one of the paper's claims as an
+// executable invariant on the full System (the quick versions of the bench
+// experiments), plus failure-injection recovery of a redo-logged B+-tree.
+
+#include <gtest/gtest.h>
+
+#include "src/core/platform.h"
+#include "src/cpu/scheduler.h"
+#include "src/datastores/chase_list.h"
+#include "src/datastores/fast_fair.h"
+#include "src/persist/barrier.h"
+#include "src/persist/redo_log.h"
+#include "src/prefetch/helper_thread.h"
+#include "src/trace/counters.h"
+
+namespace pmemsim {
+namespace {
+
+// C1 (Fig. 2): strided reads show RA = 4/CpX inside the read buffer, 4 beyond.
+TEST(PaperClaims, C1ReadBufferAmplification) {
+  for (const auto& [wss, cpx, expected] :
+       std::vector<std::tuple<uint64_t, uint32_t, double>>{
+           {KiB(8), 4u, 1.0}, {KiB(8), 2u, 2.0}, {KiB(24), 4u, 4.0}}) {
+    auto system = MakeG1System(1);
+    ThreadContext& ctx = system->CreateThread();
+    SetPrefetchers(ctx, false, false, false);
+    const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+    const uint64_t xplines = wss / kXPLineSize;
+    auto pattern = [&](int rounds) {
+      for (int p = 0; p < rounds; ++p) {
+        for (uint32_t cl = 0; cl < cpx; ++cl) {
+          for (uint64_t xp = 0; xp < xplines; ++xp) {
+            const Addr a = region.base + xp * kXPLineSize + cl * kCacheLineSize;
+            ctx.LoadLine(a);
+            ctx.Clflushopt(a);
+          }
+          ctx.Sfence();
+        }
+      }
+    };
+    pattern(3);
+    CounterDelta d(&system->counters());
+    pattern(6);
+    EXPECT_NEAR(d.Delta().ReadAmplification(), expected, 0.05)
+        << "wss=" << wss << " cpx=" << cpx;
+  }
+}
+
+// C3 (Fig. 3): G1 partial writes are absorbed below 12 KB; full writes reach
+// the media periodically.
+TEST(PaperClaims, C3WriteBufferAbsorption) {
+  auto run = [](uint64_t wss, uint32_t lines) {
+    auto system = MakeG1System(1);
+    ThreadContext& ctx = system->CreateThread();
+    SetPrefetchers(ctx, false, false, false);
+    const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+    auto pass = [&](int rounds) {
+      for (int p = 0; p < rounds; ++p) {
+        for (uint64_t xp = 0; xp < wss / kXPLineSize; ++xp) {
+          for (uint32_t cl = 0; cl < lines; ++cl) {
+            ctx.NtStore64(region.base + xp * kXPLineSize + cl * kCacheLineSize, p);
+          }
+        }
+        ctx.Sfence();
+      }
+    };
+    pass(3);
+    CounterDelta d(&system->counters());
+    pass(6);
+    return d.Delta().WriteAmplification();
+  };
+  EXPECT_EQ(run(KiB(8), 1), 0.0);  // absorbed entirely
+  // Full writes reach the media via the periodic write-back; write combining
+  // across fast passes keeps WA at or slightly below 1.
+  const double full = run(KiB(8), 4);
+  EXPECT_GT(full, 0.5);
+  EXPECT_LE(full, 1.05);
+  EXPECT_GT(run(KiB(24), 1), 1.0);  // beyond the knee
+}
+
+// C5 (Fig. 7): RAP latency ordering — G1 mfence >> sfence at distance 0; G2
+// clwb is flat; nt-store raps on both.
+TEST(PaperClaims, C5ReadAfterPersist) {
+  auto rap_cost = [](Generation gen, bool use_mfence, bool nt) {
+    auto system = MakeSystem(gen, 1);
+    ThreadContext& ctx = system->CreateThread();
+    SetPrefetchers(ctx, false, false, false);
+    const PmRegion region = system->AllocatePm(KiB(4), kXPLineSize);
+    Cycles load_cost = 0;
+    for (int i = 0; i < 64; ++i) {
+      const Addr a = region.base + (i % 64) * kCacheLineSize;
+      if (nt) {
+        ctx.NtStore64(a, i);
+      } else {
+        ctx.Store64(a, i);
+        ctx.Clwb(a);
+      }
+      if (use_mfence) {
+        ctx.Mfence();
+      } else {
+        ctx.Sfence();
+      }
+      const Cycles t = ctx.clock();
+      ctx.Load64(a);
+      load_cost = ctx.clock() - t;
+    }
+    return load_cost;
+  };
+  EXPECT_GT(rap_cost(Generation::kG1, true, false), 1500u);
+  EXPECT_LT(rap_cost(Generation::kG1, false, false), 30u);
+  EXPECT_LT(rap_cost(Generation::kG2, true, false), 30u);   // clwb retains
+  EXPECT_GT(rap_cost(Generation::kG2, true, true), 1000u);  // nt-store still raps
+}
+
+// C6 (Fig. 8): relaxed persistency beats strict at small WSS; both converge
+// at large WSS where writes are media-bound; reads dominate beyond the LLC.
+TEST(PaperClaims, C6PersistencyModels) {
+  auto run = [](uint64_t wss, Persistency persistency) {
+    auto system = MakeG1System(1);
+    ThreadContext& ctx = system->CreateThread();
+    const PmRegion region = system->AllocatePm(wss, kXPLineSize);
+    ChaseList list(system.get(), region, false, 5);
+    list.TraverseUpdate(ctx, 4000, PersistMode::kClwbSfence, persistency);
+    const Cycles t = list.TraverseUpdate(ctx, 6000, PersistMode::kClwbSfence, persistency);
+    return static_cast<double>(t) / 6000.0;
+  };
+  const double strict_small = run(KiB(8), Persistency::kStrict);
+  const double relaxed_small = run(KiB(8), Persistency::kRelaxed);
+  EXPECT_LT(relaxed_small, 0.7 * strict_small);
+  const double strict_large = run(MiB(2), Persistency::kStrict);
+  const double relaxed_large = run(MiB(2), Persistency::kRelaxed);
+  // Both are media-bound at large WSS: the gap collapses from ~3x to <1.4x.
+  EXPECT_GT(relaxed_large / strict_large, 0.7);
+  EXPECT_GT(relaxed_large, 5.0 * relaxed_small);
+}
+
+// Crash consistency: a redo-logged B+-tree whose insert is cut between commit
+// and apply recovers the committed updates.
+TEST(FailureInjection, RedoLogRecoversTornInsert) {
+  auto system = MakeG1System(1);
+  ThreadContext& ctx = system->CreateThread();
+  const PmRegion data = system->AllocatePm(KiB(4));
+  const PmRegion log_region = system->AllocatePm(KiB(8));
+
+  // Simulated node image: log a batch of entry moves, commit, "crash".
+  {
+    RedoLog log(system.get(), log_region);
+    for (uint64_t i = 0; i < 6; ++i) {
+      const uint64_t payload[2] = {100 + i, 200 + i};
+      log.LogUpdate(ctx, data.base + i * 16, payload, sizeof(payload));
+    }
+    log.Commit(ctx);
+    // Crash: Apply never runs; the destination is untouched.
+  }
+  for (uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(ctx.Load64(data.base + i * 16), 0u);
+  }
+  RedoLog recovered(system.get(), log_region);
+  EXPECT_EQ(recovered.Recover(ctx), 6u);
+  for (uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(ctx.Load64(data.base + i * 16), 100 + i);
+    EXPECT_EQ(ctx.Load64(data.base + i * 16 + 8), 200 + i);
+  }
+}
+
+// The helper-thread pair preserves work correctness and the depth contract.
+TEST(HelperThread, DepthContractAndCompletion) {
+  auto system = MakeG1System(1);
+  ThreadContext& worker = system->CreateThread();
+  ThreadContext& helper = system->CreateThread();
+  const size_t count = 500;
+  std::vector<int> done(count, 0);
+  size_t max_lead = 0;
+  size_t worker_idx = 0;
+
+  SpeculativeHelperPair pair(
+      &worker, &helper, count,
+      [&](ThreadContext& ctx, size_t i) {
+        ctx.AddCompute(100);
+        done[i] = 1;
+        worker_idx = i;
+      },
+      [&](ThreadContext& ctx, size_t i) {
+        ctx.AddCompute(10);
+        if (i > worker_idx) {
+          max_lead = std::max(max_lead, i - worker_idx);
+        }
+      },
+      HelperConfig{8, 1.0});
+  std::vector<SimJob> jobs;
+  pair.AppendJobs(jobs);
+  Scheduler::Run(jobs);
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(done[i], 1) << i;
+  }
+  EXPECT_LE(max_lead, 8u);
+}
+
+// NUMA: remote accesses are strictly slower (Fig. 7 c/d vs a/b).
+TEST(PaperClaims, RemoteAccessSlower) {
+  auto measure = [](NodeId node) {
+    auto system = MakeG1System(1);
+    ThreadContext& ctx = system->CreateThread(node);
+    SetPrefetchers(ctx, false, false, false);
+    const PmRegion region = system->AllocatePm(MiB(1));
+    Cycles total = 0;
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+      const Cycles t = ctx.clock();
+      ctx.Load64(region.base + rng.NextBelow(MiB(1) / 64) * 64);
+      total += ctx.clock() - t;
+    }
+    return total;
+  };
+  EXPECT_GT(measure(1), measure(0));
+}
+
+}  // namespace
+}  // namespace pmemsim

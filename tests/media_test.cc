@@ -1,0 +1,129 @@
+// Tests for src/media: port scheduling (bandwidth/contention model) and the
+// AIT translation cache.
+
+#include <gtest/gtest.h>
+
+#include "src/media/ait.h"
+#include "src/media/xpoint_media.h"
+
+namespace pmemsim {
+namespace {
+
+TEST(PortPoolTest, UncontendedLatency) {
+  PortPool pool(2, 100);
+  EXPECT_EQ(pool.Schedule(1000), 1100u);
+}
+
+TEST(PortPoolTest, ParallelPortsOverlap) {
+  PortPool pool(2, 100);
+  EXPECT_EQ(pool.Schedule(0), 100u);
+  EXPECT_EQ(pool.Schedule(0), 100u);   // second port
+  EXPECT_EQ(pool.Schedule(0), 200u);   // queues behind the first
+}
+
+TEST(PortPoolTest, BandwidthCeiling) {
+  PortPool pool(2, 100);
+  Cycles last = 0;
+  for (int i = 0; i < 10; ++i) {
+    last = pool.Schedule(0);
+  }
+  // 10 requests over 2 ports at 100 cycles each: the last finishes at 500.
+  EXPECT_EQ(last, 500u);
+}
+
+TEST(PortPoolTest, IdlePortsRecover) {
+  PortPool pool(1, 100);
+  pool.Schedule(0);
+  // Arriving long after the port freed: no queueing.
+  EXPECT_EQ(pool.Schedule(10000), 10100u);
+}
+
+TEST(PortPoolTest, PipelinedCompletion) {
+  PortPool pool(1, 50);
+  // Port occupied 50 cycles, completion 200 after start.
+  EXPECT_EQ(pool.Schedule(0, 200), 200u);
+  EXPECT_EQ(pool.Schedule(0, 200), 250u);  // starts at 50
+}
+
+TEST(PortPoolTest, EarliestFreeAndReset) {
+  PortPool pool(2, 100);
+  pool.Schedule(0);
+  EXPECT_EQ(pool.EarliestFree(), 0u);  // second port still free
+  pool.Schedule(0);
+  EXPECT_EQ(pool.EarliestFree(), 100u);
+  pool.Reset();
+  EXPECT_EQ(pool.EarliestFree(), 0u);
+}
+
+TEST(AitTest, HitAfterMiss) {
+  Counters counters;
+  Ait ait(/*coverage=*/kPageSize * 4, /*penalty=*/100, &counters);
+  EXPECT_EQ(ait.Access(0), 100u);
+  EXPECT_EQ(ait.Access(64), 0u);  // same page
+  EXPECT_EQ(counters.ait_misses, 1u);
+  EXPECT_EQ(counters.ait_hits, 1u);
+}
+
+TEST(AitTest, CapacityEviction) {
+  Counters counters;
+  Ait ait(kPageSize * 2, 100, &counters);
+  ASSERT_EQ(ait.capacity(), 2u);
+  ait.Access(0 * kPageSize);
+  ait.Access(1 * kPageSize);
+  ait.Access(2 * kPageSize);  // evicts page 0 (LRU)
+  EXPECT_EQ(ait.Access(0 * kPageSize), 100u);
+}
+
+TEST(AitTest, LruOrderRespected) {
+  Counters counters;
+  Ait ait(kPageSize * 2, 100, &counters);
+  ait.Access(0 * kPageSize);
+  ait.Access(1 * kPageSize);
+  ait.Access(0 * kPageSize);  // refresh page 0
+  ait.Access(2 * kPageSize);  // evicts page 1
+  EXPECT_EQ(ait.Access(0 * kPageSize), 0u);
+  EXPECT_EQ(ait.Access(1 * kPageSize), 100u);
+}
+
+TEST(AitTest, CoverageWorkingSetProperty) {
+  // Working sets within coverage eventually stop missing; beyond, they miss
+  // on every revisit (the 16 MB knee mechanism of Fig. 8).
+  Counters counters;
+  const uint64_t coverage = kPageSize * 64;
+  Ait ait(coverage, 100, &counters);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t p = 0; p < 64; ++p) {
+      ait.Access(p * kPageSize);
+    }
+  }
+  EXPECT_EQ(counters.ait_misses, 64u);  // only the cold pass misses
+
+  counters = Counters{};
+  Ait small(kPageSize * 16, 100, &counters);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t p = 0; p < 64; ++p) {
+      small.Access(p * kPageSize);
+    }
+  }
+  EXPECT_EQ(counters.ait_misses, 3u * 64u);  // sequential sweep thrashes LRU
+}
+
+TEST(XpointMediaTest, CountsBytes) {
+  Counters counters;
+  XpointMedia media(2, 100, 1, 300, &counters);
+  media.ReadXPLine(0, 0);
+  media.WriteXPLine(256, 0);
+  EXPECT_EQ(counters.media_read_bytes, kXPLineSize);
+  EXPECT_EQ(counters.media_write_bytes, kXPLineSize);
+}
+
+TEST(XpointMediaTest, WriteConcurrencyLimited) {
+  Counters counters;
+  XpointMedia media(4, 100, 1, 300, &counters);
+  EXPECT_EQ(media.WriteXPLine(0, 0), 300u);
+  EXPECT_EQ(media.WriteXPLine(0, 0), 600u);  // single write port serializes
+  EXPECT_EQ(media.ReadXPLine(0, 0), 100u);   // reads unaffected
+}
+
+}  // namespace
+}  // namespace pmemsim

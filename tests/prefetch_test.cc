@@ -1,0 +1,98 @@
+// Tests for the speculative helper-thread prefetcher beyond the integration
+// coverage: SMT scaling lifecycle, skip-ahead when the helper falls behind,
+// and the end-to-end effect on a CCEH worker.
+
+#include <gtest/gtest.h>
+
+#include "src/core/platform.h"
+#include "src/cpu/scheduler.h"
+#include "src/datastores/cceh.h"
+#include "src/prefetch/helper_thread.h"
+#include "src/workload/ycsb.h"
+
+namespace pmemsim {
+namespace {
+
+TEST(HelperThreadTest, SmtScaleAppliedWhileActiveAndRestored) {
+  auto system = MakeG1System(1);
+  ThreadContext& worker = system->CreateThread();
+  ThreadContext& helper = system->CreateThread();
+  size_t n = 0;
+  SpeculativeHelperPair pair(
+      &worker, &helper, 5, [&](ThreadContext& c, size_t) { c.AddCompute(10); ++n; },
+      [](ThreadContext& c, size_t) { c.AddCompute(1); }, HelperConfig{2, 1.5});
+  EXPECT_DOUBLE_EQ(worker.smt_scale(), 1.5);
+  EXPECT_DOUBLE_EQ(helper.smt_scale(), 1.5);
+  std::vector<SimJob> jobs;
+  pair.AppendJobs(jobs);
+  Scheduler::Run(jobs);
+  EXPECT_EQ(n, 5u);
+  EXPECT_DOUBLE_EQ(worker.smt_scale(), 1.0);  // restored at completion
+  EXPECT_DOUBLE_EQ(helper.smt_scale(), 1.0);
+}
+
+TEST(HelperThreadTest, HelperSkipsAheadWhenBehind) {
+  auto system = MakeG1System(1);
+  ThreadContext& worker = system->CreateThread();
+  ThreadContext& helper = system->CreateThread();
+  std::vector<size_t> prefetched;
+  // Helper far slower than the worker: it must skip stale indices rather
+  // than prefetch keys the worker already passed.
+  SpeculativeHelperPair pair(
+      &worker, &helper, 50, [](ThreadContext& c, size_t) { c.AddCompute(10); },
+      [&](ThreadContext& c, size_t i) {
+        c.AddCompute(500);
+        prefetched.push_back(i);
+      },
+      HelperConfig{4, 1.0});
+  std::vector<SimJob> jobs;
+  pair.AppendJobs(jobs);
+  Scheduler::Run(jobs);
+  for (size_t i = 1; i < prefetched.size(); ++i) {
+    EXPECT_GT(prefetched[i], prefetched[i - 1]);  // strictly forward
+  }
+  EXPECT_LT(prefetched.size(), 50u);  // it skipped
+}
+
+TEST(HelperThreadTest, PrefetchingWarmsWorkerReads) {
+  // End-to-end: with a helper replaying the CCEH probe path, the worker's
+  // demand misses to memory drop substantially.
+  auto run = [](bool with_helper) {
+    PlatformConfig cfg = G1Platform();
+    cfg.cache.l3.size_bytes = MiB(3);
+    cfg.cache.l3.ways = 12;
+    auto system = std::make_unique<System>(cfg, 1);
+    ThreadContext& init = system->CreateThread();
+    Cceh table(system.get(), init, 6, MemoryKind::kOptane);
+    const auto keys = MakeLoadKeys(60000, 5);
+    ThreadContext& worker = system->CreateThread();
+    std::vector<SimJob> jobs;
+    size_t cursor = 0;
+    std::unique_ptr<SpeculativeHelperPair> pair;
+    if (with_helper) {
+      ThreadContext& helper = system->CreateThread();
+      pair = std::make_unique<SpeculativeHelperPair>(
+          &worker, &helper, keys.size(),
+          [&](ThreadContext& c, size_t i) { table.Insert(c, keys[i], 1); },
+          [&](ThreadContext& c, size_t i) { table.PrefetchProbePath(c, keys[i]); },
+          HelperConfig{8, 1.3});
+      pair->AppendJobs(jobs);
+    } else {
+      jobs.push_back({&worker, [&]() {
+                        if (cursor >= keys.size()) {
+                          return StepResult::kDone;
+                        }
+                        table.Insert(worker, keys[cursor++], 1);
+                        return StepResult::kProgress;
+                      }});
+    }
+    Scheduler::Run(jobs);
+    return worker.clock();
+  };
+  const Cycles baseline = run(false);
+  const Cycles with_helper = run(true);
+  EXPECT_LT(with_helper, baseline);
+}
+
+}  // namespace
+}  // namespace pmemsim

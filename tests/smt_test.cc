@@ -1,0 +1,66 @@
+// Tests for SMT-sibling thread contexts (shared private caches).
+
+#include <gtest/gtest.h>
+
+#include "src/core/platform.h"
+
+namespace pmemsim {
+namespace {
+
+TEST(SmtSiblingTest, SharesPrivateCaches) {
+  auto system = MakeG1System(1);
+  ThreadContext& worker = system->CreateThread();
+  ThreadContext& helper = system->CreateSmtSibling(worker);
+  const PmRegion region = system->AllocatePm(KiB(4));
+
+  // A line loaded by the helper is an L1 hit for the worker.
+  helper.Load64(region.base);
+  worker.AdvanceTo(helper.clock());
+  const Cycles t0 = worker.clock();
+  worker.Load64(region.base);
+  EXPECT_EQ(worker.clock() - t0, G1Platform().cache.l1.hit_latency);
+  EXPECT_EQ(&worker.hierarchy(), &helper.hierarchy());
+}
+
+TEST(SmtSiblingTest, NonSiblingsDoNotShareL1) {
+  auto system = MakeG1System(1);
+  ThreadContext& a = system->CreateThread();
+  ThreadContext& b = system->CreateThread();
+  const PmRegion region = system->AllocatePm(KiB(4));
+  a.Load64(region.base);
+  b.AdvanceTo(a.clock());
+  const Cycles t0 = b.clock();
+  b.Load64(region.base);
+  // b misses its private L1/L2 but hits the shared L3.
+  EXPECT_EQ(b.clock() - t0, G1Platform().cache.l3.hit_latency);
+}
+
+TEST(SmtSiblingTest, SiblingStartsAtSiblingClock) {
+  auto system = MakeG1System(1);
+  ThreadContext& worker = system->CreateThread();
+  worker.AddCompute(12345);
+  ThreadContext& helper = system->CreateSmtSibling(worker);
+  EXPECT_EQ(helper.clock(), worker.clock());
+  EXPECT_EQ(helper.node(), worker.node());
+}
+
+TEST(SmtSiblingTest, SiblingFillsEvictFromSharedL1) {
+  auto system = MakeG1System(1);
+  ThreadContext& worker = system->CreateThread();
+  ThreadContext& helper = system->CreateSmtSibling(worker);
+  const PmRegion region = system->AllocatePm(MiB(1));
+
+  worker.Load64(region.base);  // worker's hot line
+  // Helper streams enough conflicting lines through the shared L1 set.
+  const uint64_t l1_span = worker.hierarchy().l1().sets() * kCacheLineSize;
+  for (uint64_t i = 1; i <= 12; ++i) {
+    helper.Load64(region.base + i * l1_span);
+  }
+  worker.AdvanceTo(helper.clock());
+  const Cycles t0 = worker.clock();
+  worker.Load64(region.base);
+  EXPECT_GT(worker.clock() - t0, G1Platform().cache.l1.hit_latency);  // evicted from L1
+}
+
+}  // namespace
+}  // namespace pmemsim

@@ -1,0 +1,114 @@
+// Tests for workload generation: load-key permutations, sharding, zipfian
+// skew properties.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/workload/ycsb.h"
+#include "src/workload/zipf.h"
+
+namespace pmemsim {
+namespace {
+
+TEST(YcsbTest, LoadKeysArePermutationOfRange) {
+  const auto keys = MakeLoadKeys(1000, 42);
+  ASSERT_EQ(keys.size(), 1000u);
+  std::set<uint64_t> s(keys.begin(), keys.end());
+  EXPECT_EQ(s.size(), 1000u);
+  EXPECT_EQ(*s.begin(), 1u);
+  EXPECT_EQ(*s.rbegin(), 1000u);
+}
+
+TEST(YcsbTest, LoadKeysShuffled) {
+  const auto keys = MakeLoadKeys(1000, 42);
+  uint64_t ascending_runs = 0;
+  for (size_t i = 1; i < keys.size(); ++i) {
+    ascending_runs += keys[i] == keys[i - 1] + 1 ? 1 : 0;
+  }
+  EXPECT_LT(ascending_runs, 50u);  // nowhere near sorted
+}
+
+TEST(YcsbTest, DeterministicPerSeed) {
+  EXPECT_EQ(MakeLoadKeys(100, 7), MakeLoadKeys(100, 7));
+  EXPECT_NE(MakeLoadKeys(100, 7), MakeLoadKeys(100, 8));
+}
+
+TEST(YcsbTest, ShardsPartitionKeys) {
+  const auto keys = MakeLoadKeys(1003, 1);
+  const auto shards = ShardKeys(keys, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  size_t total = 0;
+  std::set<uint64_t> seen;
+  for (const auto& shard : shards) {
+    total += shard.size();
+    seen.insert(shard.begin(), shard.end());
+  }
+  EXPECT_EQ(total, keys.size());
+  EXPECT_EQ(seen.size(), keys.size());
+}
+
+TEST(YcsbTest, UniformRequestsCoverKeys) {
+  const auto keys = MakeLoadKeys(100, 2);
+  const auto reqs = MakeRequestKeys(keys, 10000, KeyDistribution::kUniform, 3);
+  ASSERT_EQ(reqs.size(), 10000u);
+  std::set<uint64_t> seen(reqs.begin(), reqs.end());
+  EXPECT_GT(seen.size(), 95u);
+  for (const uint64_t r : reqs) {
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(ZipfTest, InRange) {
+  ZipfGenerator zipf(1000, 0.99, 5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnHotItems) {
+  ZipfGenerator zipf(1000, 0.99, 5);
+  uint64_t hot = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hot += zipf.Next() < 10 ? 1 : 0;
+  }
+  // With theta=0.99 the top-1% of items draw a large share of requests.
+  EXPECT_GT(static_cast<double>(hot) / n, 0.3);
+}
+
+TEST(ZipfTest, LowThetaApproachesUniform) {
+  ZipfGenerator zipf(1000, 0.01, 6);
+  uint64_t hot = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hot += zipf.Next() < 10 ? 1 : 0;
+  }
+  EXPECT_LT(static_cast<double>(hot) / n, 0.05);
+}
+
+TEST(ZipfTest, RankFrequencyMonotone) {
+  ZipfGenerator zipf(100, 0.9, 7);
+  std::vector<uint64_t> counts(100, 0);
+  for (int i = 0; i < 200000; ++i) {
+    ++counts[zipf.Next()];
+  }
+  // Aggregate over coarse buckets to tolerate sampling noise.
+  uint64_t first = 0, mid = 0, tail = 0;
+  for (int i = 0; i < 10; ++i) {
+    first += counts[i];
+  }
+  for (int i = 40; i < 50; ++i) {
+    mid += counts[i];
+  }
+  for (int i = 90; i < 100; ++i) {
+    tail += counts[i];
+  }
+  EXPECT_GT(first, mid);
+  EXPECT_GT(mid, tail);
+}
+
+}  // namespace
+}  // namespace pmemsim

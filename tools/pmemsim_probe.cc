@@ -1,0 +1,212 @@
+// pmemsim_probe — a LENS-style microbenchmark driver for exploring the
+// simulated DIMM interactively, the way the paper's authors probed real
+// hardware with ipmwatch.
+//
+//   $ pmemsim_probe --gen=g1 --op=read --pattern=rand --wss=64M --threads=4
+//   $ pmemsim_probe --op=write --persist=clwb --pattern=seq --wss=8K
+//   $ pmemsim_probe --op=rap --distance=2
+//
+// Prints per-op latency percentiles, achieved bandwidth, and the ipmwatch-
+// equivalent counters (amplifications, buffer hit ratios, stalls).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/random.h"
+#include "src/common/stats.h"
+#include "src/core/platform.h"
+#include "src/cpu/scheduler.h"
+#include "src/persist/barrier.h"
+
+namespace {
+
+using namespace pmemsim;
+
+uint64_t ParseSize(const std::string& s) {
+  if (s.empty()) {
+    return 0;
+  }
+  const char suffix = s.back();
+  const uint64_t base = std::strtoull(s.c_str(), nullptr, 10);
+  switch (suffix) {
+    case 'K':
+    case 'k':
+      return KiB(base);
+    case 'M':
+    case 'm':
+      return MiB(base);
+    case 'G':
+    case 'g':
+      return GiB(base);
+    default:
+      return base;
+  }
+}
+
+struct ProbeConfig {
+  Generation gen = Generation::kG1;
+  std::string op = "read";        // read | write | ntstore | rap | copy
+  std::string pattern = "rand";   // seq | rand
+  std::string persist = "none";   // none | clwb | clwb+mfence
+  uint64_t wss = MiB(64);
+  uint64_t stride = kCacheLineSize;
+  uint32_t threads = 1;
+  uint64_t ops = 100000;
+  uint64_t distance = 0;  // rap distance
+  uint32_t dimms = 1;
+  bool prefetch = true;
+  bool remote = false;
+};
+
+void RunProbe(const ProbeConfig& cfg) {
+  auto system = MakeSystem(cfg.gen, cfg.dimms);
+  const PmRegion region = system->AllocatePm(cfg.wss, kXPLineSize);
+  const uint64_t lines = cfg.wss / cfg.stride;
+
+  struct Worker {
+    ThreadContext* ctx;
+    Rng rng{0};
+    uint64_t done = 0;
+    uint64_t pos = 0;
+    Histogram latency;
+  };
+  std::vector<Worker> workers(cfg.threads);
+  for (uint32_t t = 0; t < cfg.threads; ++t) {
+    workers[t].ctx = &system->CreateThread(cfg.remote ? 1 : 0);
+    workers[t].rng = Rng(0x9E0B + t);
+    SetPrefetchers(*workers[t].ctx, cfg.prefetch, cfg.prefetch, cfg.prefetch);
+  }
+
+  const PmRegion bounce = system->AllocateDram(kXPLineSize, kXPLineSize);
+  auto one_op = [&](Worker& w) {
+    ThreadContext& ctx = *w.ctx;
+    const uint64_t index =
+        cfg.pattern == "seq" ? (w.pos++ % lines) : w.rng.NextBelow(lines);
+    const Addr addr = region.base + index * cfg.stride;
+    const Cycles t0 = ctx.clock();
+    if (cfg.op == "read") {
+      ctx.LoadLine(addr);
+    } else if (cfg.op == "write") {
+      ctx.Store64(addr, w.done);
+      if (cfg.persist != "none") {
+        ctx.Clwb(addr);
+        if (cfg.persist == "clwb+mfence") {
+          ctx.Mfence();
+        } else {
+          ctx.Sfence();
+        }
+      }
+    } else if (cfg.op == "ntstore") {
+      ctx.NtStore64(addr, w.done);
+      ctx.Sfence();
+    } else if (cfg.op == "rap") {
+      ctx.Store64(addr, w.done);
+      ctx.Clwb(addr);
+      ctx.Mfence();
+      const uint64_t back =
+          (index + lines - cfg.distance) % lines;
+      ctx.Load64(region.base + back * cfg.stride);
+    } else if (cfg.op == "copy") {
+      ctx.StreamCopyXPLine(XPLineBase(addr), bounce.base);
+    } else {
+      std::fprintf(stderr, "unknown --op=%s\n", cfg.op.c_str());
+      std::exit(1);
+    }
+    w.latency.Add(ctx.clock() - t0);
+  };
+
+  // Warmup, then measured phase.
+  const uint64_t per_thread = cfg.ops / cfg.threads + 1;
+  std::vector<SimJob> jobs;
+  for (Worker& w : workers) {
+    jobs.push_back({w.ctx, [&w, &one_op, per_thread]() {
+                      if (w.done >= per_thread / 4) {
+                        return StepResult::kDone;
+                      }
+                      one_op(w);
+                      ++w.done;
+                      return StepResult::kProgress;
+                    }});
+  }
+  Scheduler::Run(jobs);
+  CounterDelta delta(&system->counters());
+  Cycles start_max = 0;
+  for (Worker& w : workers) {
+    w.done = 0;
+    w.latency.Reset();
+    start_max = std::max(start_max, w.ctx->clock());
+  }
+  for (Worker& w : workers) {
+    w.ctx->AdvanceTo(start_max);
+  }
+  std::vector<SimJob> measured;
+  for (Worker& w : workers) {
+    measured.push_back({w.ctx, [&w, &one_op, per_thread]() {
+                          if (w.done >= per_thread) {
+                            return StepResult::kDone;
+                          }
+                          one_op(w);
+                          ++w.done;
+                          return StepResult::kProgress;
+                        }});
+  }
+  const Cycles end = Scheduler::Run(measured);
+
+  Histogram all;
+  uint64_t total_ops = 0;
+  for (Worker& w : workers) {
+    all.Merge(w.latency);
+    total_ops += w.done;
+  }
+  const double ghz = cfg.gen == Generation::kG1 ? 2.1 : 3.0;
+  const double seconds = static_cast<double>(end - start_max) / (ghz * 1e9);
+  const double touched =
+      static_cast<double>(total_ops) * (cfg.op == "copy" ? kXPLineSize : kCacheLineSize);
+
+  std::printf("op=%s pattern=%s wss=%llu KB stride=%llu threads=%u gen=%s dimms=%u\n",
+              cfg.op.c_str(), cfg.pattern.c_str(),
+              static_cast<unsigned long long>(cfg.wss / 1024),
+              static_cast<unsigned long long>(cfg.stride), cfg.threads,
+              cfg.gen == Generation::kG1 ? "G1" : "G2", cfg.dimms);
+  std::printf("latency (cycles): %s\n", all.Summary().c_str());
+  std::printf("throughput: %.2f Mops/s, %.3f GB/s of demanded data\n",
+              static_cast<double>(total_ops) / seconds / 1e6, touched / seconds / 1e9);
+  const Counters d = delta.Delta();
+  std::printf("counters: %s\n", d.ToString().c_str());
+  std::printf("rap stalls: %llu loads, %llu cycles; wpq stalls: %llu cycles\n",
+              static_cast<unsigned long long>(d.rap_stalled_loads),
+              static_cast<unsigned long long>(d.rap_stall_cycles),
+              static_cast<unsigned long long>(d.wpq_stall_cycles));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: pmemsim_probe [--gen=g1|g2] [--op=read|write|ntstore|rap|copy]\n"
+        "                     [--pattern=seq|rand] [--persist=none|clwb|clwb+mfence]\n"
+        "                     [--wss=64M] [--stride=64] [--threads=1] [--ops=100000]\n"
+        "                     [--distance=0] [--dimms=1] [--no_prefetch] [--remote]\n");
+    return 0;
+  }
+  ProbeConfig cfg;
+  cfg.gen = flags.Get("gen", "g1") == "g2" ? Generation::kG2 : Generation::kG1;
+  cfg.op = flags.Get("op", "read");
+  cfg.pattern = flags.Get("pattern", "rand");
+  cfg.persist = flags.Get("persist", "none");
+  cfg.wss = ParseSize(flags.Get("wss", "64M"));
+  cfg.stride = flags.GetU64("stride", kCacheLineSize);
+  cfg.threads = static_cast<uint32_t>(flags.GetU64("threads", 1));
+  cfg.ops = flags.GetU64("ops", 100000);
+  cfg.distance = flags.GetU64("distance", 0);
+  cfg.dimms = static_cast<uint32_t>(flags.GetU64("dimms", 1));
+  cfg.prefetch = !flags.Has("no_prefetch");
+  cfg.remote = flags.Has("remote");
+  RunProbe(cfg);
+  return 0;
+}
