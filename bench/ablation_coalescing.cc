@@ -77,10 +77,12 @@ Result RunCoalesced(uint64_t records) {
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: ablation_coalescing [--records=200000]\n");
+    std::printf("usage: ablation_coalescing [--records=200000]\n%s",
+                pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const uint64_t records = flags.GetU64("records", 200000);
+  pmemsim_bench::BenchReport report(flags, "ablation_coalescing");
 
   pmemsim_bench::PrintHeader("Ablation",
                              "coalescing small writes into XPLines (FlatStore guideline)");
@@ -88,8 +90,18 @@ int main(int argc, char** argv) {
   const Result in_place = RunInPlace(records);
   std::printf("in-place,%llu,%.1f,%.3f\n", static_cast<unsigned long long>(records),
               in_place.cycles, in_place.wa);
+  report.AddRow()
+      .Set("layout", "in-place")
+      .Set("records", records)
+      .Set("cycles_per_record", in_place.cycles)
+      .Set("write_amplification", in_place.wa);
   const Result coalesced = RunCoalesced(records);
   std::printf("coalesced,%llu,%.1f,%.3f\n", static_cast<unsigned long long>(records),
               coalesced.cycles, coalesced.wa);
-  return 0;
+  report.AddRow()
+      .Set("layout", "coalesced")
+      .Set("records", records)
+      .Set("cycles_per_record", coalesced.cycles)
+      .Set("write_amplification", coalesced.wa);
+  return report.Finish();
 }

@@ -51,16 +51,29 @@ double BtreeInsert(const PlatformConfig& cfg) {
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: ablation_eadr\n");
+    std::printf("usage: ablation_eadr\n%s", pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
+  pmemsim_bench::BenchReport report(flags, "ablation_eadr");
   pmemsim_bench::PrintHeader("Ablation", "G2 with and without eADR (paper §6)");
   std::printf("workload,platform,cycles\n");
   const PlatformConfig g2 = G2Platform();
   const PlatformConfig eadr = G2EadrPlatform();
-  std::printf("element-update-strict,G2,%.1f\n", ElementUpdate(g2));
-  std::printf("element-update-strict,G2+eADR,%.1f\n", ElementUpdate(eadr));
-  std::printf("btree-inplace-insert,G2,%.1f\n", BtreeInsert(g2));
-  std::printf("btree-inplace-insert,G2+eADR,%.1f\n", BtreeInsert(eadr));
-  return 0;
+  struct Case {
+    const char* workload;
+    const char* platform;
+    double cycles;
+  };
+  const Case cases[] = {
+      {"element-update-strict", "G2", ElementUpdate(g2)},
+      {"element-update-strict", "G2+eADR", ElementUpdate(eadr)},
+      {"btree-inplace-insert", "G2", BtreeInsert(g2)},
+      {"btree-inplace-insert", "G2+eADR", BtreeInsert(eadr)},
+  };
+  for (const Case& c : cases) {
+    std::printf("%s,%s,%.1f\n", c.workload, c.platform, c.cycles);
+    report.AddRow().Set("workload", c.workload).Set("platform", c.platform).Set("cycles",
+                                                                                c.cycles);
+  }
+  return report.Finish();
 }

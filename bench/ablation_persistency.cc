@@ -35,16 +35,20 @@ double Measure(uint64_t wss, uint64_t epoch_len) {
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: ablation_persistency\n");
+    std::printf("usage: ablation_persistency\n%s", pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
+  pmemsim_bench::BenchReport report(flags, "ablation_persistency");
   pmemsim_bench::PrintHeader("Ablation", "persistency spectrum: strict -> epoch -> relaxed");
   std::printf("wss_kb,epoch_len,cycles_per_element\n");
   for (const uint64_t kb : {8ull, 64ull, 1024ull, 16384ull}) {
     for (const uint64_t epoch : {1ull, 4ull, 16ull, 64ull, 1024ull}) {
+      const double cycles = Measure(KiB(kb), epoch);
       std::printf("%llu,%llu,%.1f\n", static_cast<unsigned long long>(kb),
-                  static_cast<unsigned long long>(epoch), Measure(KiB(kb), epoch));
+                  static_cast<unsigned long long>(epoch), cycles);
+      report.AddRow().Set("wss_kb", kb).Set("epoch_len", epoch).Set("cycles_per_element",
+                                                                    cycles);
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -53,10 +53,12 @@ double MeasureRa(const OptaneDimmConfig& dimm_cfg, uint64_t wss, uint32_t cpx) {
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: ablation_read_buffer [--max_kb=32]\n");
+    std::printf("usage: ablation_read_buffer [--max_kb=32]\n%s",
+                pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const uint64_t max_kb = flags.GetU64("max_kb", 32);
+  pmemsim_bench::BenchReport report(flags, "ablation_read_buffer");
 
   struct Policy {
     const char* name;
@@ -77,10 +79,15 @@ int main(int argc, char** argv) {
     dimm.read_buffer_exclusive = p.exclusive;
     for (uint64_t kb = 4; kb <= max_kb; kb += 4) {
       for (uint32_t cpx = 1; cpx <= 4; cpx += 3) {
-        std::printf("%s,%llu,%u,%.3f\n", p.name, static_cast<unsigned long long>(kb), cpx,
-                    MeasureRa(dimm, KiB(kb), cpx));
+        const double ra = MeasureRa(dimm, KiB(kb), cpx);
+        std::printf("%s,%llu,%u,%.3f\n", p.name, static_cast<unsigned long long>(kb), cpx, ra);
+        report.AddRow()
+            .Set("policy", p.name)
+            .Set("wss_kb", kb)
+            .Set("cpx", cpx)
+            .Set("read_amplification", ra);
       }
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -36,16 +36,19 @@ double Measure(uint32_t wpq_entries, uint64_t wss) {
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: ablation_wpq_depth\n");
+    std::printf("usage: ablation_wpq_depth\n%s", pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
+  pmemsim_bench::BenchReport report(flags, "ablation_wpq_depth");
   pmemsim_bench::PrintHeader("Ablation", "WPQ depth vs write-latency consistency (Fig. 8c)");
   std::printf("wpq_entries,wss_kb,cycles_per_element\n");
   for (const uint32_t entries : {1u, 4u, 16u, 64u}) {
     for (const uint64_t kb : {4ull, 16ull, 64ull, 256ull, 1024ull, 4096ull}) {
-      std::printf("%u,%llu,%.1f\n", entries, static_cast<unsigned long long>(kb),
-                  Measure(entries, KiB(kb)));
+      const double cycles = Measure(entries, KiB(kb));
+      std::printf("%u,%llu,%.1f\n", entries, static_cast<unsigned long long>(kb), cycles);
+      report.AddRow().Set("wpq_entries", entries).Set("wss_kb", kb).Set("cycles_per_element",
+                                                                        cycles);
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -74,24 +74,31 @@ double FullWriteWa(bool periodic, uint64_t wss) {
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: ablation_write_buffer [--max_kb=32]\n");
+    std::printf("usage: ablation_write_buffer [--max_kb=32]\n%s",
+                pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const uint64_t max_kb = flags.GetU64("max_kb", 32);
+  pmemsim_bench::BenchReport report(flags, "ablation_write_buffer");
 
   pmemsim_bench::PrintHeader("Ablation", "write-buffer eviction & periodic write-back");
   std::printf("experiment,policy,wss_kb,value\n");
+  auto emit = [&](const char* experiment, const char* policy, uint64_t kb, double value) {
+    std::printf("%s,%s,%llu,%.3f\n", experiment, policy, static_cast<unsigned long long>(kb),
+                value);
+    report.AddRow()
+        .Set("experiment", experiment)
+        .Set("policy", policy)
+        .Set("wss_kb", kb)
+        .Set("value", value);
+  };
   for (uint64_t kb = 4; kb <= max_kb; kb += 4) {
-    std::printf("cyclic-hit-ratio,random,%llu,%.3f\n", static_cast<unsigned long long>(kb),
-                CyclicHitRatio(0, KiB(kb)));
-    std::printf("cyclic-hit-ratio,oldest-first,%llu,%.3f\n",
-                static_cast<unsigned long long>(kb), CyclicHitRatio(1, KiB(kb)));
+    emit("cyclic-hit-ratio", "random", kb, CyclicHitRatio(0, KiB(kb)));
+    emit("cyclic-hit-ratio", "oldest-first", kb, CyclicHitRatio(1, KiB(kb)));
   }
   for (uint64_t kb = 4; kb <= max_kb; kb += 4) {
-    std::printf("full-write-wa,periodic-on (G1 hardware),%llu,%.3f\n",
-                static_cast<unsigned long long>(kb), FullWriteWa(true, KiB(kb)));
-    std::printf("full-write-wa,periodic-off (G2-like),%llu,%.3f\n",
-                static_cast<unsigned long long>(kb), FullWriteWa(false, KiB(kb)));
+    emit("full-write-wa", "periodic-on (G1 hardware)", kb, FullWriteWa(true, KiB(kb)));
+    emit("full-write-wa", "periodic-off (G2-like)", kb, FullWriteWa(false, KiB(kb)));
   }
-  return 0;
+  return report.Finish();
 }

@@ -1,6 +1,12 @@
-// Shared helpers for the figure-regeneration benches: tiny flag parsing and
-// CSV emission. Every bench prints a header comment naming the paper figure,
-// then CSV rows matching the figure's axes.
+// Shared helpers for the figure-regeneration benches: tiny flag parsing, CSV
+// emission, and the structured-telemetry flags every bench accepts:
+//
+//   --stats_json=<path>  write the bench's rows as machine-readable JSON
+//                        (consumed by scripts/check_figures.py in CI)
+//   --trace_out=<path>   emit a chrome://tracing event file for the run
+//
+// Every bench prints a header comment naming the paper figure, then CSV rows
+// matching the figure's axes; the same rows go into the JSON report.
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
@@ -9,7 +15,12 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/trace/counters.h"
+#include "src/trace/json.h"
+#include "src/trace/trace_events.h"
 
 namespace pmemsim_bench {
 
@@ -57,6 +68,137 @@ class Flags {
 inline void PrintHeader(const char* figure, const char* description) {
   std::printf("# %s — %s\n", figure, description);
 }
+
+// Collects the bench's result rows and writes them as JSON when the user
+// passed --stats_json. Also enables the chrome-trace emitter for --trace_out.
+//
+//   BenchReport report(flags, "fig02_read_buffer");
+//   report.AddRow().Set("gen", "G1").Set("wss_kb", kb).Set("read_amplification", ra);
+//   return report.Finish();   // from main()
+class BenchReport {
+ public:
+  class Row {
+   public:
+    Row& Set(const char* name, const std::string& v) {
+      cells_.emplace_back(name, Cell{Cell::kString, 0, 0.0, v});
+      return *this;
+    }
+    Row& Set(const char* name, const char* v) { return Set(name, std::string(v)); }
+    Row& Set(const char* name, double v) {
+      cells_.emplace_back(name, Cell{Cell::kDouble, 0, v, {}});
+      return *this;
+    }
+    Row& Set(const char* name, uint64_t v) {
+      cells_.emplace_back(name, Cell{Cell::kUint, v, 0.0, {}});
+      return *this;
+    }
+    Row& Set(const char* name, int v) { return Set(name, static_cast<uint64_t>(v)); }
+    Row& Set(const char* name, uint32_t v) { return Set(name, static_cast<uint64_t>(v)); }
+
+   private:
+    friend class BenchReport;
+    struct Cell {
+      enum Kind { kUint, kDouble, kString } kind;
+      uint64_t u;
+      double d;
+      std::string s;
+    };
+    std::vector<std::pair<std::string, Cell>> cells_;
+  };
+
+  BenchReport(const Flags& flags, const std::string& bench_name)
+      : bench_name_(bench_name), stats_path_(flags.Get("stats_json", "")) {
+    const std::string trace_path = flags.Get("trace_out", "");
+    if (!trace_path.empty()) {
+      pmemsim::TraceEmitter::Global().Enable(trace_path);
+      trace_enabled_ = true;
+    }
+  }
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  // Attaches a labelled counter snapshot (e.g. the final system counters).
+  void AddCounters(const std::string& label, const pmemsim::Counters& counters) {
+    counters_.emplace_back(label, counters);
+  }
+
+  // Writes the JSON report and/or trace if requested. Returns a process exit
+  // code: 0 on success (or nothing to write), 1 on I/O failure.
+  int Finish() {
+    int rc = 0;
+    if (trace_enabled_) {
+      if (!pmemsim::TraceEmitter::Global().Disable()) {
+        std::fprintf(stderr, "error: failed to write trace_out file\n");
+        rc = 1;
+      }
+      trace_enabled_ = false;
+    }
+    if (stats_path_.empty()) {
+      return rc;
+    }
+    pmemsim::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version").Value(uint64_t{1});
+    w.Key("bench").Value(bench_name_);
+    w.Key("rows").BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      for (const auto& [name, cell] : row.cells_) {
+        w.Key(name);
+        switch (cell.kind) {
+          case Row::Cell::kUint:
+            w.Value(cell.u);
+            break;
+          case Row::Cell::kDouble:
+            w.Value(cell.d);
+            break;
+          case Row::Cell::kString:
+            w.Value(cell.s);
+            break;
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    if (!counters_.empty()) {
+      w.Key("counters").BeginObject();
+      for (const auto& [label, counters] : counters_) {
+        w.Key(label);
+        counters.ToJson(w);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+
+    std::FILE* f = std::fopen(stats_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", stats_path_.c_str());
+      return 1;
+    }
+    const std::string& text = w.str();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "error: short write to %s\n", stats_path_.c_str());
+      return 1;
+    }
+    stats_path_.clear();
+    return rc;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string stats_path_;
+  bool trace_enabled_ = false;
+  std::vector<Row> rows_;
+  std::vector<std::pair<std::string, pmemsim::Counters>> counters_;
+};
+
+inline const char* kTelemetryFlagsHelp =
+    "  --stats_json=<path>  write rows as JSON (for scripts/check_figures.py)\n"
+    "  --trace_out=<path>   write a chrome://tracing event file\n";
 
 }  // namespace pmemsim_bench
 

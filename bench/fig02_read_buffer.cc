@@ -50,11 +50,13 @@ double MeasureRa(Generation gen, uint64_t wss_bytes, uint32_t cpx) {
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: fig02_read_buffer [--gen=g1|g2|both] [--max_kb=36]\n");
+    std::printf("usage: fig02_read_buffer [--gen=g1|g2|both] [--max_kb=36]\n%s",
+                pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const std::string gen_flag = flags.Get("gen", "both");
   const uint64_t max_kb = flags.GetU64("max_kb", 36);
+  pmemsim_bench::BenchReport report(flags, "fig02_read_buffer");
 
   pmemsim_bench::PrintHeader("Figure 2", "read amplification vs WSS (strided reads, CpX=1..4)");
   std::printf("gen,wss_kb,cpx,read_amplification\n");
@@ -63,13 +65,18 @@ int main(int argc, char** argv) {
         (gen == Generation::kG2 && gen_flag == "g1")) {
       continue;
     }
+    const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
     for (uint64_t kb = 1; kb <= max_kb; ++kb) {
       for (uint32_t cpx = 1; cpx <= 4; ++cpx) {
         const double ra = MeasureRa(gen, KiB(kb), cpx);
-        std::printf("%s,%llu,%u,%.3f\n", gen == Generation::kG1 ? "G1" : "G2",
-                    static_cast<unsigned long long>(kb), cpx, ra);
+        std::printf("%s,%llu,%u,%.3f\n", gen_name, static_cast<unsigned long long>(kb), cpx, ra);
+        report.AddRow()
+            .Set("gen", gen_name)
+            .Set("wss_kb", kb)
+            .Set("cpx", cpx)
+            .Set("read_amplification", ra);
       }
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -62,12 +62,14 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf(
         "usage: fig03_write_amplification [--gen=g1|g2|both] [--max_kb=32] [--random]\n"
-        "The paper notes WA is independent of the cross-XPLine pattern; --random verifies.\n");
+        "The paper notes WA is independent of the cross-XPLine pattern; --random verifies.\n%s",
+        pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const std::string gen_flag = flags.Get("gen", "both");
   const uint64_t max_kb = flags.GetU64("max_kb", 32);
   const bool random = flags.Has("random");
+  pmemsim_bench::BenchReport report(flags, "fig03_write_amplification");
 
   pmemsim_bench::PrintHeader("Figure 3", "write amplification vs WSS (nt-store partial/full)");
   std::printf("gen,wss_kb,write_pct,write_amplification\n");
@@ -76,13 +78,19 @@ int main(int argc, char** argv) {
         (gen == Generation::kG2 && gen_flag == "g1")) {
       continue;
     }
+    const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
     for (uint64_t kb = 1; kb <= max_kb; ++kb) {
       for (uint32_t lines = 1; lines <= 4; ++lines) {
         const double wa = MeasureWa(gen, KiB(kb), lines, random);
-        std::printf("%s,%llu,%u,%.3f\n", gen == Generation::kG1 ? "G1" : "G2",
-                    static_cast<unsigned long long>(kb), lines * 25, wa);
+        std::printf("%s,%llu,%u,%.3f\n", gen_name, static_cast<unsigned long long>(kb),
+                    lines * 25, wa);
+        report.AddRow()
+            .Set("gen", gen_name)
+            .Set("wss_kb", kb)
+            .Set("write_pct", lines * 25)
+            .Set("write_amplification", wa);
       }
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -45,11 +45,13 @@ double MeasureHitRatio(Generation gen, uint64_t wss_bytes) {
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: fig04_write_buffer_hit [--gen=g1|g2|both] [--max_kb=32]\n");
+    std::printf("usage: fig04_write_buffer_hit [--gen=g1|g2|both] [--max_kb=32]\n%s",
+                pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const std::string gen_flag = flags.Get("gen", "both");
   const uint64_t max_kb = flags.GetU64("max_kb", 32);
+  pmemsim_bench::BenchReport report(flags, "fig04_write_buffer_hit");
 
   pmemsim_bench::PrintHeader("Figure 4", "write-buffer hit ratio vs WSS (random partial writes)");
   std::printf("gen,wss_kb,hit_ratio\n");
@@ -58,11 +60,12 @@ int main(int argc, char** argv) {
         (gen == Generation::kG2 && gen_flag == "g1")) {
       continue;
     }
+    const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
     for (uint64_t kb = 2; kb <= max_kb; ++kb) {
       const double ratio = MeasureHitRatio(gen, KiB(kb));
-      std::printf("%s,%llu,%.3f\n", gen == Generation::kG1 ? "G1" : "G2",
-                  static_cast<unsigned long long>(kb), ratio);
+      std::printf("%s,%llu,%.3f\n", gen_name, static_cast<unsigned long long>(kb), ratio);
+      report.AddRow().Set("gen", gen_name).Set("wss_kb", kb).Set("hit_ratio", ratio);
     }
   }
-  return 0;
+  return report.Finish();
 }

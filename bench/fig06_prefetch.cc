@@ -96,13 +96,15 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf(
         "usage: fig06_prefetch [--gen=g1|g2|both] [--max_mb=1024] [--max_visits=60000] "
-        "[--repeats=4]\n");
+        "[--repeats=4]\n%s",
+        pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const std::string gen_flag = flags.Get("gen", "both");
   const uint64_t max_mb = flags.GetU64("max_mb", 1024);
   const uint64_t max_visits = flags.GetU64("max_visits", 60000);
   const uint32_t repeats = static_cast<uint32_t>(flags.GetU64("repeats", 4));
+  pmemsim_bench::BenchReport report(flags, "fig06_prefetch");
 
   static const PrefetcherConfig kConfigs[] = {
       {"none", false, false, false},
@@ -121,11 +123,18 @@ int main(int argc, char** argv) {
     for (const PrefetcherConfig& pf : kConfigs) {
       for (uint64_t kb = 4; kb <= max_mb * 1024; kb *= 4) {
         const Ratios r = MeasureRatios(gen, KiB(kb), pf, max_visits, repeats);
-        std::printf("%s,%s,%llu,%.3f,%.3f\n", gen == Generation::kG1 ? "G1" : "G2", pf.name,
+        const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
+        std::printf("%s,%s,%llu,%.3f,%.3f\n", gen_name, pf.name,
                     static_cast<unsigned long long>(kb), r.pm, r.imc);
         std::fflush(stdout);
+        report.AddRow()
+            .Set("gen", gen_name)
+            .Set("prefetcher", pf.name)
+            .Set("wss_kb", kb)
+            .Set("pm_ratio", r.pm)
+            .Set("imc_ratio", r.imc);
       }
     }
   }
-  return 0;
+  return report.Finish();
 }

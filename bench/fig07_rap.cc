@@ -84,12 +84,14 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf(
         "usage: fig07_rap [--gen=g1|g2|both] [--max_distance=40] [--panel=pm-local|pm-remote|"
-        "dram-local|dram-remote|all]\n");
+        "dram-local|dram-remote|all]\n%s",
+        pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const std::string gen_flag = flags.Get("gen", "both");
   const std::string panel = flags.Get("panel", "all");
   const uint64_t max_distance = flags.GetU64("max_distance", 40);
+  pmemsim_bench::BenchReport report(flags, "fig07_rap");
 
   pmemsim_bench::PrintHeader("Figure 7", "read-after-persist latency vs distance (Algorithm 1)");
   std::printf("gen,device,locality,mode,distance,cycles\n");
@@ -112,13 +114,21 @@ int main(int argc, char** argv) {
           }
           for (uint64_t d = 0; d <= max_distance; ++d) {
             const double cycles = MeasureRap(gen, dram, remote, mode, d);
-            std::printf("%s,%s,%s,%s,%llu,%.1f\n", gen == Generation::kG1 ? "G1" : "G2",
-                        dram ? "DRAM" : "PM", remote ? "remote" : "local", ModeName(mode),
+            const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
+            std::printf("%s,%s,%s,%s,%llu,%.1f\n", gen_name, dram ? "DRAM" : "PM",
+                        remote ? "remote" : "local", ModeName(mode),
                         static_cast<unsigned long long>(d), cycles);
+            report.AddRow()
+                .Set("gen", gen_name)
+                .Set("device", dram ? "DRAM" : "PM")
+                .Set("locality", remote ? "remote" : "local")
+                .Set("mode", ModeName(mode))
+                .Set("distance", d)
+                .Set("cycles", cycles);
           }
         }
       }
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -80,12 +80,14 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf(
         "usage: fig08_latency [--gen=g1|g2|both] [--max_mb=1024] [--max_ops=200000]\n"
-        "Panels: strict, relaxed, breakdown (pure read / pure write).\n");
+        "Panels: strict, relaxed, breakdown (pure read / pure write).\n%s",
+        pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const std::string gen_flag = flags.Get("gen", "g1");
   const uint64_t max_mb = flags.GetU64("max_mb", 1024);
   const uint64_t max_ops = flags.GetU64("max_ops", 120000);
+  pmemsim_bench::BenchReport report(flags, "fig08_latency");
 
   static const Series kWriteSeries[] = {
       {"seq_clwb", true, PersistMode::kClwbSfence},
@@ -113,22 +115,31 @@ int main(int argc, char** argv) {
             MeasureUpdate(gen, wss, s.sequential, s.mode, Persistency::kStrict, max_ops);
         std::printf("%s,strict,%s,%llu,%.1f\n", gname, s.name,
                     static_cast<unsigned long long>(wss / 1024), strict);
+        report.AddRow().Set("gen", gname).Set("panel", "strict").Set("series", s.name)
+            .Set("wss_kb", wss / 1024).Set("cycles", strict);
         const double relaxed =
             MeasureUpdate(gen, wss, s.sequential, s.mode, Persistency::kRelaxed, max_ops);
         std::printf("%s,relaxed,%s,%llu,%.1f\n", gname, s.name,
                     static_cast<unsigned long long>(wss / 1024), relaxed);
+        report.AddRow().Set("gen", gname).Set("panel", "relaxed").Set("series", s.name)
+            .Set("wss_kb", wss / 1024).Set("cycles", relaxed);
         const double pure =
             MeasurePureWrite(gen, wss, s.sequential, s.mode, max_ops);
         std::printf("%s,breakdown,%s,%llu,%.1f\n", gname, s.name,
                     static_cast<unsigned long long>(wss / 1024), pure);
+        report.AddRow().Set("gen", gname).Set("panel", "breakdown").Set("series", s.name)
+            .Set("wss_kb", wss / 1024).Set("cycles", pure);
       }
       for (const bool sequential : {true, false}) {
         const double read = MeasureRead(gen, wss, sequential, max_ops);
         std::printf("%s,breakdown,%s_rd,%llu,%.1f\n", gname, sequential ? "seq" : "rand",
                     static_cast<unsigned long long>(wss / 1024), read);
+        report.AddRow().Set("gen", gname).Set("panel", "breakdown")
+            .Set("series", std::string(sequential ? "seq" : "rand") + "_rd")
+            .Set("wss_kb", wss / 1024).Set("cycles", read);
       }
       std::fflush(stdout);
     }
   }
-  return 0;
+  return report.Finish();
 }

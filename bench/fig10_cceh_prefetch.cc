@@ -113,7 +113,8 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf(
         "usage: fig10_cceh_prefetch [--gen=g1|g2] [--keys=600000] [--depth=8] [--dimms=6] "
-        "[--max_workers=10]\n");
+        "[--max_workers=10]\n%s",
+        pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const Generation gen = flags.Get("gen", "g1") == "g2" ? Generation::kG2 : Generation::kG1;
@@ -122,6 +123,7 @@ int main(int argc, char** argv) {
   const uint32_t max_workers = static_cast<uint32_t>(flags.GetU64("max_workers", 8));
   const bool scaled_cache = !flags.Has("full_cache");
   const uint32_t dimms = static_cast<uint32_t>(flags.GetU64("dimms", 6));
+  pmemsim_bench::BenchReport report(flags, "fig10_cceh_prefetch");
 
   pmemsim_bench::PrintHeader("Figure 10", "CCEH with helper-thread prefetching (PM vs DRAM)");
   std::printf("device,variant,workers,cycles_per_insert,mops\n");
@@ -132,8 +134,14 @@ int main(int argc, char** argv) {
         std::printf("%s,%s,%u,%.0f,%.2f\n", kind == MemoryKind::kOptane ? "PM" : "DRAM",
                     prefetch ? "cceh+prefetch" : "cceh", w, r.cycles_per_insert, r.mops);
         std::fflush(stdout);
+        report.AddRow()
+            .Set("device", kind == MemoryKind::kOptane ? "PM" : "DRAM")
+            .Set("variant", prefetch ? "cceh+prefetch" : "cceh")
+            .Set("workers", w)
+            .Set("cycles_per_insert", r.cycles_per_insert)
+            .Set("mops", r.mops);
       }
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -80,12 +80,14 @@ Result RunTree(Generation gen, BTreeUpdateMode mode, uint32_t threads, uint64_t 
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: fig12_btree [--gen=g1|g2|both] [--keys=200000] [--max_threads=9]\n");
+    std::printf("usage: fig12_btree [--gen=g1|g2|both] [--keys=200000] [--max_threads=9]\n%s",
+                pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const std::string gen_flag = flags.Get("gen", "both");
   const uint64_t keys = flags.GetU64("keys", 120000);
   const uint32_t max_threads = static_cast<uint32_t>(flags.GetU64("max_threads", 9));
+  pmemsim_bench::BenchReport report(flags, "fig12_btree");
 
   pmemsim_bench::PrintHeader("Figure 12",
                              "FAST&FAIR inserts: in-place vs out-of-place redo logging");
@@ -98,12 +100,19 @@ int main(int argc, char** argv) {
     for (const BTreeUpdateMode mode : {BTreeUpdateMode::kInPlace, BTreeUpdateMode::kRedoLog}) {
       for (uint32_t t = 1; t <= max_threads; t += 2) {
         const Result r = RunTree(gen, mode, t, keys);
-        std::printf("%s,%s,%u,%.0f,%.3f\n", gen == Generation::kG1 ? "G1" : "G2",
-                    mode == BTreeUpdateMode::kInPlace ? "in-place" : "out-of-place", t,
-                    r.cycles_per_insert, r.mops);
+        const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
+        const char* mode_name = mode == BTreeUpdateMode::kInPlace ? "in-place" : "out-of-place";
+        std::printf("%s,%s,%u,%.0f,%.3f\n", gen_name, mode_name, t, r.cycles_per_insert,
+                    r.mops);
         std::fflush(stdout);
+        report.AddRow()
+            .Set("gen", gen_name)
+            .Set("mode", mode_name)
+            .Set("threads", t)
+            .Set("cycles_per_insert", r.cycles_per_insert)
+            .Set("mops", r.mops);
       }
     }
   }
-  return 0;
+  return report.Finish();
 }

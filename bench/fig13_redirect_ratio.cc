@@ -94,12 +94,14 @@ int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
     std::printf(
-        "usage: fig13_redirect_ratio [--gen=g1|g2|both] [--max_mb=1024] [--max_visits=60000]\n");
+        "usage: fig13_redirect_ratio [--gen=g1|g2|both] [--max_mb=1024] [--max_visits=60000]\n%s",
+        pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const std::string gen_flag = flags.Get("gen", "both");
   const uint64_t max_mb = flags.GetU64("max_mb", 1024);
   const uint64_t max_visits = flags.GetU64("max_visits", 60000);
+  pmemsim_bench::BenchReport report(flags, "fig13_redirect_ratio");
 
   pmemsim_bench::PrintHeader("Figure 13", "misprefetch reduction via AVX redirect (Algorithm 2)");
   std::printf("gen,variant,wss_kb,pm_ratio,imc_ratio\n");
@@ -111,12 +113,19 @@ int main(int argc, char** argv) {
     for (const bool optimized : {false, true}) {
       for (uint64_t kb = 4; kb <= max_mb * 1024; kb *= 4) {
         const Ratios r = MeasureRedirect(gen, KiB(kb), optimized, max_visits, /*repeats=*/4);
-        std::printf("%s,%s,%llu,%.3f,%.3f\n", gen == Generation::kG1 ? "G1" : "G2",
-                    optimized ? "optimized" : "prefetching", static_cast<unsigned long long>(kb),
-                    r.pm, r.imc);
+        const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
+        const char* variant = optimized ? "optimized" : "prefetching";
+        std::printf("%s,%s,%llu,%.3f,%.3f\n", gen_name, variant,
+                    static_cast<unsigned long long>(kb), r.pm, r.imc);
         std::fflush(stdout);
+        report.AddRow()
+            .Set("gen", gen_name)
+            .Set("variant", variant)
+            .Set("wss_kb", kb)
+            .Set("pm_ratio", r.pm)
+            .Set("imc_ratio", r.imc);
       }
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -114,12 +114,14 @@ int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
     std::printf(
-        "usage: fig14_redirect_scaling [--gen=g1|g2|both] [--wss_mb=256] [--blocks=4000]\n");
+        "usage: fig14_redirect_scaling [--gen=g1|g2|both] [--wss_mb=256] [--blocks=4000]\n%s",
+        pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const std::string gen_flag = flags.Get("gen", "both");
   const uint64_t wss = MiB(flags.GetU64("wss_mb", 256));
   const uint64_t blocks = flags.GetU64("blocks", 4000);
+  pmemsim_bench::BenchReport report(flags, "fig14_redirect_scaling");
 
   pmemsim_bench::PrintHeader("Figure 14", "redirect latency/throughput vs thread count");
   std::printf("gen,variant,threads,cycles_per_block,throughput_gbps\n");
@@ -132,11 +134,18 @@ int main(int argc, char** argv) {
     for (const bool optimized : {false, true}) {
       for (uint32_t t = 1; t <= max_threads; t += (t < 4 ? 1 : 2)) {
         const Result r = RunScaling(gen, optimized, t, wss, blocks);
-        std::printf("%s,%s,%u,%.0f,%.3f\n", gen == Generation::kG1 ? "G1" : "G2",
-                    optimized ? "optimized" : "prefetching", t, r.cycles_per_block, r.gbps);
+        const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
+        const char* variant = optimized ? "optimized" : "prefetching";
+        std::printf("%s,%s,%u,%.0f,%.3f\n", gen_name, variant, t, r.cycles_per_block, r.gbps);
         std::fflush(stdout);
+        report.AddRow()
+            .Set("gen", gen_name)
+            .Set("variant", variant)
+            .Set("threads", t)
+            .Set("cycles_per_block", r.cycles_per_block)
+            .Set("throughput_gbps", r.gbps);
       }
     }
   }
-  return 0;
+  return report.Finish();
 }

@@ -25,7 +25,7 @@ namespace {
 
 using namespace pmemsim;
 
-void RunSeparation(Generation gen) {
+void RunSeparation(Generation gen, pmemsim_bench::BenchReport& report) {
   auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
   ThreadContext& ctx = system->CreateThread();
   SetPrefetchers(ctx, false, false, false);
@@ -55,13 +55,19 @@ void RunSeparation(Generation gen) {
   const Counters d = delta.Delta();
   const double ra = d.ReadAmplification();
   const bool no_media_write = d.media_write_bytes == 0;
-  std::printf("%s,separation,RA=%.3f,media_write_bytes=%llu,verdict=%s\n",
-              gen == Generation::kG1 ? "G1" : "G2", ra,
-              static_cast<unsigned long long>(d.media_write_bytes),
-              (ra < 1.05 && no_media_write) ? "SEPARATE-BUFFERS" : "SHARED-BUFFERS");
+  const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
+  const char* verdict = (ra < 1.05 && no_media_write) ? "SEPARATE-BUFFERS" : "SHARED-BUFFERS";
+  std::printf("%s,separation,RA=%.3f,media_write_bytes=%llu,verdict=%s\n", gen_name, ra,
+              static_cast<unsigned long long>(d.media_write_bytes), verdict);
+  report.AddRow()
+      .Set("gen", gen_name)
+      .Set("experiment", "separation")
+      .Set("read_amplification", ra)
+      .Set("media_write_bytes", d.media_write_bytes)
+      .Set("verdict", verdict);
 }
 
-void RunTransition(Generation gen) {
+void RunTransition(Generation gen, pmemsim_bench::BenchReport& report) {
   auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
   ThreadContext& ctx = system->CreateThread();
   SetPrefetchers(ctx, false, false, false);
@@ -93,11 +99,20 @@ void RunTransition(Generation gen) {
   const double media_vs_imc_write =
       static_cast<double>(d.media_write_bytes) /
       static_cast<double>(d.imc_write_bytes ? d.imc_write_bytes : 1);
+  const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
+  const char* verdict =
+      (media_vs_imc_read < 0.5 && media_vs_imc_write < 1.2) ? "BUFFER-HITS" : "MEDIA-BOUND";
   std::printf(
       "%s,transition,media/imc_read=%.3f,media/imc_write=%.3f,transitions=%llu,verdict=%s\n",
-      gen == Generation::kG1 ? "G1" : "G2", media_vs_imc_read, media_vs_imc_write,
-      static_cast<unsigned long long>(d.read_write_transitions),
-      (media_vs_imc_read < 0.5 && media_vs_imc_write < 1.2) ? "BUFFER-HITS" : "MEDIA-BOUND");
+      gen_name, media_vs_imc_read, media_vs_imc_write,
+      static_cast<unsigned long long>(d.read_write_transitions), verdict);
+  report.AddRow()
+      .Set("gen", gen_name)
+      .Set("experiment", "transition")
+      .Set("media_imc_read_ratio", media_vs_imc_read)
+      .Set("media_imc_write_ratio", media_vs_imc_write)
+      .Set("transitions", d.read_write_transitions)
+      .Set("verdict", verdict);
 }
 
 }  // namespace
@@ -105,13 +120,15 @@ void RunTransition(Generation gen) {
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: sec33_buffer_separation [--gen=g1|g2|both]\n");
+    std::printf("usage: sec33_buffer_separation [--gen=g1|g2|both]\n%s",
+                pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
+  pmemsim_bench::BenchReport report(flags, "sec33_buffer_separation");
   pmemsim_bench::PrintHeader("Section 3.3", "read/write buffer separation and XPLine transition");
   for (Generation gen : {Generation::kG1, Generation::kG2}) {
-    RunSeparation(gen);
-    RunTransition(gen);
+    RunSeparation(gen, report);
+    RunTransition(gen, report);
   }
-  return 0;
+  return report.Finish();
 }

@@ -82,10 +82,12 @@ Row RunBreakdown(uint32_t threads, uint32_t dimms, uint64_t total_keys, bool sca
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: table1_cceh_breakdown [--keys=400000]\n");
+    std::printf("usage: table1_cceh_breakdown [--keys=400000]\n%s",
+                pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const uint64_t keys = flags.GetU64("keys", 2000000);
+  pmemsim_bench::BenchReport report(flags, "table1_cceh_breakdown");
 
   pmemsim_bench::PrintHeader("Table 1", "time breakdown of key insertion in CCEH (G1)");
   std::printf(
@@ -102,6 +104,14 @@ int main(int argc, char** argv) {
     std::printf("%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.0f\n", c.name, r.directory, r.segment_meta,
                 r.bucket, r.persist, r.split, r.total_cycles_per_insert);
     std::fflush(stdout);
+    report.AddRow()
+        .Set("config", c.name)
+        .Set("directory_pct", r.directory)
+        .Set("segment_meta_pct", r.segment_meta)
+        .Set("bucket_probe_pct", r.bucket)
+        .Set("persist_pct", r.persist)
+        .Set("split_pct", r.split)
+        .Set("cycles_per_insert", r.total_cycles_per_insert);
   }
-  return 0;
+  return report.Finish();
 }

@@ -58,7 +58,8 @@ bool WriteBuffer::Write(Addr line_addr, Cycles now, Cycles visible_at,
 }
 
 void WriteBuffer::Tick(Cycles now, std::vector<WritebackRequest>& writebacks) {
-  if (!config_.periodic_full_writeback || now < last_periodic_tick_ + config_.full_writeback_period) {
+  if (!config_.periodic_full_writeback ||
+      now < last_periodic_tick_ + config_.full_writeback_period) {
     return;
   }
   last_periodic_tick_ = now;

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "src/common/check.h"
+#include "src/trace/json.h"
 
 namespace pmemsim {
 
@@ -29,6 +30,23 @@ double RunningStat::variance() const {
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 void RunningStat::Reset() { *this = RunningStat(); }
+
+void RunningStat::ToJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("count").Value(count_);
+  w.Key("mean").Value(mean());
+  w.Key("stddev").Value(stddev());
+  w.Key("min").Value(min());
+  w.Key("max").Value(max());
+  w.Key("sum").Value(sum());
+  w.EndObject();
+}
+
+std::string RunningStat::ToJson() const {
+  JsonWriter w;
+  ToJson(w);
+  return w.str();
+}
 
 Histogram::Histogram() : buckets_(static_cast<size_t>(kOctaves) * kSubBuckets, 0) {}
 
@@ -122,6 +140,25 @@ std::string Histogram::Summary() const {
                 static_cast<unsigned long long>(Min()),
                 static_cast<unsigned long long>(Max()));
   return buf;
+}
+
+void Histogram::ToJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("count").Value(count_);
+  w.Key("mean").Value(mean());
+  w.Key("min").Value(Min());
+  w.Key("max").Value(Max());
+  w.Key("p50").Value(Percentile(50));
+  w.Key("p90").Value(Percentile(90));
+  w.Key("p99").Value(Percentile(99));
+  w.Key("p999").Value(Percentile(99.9));
+  w.EndObject();
+}
+
+std::string Histogram::ToJson() const {
+  JsonWriter w;
+  ToJson(w);
+  return w.str();
 }
 
 }  // namespace pmemsim

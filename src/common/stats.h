@@ -9,6 +9,8 @@
 
 namespace pmemsim {
 
+class JsonWriter;
+
 // Welford running mean/variance with min/max tracking.
 class RunningStat {
  public:
@@ -23,6 +25,10 @@ class RunningStat {
   double sum() const { return sum_; }
 
   void Reset();
+
+  // {"count":N,"mean":...,"stddev":...,"min":...,"max":...,"sum":...}
+  void ToJson(JsonWriter& w) const;
+  std::string ToJson() const;
 
  private:
   uint64_t count_ = 0;
@@ -53,6 +59,10 @@ class Histogram {
   void Reset();
 
   std::string Summary() const;
+
+  // Count/mean/min/max plus the standard percentile ladder (p50..p999).
+  void ToJson(JsonWriter& w) const;
+  std::string ToJson() const;
 
  private:
   static constexpr int kSubBucketBits = 4;  // 16 linear sub-buckets per octave

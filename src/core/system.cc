@@ -1,12 +1,15 @@
 #include "src/core/system.h"
 
+#include <string>
+
 #include "src/common/check.h"
 #include "src/common/random.h"
 
 namespace pmemsim {
 
 System::System(const PlatformConfig& config, uint32_t optane_dimm_count) : config_(config) {
-  mc_ = std::make_unique<MemoryController>(config_, &counters_, optane_dimm_count);
+  counters_.BindAggregate(&registry_);
+  mc_ = std::make_unique<MemoryController>(config_, &registry_, optane_dimm_count);
   l3_ = std::make_unique<SetAssocCache>(config_.cache.l3);
 }
 
@@ -29,14 +32,16 @@ PmRegion System::AllocateDram(uint64_t bytes, uint64_t align) {
 
 ThreadContext& System::CreateThread(NodeId node) {
   thread_seed_ = Mix64(thread_seed_ + 0x9E3779B97F4A7C15ull);
+  Counters* scope = registry_.CreateScope("thread" + std::to_string(threads_.size()));
   threads_.push_back(std::make_unique<ThreadContext>(config_, &backing_, mc_.get(), l3_.get(),
-                                                     &counters_, node, thread_seed_));
+                                                     scope, node, thread_seed_));
   return *threads_.back();
 }
 
 ThreadContext& System::CreateSmtSibling(ThreadContext& sibling) {
+  Counters* scope = registry_.CreateScope("thread" + std::to_string(threads_.size()));
   threads_.push_back(
-      std::make_unique<ThreadContext>(config_, &backing_, mc_.get(), &counters_, &sibling));
+      std::make_unique<ThreadContext>(config_, &backing_, mc_.get(), scope, &sibling));
   return *threads_.back();
 }
 

@@ -17,6 +17,7 @@
 #include "src/cpu/thread_context.h"
 #include "src/imc/memory_controller.h"
 #include "src/trace/counters.h"
+#include "src/trace/registry.h"
 
 namespace pmemsim {
 
@@ -48,8 +49,18 @@ class System {
   ThreadContext& CreateSmtSibling(ThreadContext& sibling);
 
   const PlatformConfig& config() const { return config_; }
-  Counters& counters() { return counters_; }
-  const Counters& counters() const { return counters_; }
+  // System-wide totals: a live aggregation over the per-DIMM/per-thread
+  // scopes, re-materialized on every access (and by CounterDelta).
+  Counters& counters() {
+    counters_.Sync();
+    return counters_;
+  }
+  const Counters& counters() const {
+    counters_.Sync();
+    return counters_;
+  }
+  // Per-writer scopes ("optane_dimmN", "dram", "imc", "threadN").
+  const CounterRegistry& counter_registry() const { return registry_; }
   MemoryController& mc() { return *mc_; }
   SetAssocCache& shared_l3() { return *l3_; }
   BackingStore& backing() { return backing_; }
@@ -60,7 +71,8 @@ class System {
 
  private:
   PlatformConfig config_;
-  Counters counters_;
+  CounterRegistry registry_;
+  Counters counters_;  // aggregate view, bound to registry_
   BackingStore backing_;
   std::unique_ptr<MemoryController> mc_;
   std::unique_ptr<SetAssocCache> l3_;

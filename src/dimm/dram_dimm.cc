@@ -19,7 +19,8 @@ DimmReadResult DramDimm::Read(Addr addr, Cycles now, bool ordered) {
   if (it != pending_visible_.end()) {
     Cycles visible = it->second;
     if (!ordered && visible > now) {
-      visible = visible > config_.unordered_read_overlap ? visible - config_.unordered_read_overlap : 0;
+      visible =
+          visible > config_.unordered_read_overlap ? visible - config_.unordered_read_overlap : 0;
     }
     if (visible > now) {
       result.stalled_for = visible - now;

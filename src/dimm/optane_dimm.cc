@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/trace/trace_events.h"
 
 namespace pmemsim {
 
@@ -53,7 +54,8 @@ DimmReadResult OptaneDimm::Read(Addr addr, Cycles now, bool ordered) {
     if (!ordered && visible > now) {
       // Loads not ordered by a full fence issue early in the out-of-order
       // window, hiding part of the apply pipeline.
-      visible = visible > config_.unordered_read_overlap ? visible - config_.unordered_read_overlap : 0;
+      visible =
+          visible > config_.unordered_read_overlap ? visible - config_.unordered_read_overlap : 0;
     }
     Cycles start = now;
     if (visible > now) {
@@ -89,6 +91,9 @@ DimmReadResult OptaneDimm::Read(Addr addr, Cycles now, bool ordered) {
   const Cycles ait_cost = ait_.Access(line);
   const Cycles media_done = media_.ReadXPLine(line, now + ait_cost);
   read_buffer_.Fill(line);
+  if (trace_track_ != 0) {
+    TraceEmitter::Global().Instant(trace_track_, "read_buffer_fill", now);
+  }
   [[maybe_unused]] const bool consumed = read_buffer_.ConsumeLine(line);
   PMEMSIM_DCHECK(consumed);
   // The consume above is an artifact of delivery, not a buffer hit/miss event;
@@ -116,6 +121,11 @@ DimmWriteResult OptaneDimm::Write(Addr addr, Cycles now) {
     write_buffer_.Write(line, now, visible_at, writeback_scratch_);
   }
 
+  if (trace_track_ != 0) {
+    TraceEmitter::Global().CounterEvent(trace_track_, "write_buffer_entries", now,
+                                        static_cast<double>(write_buffer_.occupied_entries()));
+  }
+
   DimmWriteResult result;
   result.visible_at = visible_at;
   if (!writeback_scratch_.empty()) {
@@ -141,6 +151,11 @@ void OptaneDimm::PerformWritebacks(const std::vector<WritebackRequest>& requests
       t = media_.ReadXPLine(req.xpline, t);
     }
     media_.WriteXPLine(req.xpline, t);
+    if (trace_track_ != 0) {
+      TraceEmitter::Global().Instant(
+          trace_track_, req.periodic ? "periodic_writeback" : "write_buffer_evict", now, "rmw",
+          req.needs_rmw ? 1.0 : 0.0);
+    }
   }
 }
 

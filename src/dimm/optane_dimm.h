@@ -55,11 +55,15 @@ class OptaneDimm : public Dimm {
   const WriteBuffer& write_buffer() const { return write_buffer_; }
   const OptaneDimmConfig& config() const { return config_; }
 
+  // Chrome-trace row for this DIMM's buffer events (0 = emit nothing).
+  void SetTraceTrack(int track) { trace_track_ = track; }
+
  private:
   void PerformWritebacks(const std::vector<WritebackRequest>& requests, Cycles now);
 
   OptaneDimmConfig config_;
   Counters* counters_;
+  int trace_track_ = 0;
   Ait ait_;
   XpointMedia media_;
   ReadBuffer read_buffer_;

@@ -1,24 +1,48 @@
 #include "src/imc/memory_controller.h"
 
+#include <string>
+
 #include "src/common/check.h"
+#include "src/trace/registry.h"
+#include "src/trace/trace_events.h"
 
 namespace pmemsim {
 
+MemoryController::MemoryController(const PlatformConfig& platform, CounterRegistry* registry,
+                                   uint32_t optane_dimm_count)
+    : MemoryController(platform, registry, /*counters=*/nullptr, optane_dimm_count) {}
+
 MemoryController::MemoryController(const PlatformConfig& platform, Counters* counters,
                                    uint32_t optane_dimm_count)
-    : config_(platform.imc), counters_(counters) {
-  PMEMSIM_CHECK(counters_ != nullptr);
+    : MemoryController(platform, /*registry=*/nullptr, counters, optane_dimm_count) {}
+
+MemoryController::MemoryController(const PlatformConfig& platform, CounterRegistry* registry,
+                                   Counters* counters, uint32_t optane_dimm_count)
+    : config_(platform.imc) {
+  PMEMSIM_CHECK(registry != nullptr || counters != nullptr);
+  counters_ = registry != nullptr ? registry->CreateScope("imc") : counters;
   const uint32_t n = optane_dimm_count ? optane_dimm_count : config_.optane_dimm_count;
   PMEMSIM_CHECK(n > 0);
   const WpqConfig wpq_config{config_.wpq_entries, config_.wpq_accept_latency,
                              config_.wpq_drain_latency};
+  TraceEmitter& trace = TraceEmitter::Global();
   for (uint32_t i = 0; i < n; ++i) {
+    const std::string scope_name = "optane_dimm" + std::to_string(i);
+    Counters* scope = registry != nullptr ? registry->CreateScope(scope_name) : counters;
+    optane_scope_counters_.push_back(scope);
     optane_dimms_.push_back(
-        std::make_unique<OptaneDimm>(platform.optane, counters, 0xD1337 + i * 0x9E37));
-    optane_wpqs_.push_back(std::make_unique<Wpq>(wpq_config, counters));
+        std::make_unique<OptaneDimm>(platform.optane, scope, 0xD1337 + i * 0x9E37));
+    optane_wpqs_.push_back(std::make_unique<Wpq>(wpq_config, scope));
+    if (trace.enabled()) {
+      const int track = trace.RegisterTrack(scope_name);
+      optane_dimms_[i]->SetTraceTrack(track);
+      optane_wpqs_[i]->SetTraceTrack(track);
+    }
   }
-  dram_dimm_ = std::make_unique<DramDimm>(platform.dram, counters);
-  dram_wpq_ = std::make_unique<Wpq>(wpq_config, counters);
+  Counters* dram_scope = registry != nullptr ? registry->CreateScope("dram") : counters;
+  dram_scope_counters_ = dram_scope;
+  dram_dimm_ = std::make_unique<DramDimm>(platform.dram, dram_scope);
+  dram_wpq_ = std::make_unique<Wpq>(wpq_config, dram_scope);
 }
 
 size_t MemoryController::OptaneIndexFor(Addr addr) const {

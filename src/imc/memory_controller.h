@@ -35,10 +35,20 @@ struct McWriteResult {
   Cycles visible_at = 0;   // when a subsequent read sees the value
 };
 
+class CounterRegistry;
+
 class MemoryController {
  public:
   // `optane_dimm_count` overrides the platform's count when non-zero (the
   // paper evaluates both a single non-interleaved DIMM and 6 interleaved).
+  //
+  // Scoped form: creates one counter scope per Optane DIMM ("optane_dimmN",
+  // shared with its WPQ), one for the DRAM channel ("dram"), and one for the
+  // iMC's own stalls ("imc") — the per-DIMM `ipmwatch` view.
+  MemoryController(const PlatformConfig& platform, CounterRegistry* registry,
+                   uint32_t optane_dimm_count = 0);
+  // Flat form for standalone use (unit tests): every component shares
+  // `counters`, as if the registry had a single scope.
   MemoryController(const PlatformConfig& platform, Counters* counters,
                    uint32_t optane_dimm_count = 0);
 
@@ -57,8 +67,18 @@ class MemoryController {
   size_t optane_dimm_count() const { return optane_dimms_.size(); }
   OptaneDimm& optane_dimm(size_t i) { return *optane_dimms_[i]; }
   DramDimm& dram_dimm() { return *dram_dimm_; }
+  Wpq& optane_wpq(size_t i) { return *optane_wpqs_[i]; }
+
+  // Per-scope views (valid only when constructed with a registry; the flat
+  // form aliases every pointer to the shared struct).
+  const Counters& optane_dimm_counters(size_t i) const { return *optane_scope_counters_[i]; }
+  const Counters& dram_counters() const { return *dram_scope_counters_; }
+  const Counters& imc_counters() const { return *counters_; }
 
  private:
+  MemoryController(const PlatformConfig& platform, CounterRegistry* registry, Counters* counters,
+                   uint32_t optane_dimm_count);
+
   size_t OptaneIndexFor(Addr addr) const;
 
   ImcConfig config_;
@@ -69,6 +89,9 @@ class MemoryController {
   std::vector<std::unique_ptr<Wpq>> optane_wpqs_;  // one per Optane DIMM
   std::unique_ptr<DramDimm> dram_dimm_;
   std::unique_ptr<Wpq> dram_wpq_;
+
+  std::vector<const Counters*> optane_scope_counters_;
+  const Counters* dram_scope_counters_ = nullptr;
 };
 
 }  // namespace pmemsim

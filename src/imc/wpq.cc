@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/trace/trace_events.h"
 
 namespace pmemsim {
 
@@ -34,6 +35,10 @@ Wpq::AcceptResult Wpq::Accept(Cycles now, Cycles dimm_backpressure_until) {
   r.drained_at = drain_start + config_.drain_latency;
   drain_free_at_ = r.drained_at;
   inflight_.push_back(r.drained_at);
+  if (trace_track_ != 0) {
+    TraceEmitter::Global().CounterEvent(trace_track_, "wpq_occupancy", now,
+                                        static_cast<double>(inflight_.size()));
+  }
   return r;
 }
 

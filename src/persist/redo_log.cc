@@ -30,8 +30,8 @@ void RedoLog::Advance(ThreadContext& ctx) {
     return;
   }
   PMEMSIM_CHECK(open_group_size_ <= shadow_.size());
-  const std::vector<ShadowUpdate> open_suffix(shadow_.end() - static_cast<ptrdiff_t>(open_group_size_),
-                                              shadow_.end());
+  const std::vector<ShadowUpdate> open_suffix(
+      shadow_.end() - static_cast<ptrdiff_t>(open_group_size_), shadow_.end());
   shadow_.resize(shadow_.size() - open_group_size_);
   open_group_size_ = 0;
   for (const ShadowUpdate& s : open_suffix) {

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 
+#include "src/trace/json.h"
+#include "src/trace/registry.h"
+
 namespace pmemsim {
 
 namespace {
@@ -9,45 +12,48 @@ namespace {
 // subtraction/addition code in one place so new fields can't be missed in one
 // of the operators.
 template <typename Op>
-void ForEachField(Counters& lhs, const Counters& rhs, Op op) {
-  op(lhs.imc_read_bytes, rhs.imc_read_bytes);
-  op(lhs.imc_write_bytes, rhs.imc_write_bytes);
-  op(lhs.media_read_bytes, rhs.media_read_bytes);
-  op(lhs.media_write_bytes, rhs.media_write_bytes);
-  op(lhs.read_buffer_hits, rhs.read_buffer_hits);
-  op(lhs.read_buffer_misses, rhs.read_buffer_misses);
-  op(lhs.write_buffer_hits, rhs.write_buffer_hits);
-  op(lhs.write_buffer_misses, rhs.write_buffer_misses);
-  op(lhs.write_buffer_evictions, rhs.write_buffer_evictions);
-  op(lhs.periodic_writebacks, rhs.periodic_writebacks);
-  op(lhs.rmw_media_reads, rhs.rmw_media_reads);
-  op(lhs.read_write_transitions, rhs.read_write_transitions);
-  op(lhs.ait_hits, rhs.ait_hits);
-  op(lhs.ait_misses, rhs.ait_misses);
-  op(lhs.wpq_stall_cycles, rhs.wpq_stall_cycles);
-  op(lhs.rap_stall_cycles, rhs.rap_stall_cycles);
-  op(lhs.rap_stalled_loads, rhs.rap_stalled_loads);
-  op(lhs.demand_loads, rhs.demand_loads);
-  op(lhs.demand_stores, rhs.demand_stores);
-  op(lhs.prefetch_requests, rhs.prefetch_requests);
-  op(lhs.l1_hits, rhs.l1_hits);
-  op(lhs.l2_hits, rhs.l2_hits);
-  op(lhs.l3_hits, rhs.l3_hits);
-  op(lhs.cache_misses, rhs.cache_misses);
-  op(lhs.dram_read_bytes, rhs.dram_read_bytes);
-  op(lhs.dram_write_bytes, rhs.dram_write_bytes);
+void ForEachFieldPair(Counters& lhs, const Counters& rhs, Op op) {
+#define PMEMSIM_PAIR_FIELD(name) op(lhs.name, rhs.name);
+  PMEMSIM_COUNTER_FIELDS(PMEMSIM_PAIR_FIELD)
+#undef PMEMSIM_PAIR_FIELD
 }
 }  // namespace
 
+Counters::Counters(const Counters& other) {
+  ForEachFieldPair(*this, other, [](uint64_t& a, const uint64_t& b) { a = b; });
+}
+
+Counters& Counters::operator=(const Counters& other) {
+  ForEachFieldPair(*this, other, [](uint64_t& a, const uint64_t& b) { a = b; });
+  return *this;
+}
+
 Counters Counters::operator-(const Counters& rhs) const {
   Counters out = *this;
-  ForEachField(out, rhs, [](uint64_t& a, const uint64_t& b) { a -= b; });
+  ForEachFieldPair(out, rhs, [](uint64_t& a, const uint64_t& b) { a -= b; });
   return out;
 }
 
 Counters& Counters::operator+=(const Counters& rhs) {
-  ForEachField(*this, rhs, [](uint64_t& a, const uint64_t& b) { a += b; });
+  ForEachFieldPair(*this, rhs, [](uint64_t& a, const uint64_t& b) { a += b; });
   return *this;
+}
+
+bool Counters::operator==(const Counters& rhs) const {
+  bool equal = true;
+  ForEachFieldPair(const_cast<Counters&>(*this), rhs,
+                   [&equal](const uint64_t& a, const uint64_t& b) { equal = equal && a == b; });
+  return equal;
+}
+
+void Counters::BindAggregate(const CounterRegistry* registry) { aggregate_source_ = registry; }
+
+void Counters::Sync() const {
+  if (aggregate_source_ == nullptr) {
+    return;
+  }
+  // Logically const: re-materializes the cached sum over scopes.
+  aggregate_source_->AggregateInto(const_cast<Counters*>(this));
 }
 
 std::string Counters::ToString() const {
@@ -67,6 +73,42 @@ std::string Counters::ToString() const {
                 static_cast<unsigned long long>(ait_hits),
                 static_cast<unsigned long long>(ait_misses));
   return buf;
+}
+
+void Counters::ToJson(JsonWriter& w) const {
+  w.BeginObject();
+  ForEachCounterField(*this, [&w](const char* name, uint64_t value) {
+    w.Key(name).Value(value);
+  });
+  w.Key("derived").BeginObject();
+  w.Key("write_amplification").Value(WriteAmplification());
+  w.Key("read_amplification").Value(ReadAmplification());
+  w.Key("write_buffer_hit_ratio").Value(WriteBufferHitRatio());
+  w.Key("read_buffer_hit_ratio").Value(ReadBufferHitRatio());
+  w.EndObject();
+  w.EndObject();
+}
+
+std::string Counters::ToJson() const {
+  JsonWriter w;
+  ToJson(w);
+  return w.str();
+}
+
+bool CountersFromJson(const JsonValue& v, Counters* out) {
+  if (v.type != JsonValue::Type::kObject) {
+    return false;
+  }
+  bool ok = true;
+  ForEachCounterField(*out, [&](const char* name, uint64_t& field) {
+    const JsonValue* f = v.Find(name);
+    if (f == nullptr || f->type != JsonValue::Type::kNumber || !f->is_integer) {
+      ok = false;
+      return;
+    }
+    field = f->integer;
+  });
+  return ok;
 }
 
 }  // namespace pmemsim

@@ -1,0 +1,122 @@
+#include "src/trace/trace_events.h"
+
+#include <cstdio>
+
+#include "src/trace/json.h"
+
+namespace pmemsim {
+
+TraceEmitter& TraceEmitter::Global() {
+  static TraceEmitter instance;
+  return instance;
+}
+
+void TraceEmitter::Enable(const std::string& path) {
+  path_ = path;
+  enabled_ = true;
+  events_.clear();
+  dropped_ = 0;
+  if (tracks_.empty()) {
+    tracks_.push_back("sim");
+  }
+}
+
+bool TraceEmitter::Disable() {
+  const bool ok = enabled_ ? Flush() : true;
+  enabled_ = false;
+  events_.clear();
+  return ok;
+}
+
+int TraceEmitter::RegisterTrack(const std::string& name) {
+  if (tracks_.empty()) {
+    tracks_.push_back("sim");
+  }
+  // Benches construct a fresh System per data point; each re-registers its
+  // DIMM tracks. Suffix repeats so the viewer rows stay distinguishable.
+  size_t repeats = 0;
+  for (const std::string& t : tracks_) {
+    if (t == name || t.rfind(name + "#", 0) == 0) {
+      ++repeats;
+    }
+  }
+  tracks_.push_back(repeats == 0 ? name : name + "#" + std::to_string(repeats));
+  return static_cast<int>(tracks_.size()) - 1;
+}
+
+void TraceEmitter::Push(Event e) {
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
+
+void TraceEmitter::Instant(int track, const std::string& name, Cycles ts) {
+  Push(Event{'i', track, name, ts});
+}
+
+void TraceEmitter::Instant(int track, const std::string& name, Cycles ts,
+                           const std::string& arg_name, double arg_value) {
+  Event e{'i', track, name, ts};
+  e.has_arg = true;
+  e.arg_name = arg_name;
+  e.arg_value = arg_value;
+  Push(std::move(e));
+}
+
+void TraceEmitter::CounterEvent(int track, const std::string& name, Cycles ts, double value) {
+  Event e{'C', track, name, ts};
+  e.has_arg = true;
+  e.arg_name = "value";
+  e.arg_value = value;
+  Push(std::move(e));
+}
+
+bool TraceEmitter::Flush() {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ns");
+  w.Key("traceEvents").BeginArray();
+  // Track-name metadata events so the viewer labels each row.
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    w.BeginObject();
+    w.Key("ph").Value("M");
+    w.Key("name").Value("thread_name");
+    w.Key("pid").Value(0);
+    w.Key("tid").Value(static_cast<uint64_t>(i));
+    w.Key("args").BeginObject().Key("name").Value(tracks_[i]).EndObject();
+    w.EndObject();
+  }
+  for (const Event& e : events_) {
+    w.BeginObject();
+    w.Key("ph").Value(std::string(1, e.phase));
+    w.Key("name").Value(e.name);
+    w.Key("cat").Value("pmemsim");
+    w.Key("ts").Value(static_cast<uint64_t>(e.ts));
+    w.Key("pid").Value(0);
+    w.Key("tid").Value(e.track);
+    if (e.phase == 'i') {
+      w.Key("s").Value("t");  // thread-scoped instant
+    }
+    if (e.has_arg) {
+      w.Key("args").BeginObject().Key(e.arg_name).Value(e.arg_value).EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  if (dropped_ > 0) {
+    w.Key("pmemsim_dropped_events").Value(dropped_);
+  }
+  w.EndObject();
+
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string& text = w.str();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace pmemsim

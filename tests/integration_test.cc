@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "src/core/platform.h"
 #include "src/cpu/scheduler.h"
 #include "src/datastores/chase_list.h"
@@ -12,6 +14,7 @@
 #include "src/persist/redo_log.h"
 #include "src/prefetch/helper_thread.h"
 #include "src/trace/counters.h"
+#include "src/trace/registry.h"
 
 namespace pmemsim {
 namespace {
@@ -213,6 +216,45 @@ TEST(PaperClaims, RemoteAccessSlower) {
     return total;
   };
   EXPECT_GT(measure(1), measure(0));
+}
+
+// Telemetry: the global counters are an aggregation over per-DIMM and
+// per-thread scopes; the scoped views must sum exactly to the global totals
+// even under an interleaved multi-DIMM, multi-thread workload.
+TEST(Telemetry, ScopedCountersSumToGlobal) {
+  auto system = MakeG1System(4);
+  ThreadContext& t0 = system->CreateThread();
+  ThreadContext& t1 = system->CreateThread();
+  SetPrefetchers(t0, false, false, false);
+  SetPrefetchers(t1, false, false, false);
+
+  const PmRegion region = system->AllocatePm(MiB(1), kXPLineSize);
+  for (uint64_t off = 0; off < KiB(512); off += KiB(1)) {
+    t0.NtStore64(region.base + off, off);
+    t1.LoadLine(region.base + off);
+    t1.Clflushopt(region.base + off);
+  }
+  t0.Sfence();
+  t1.Sfence();
+
+  const Counters& global = system->counters();
+  Counters dimm_sum;
+  for (uint32_t i = 0; i < 4; ++i) {
+    const Counters* scope =
+        system->counter_registry().FindScope("optane_dimm" + std::to_string(i));
+    ASSERT_NE(scope, nullptr) << "dimm " << i;
+    dimm_sum += *scope;
+    EXPECT_GT(scope->media_write_bytes + scope->media_read_bytes, 0u)
+        << "dimm " << i << " saw no traffic despite interleaving";
+  }
+  EXPECT_EQ(dimm_sum.media_write_bytes, global.media_write_bytes);
+  EXPECT_EQ(dimm_sum.media_read_bytes, global.media_read_bytes);
+  EXPECT_EQ(dimm_sum.write_buffer_hits + dimm_sum.write_buffer_misses,
+            global.write_buffer_hits + global.write_buffer_misses);
+
+  // The whole registry (iMC + DIMMs + DRAM + threads) reproduces the global
+  // struct exactly, field for field.
+  EXPECT_EQ(system->counter_registry().Aggregate(), global);
 }
 
 }  // namespace
