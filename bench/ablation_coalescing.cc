@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/random.h"
 #include "src/core/platform.h"
 #include "src/datastores/flat_log.h"
@@ -83,25 +84,28 @@ int main(int argc, char** argv) {
   }
   const uint64_t records = flags.GetU64("records", 200000);
   pmemsim_bench::BenchReport report(flags, "ablation_coalescing");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Ablation",
                              "coalescing small writes into XPLines (FlatStore guideline)");
   std::printf("layout,records,cycles_per_record,write_amplification\n");
-  const Result in_place = RunInPlace(records);
-  std::printf("in-place,%llu,%.1f,%.3f\n", static_cast<unsigned long long>(records),
-              in_place.cycles, in_place.wa);
-  report.AddRow()
-      .Set("layout", "in-place")
-      .Set("records", records)
-      .Set("cycles_per_record", in_place.cycles)
-      .Set("write_amplification", in_place.wa);
-  const Result coalesced = RunCoalesced(records);
-  std::printf("coalesced,%llu,%.1f,%.3f\n", static_cast<unsigned long long>(records),
-              coalesced.cycles, coalesced.wa);
-  report.AddRow()
-      .Set("layout", "coalesced")
-      .Set("records", records)
-      .Set("cycles_per_record", coalesced.cycles)
-      .Set("write_amplification", coalesced.wa);
-  return report.Finish();
+  struct Layout {
+    const char* name;
+    Result (*run)(uint64_t);
+  };
+  static const Layout kLayouts[] = {{"in-place", &RunInPlace}, {"coalesced", &RunCoalesced}};
+  for (const Layout& layout : kLayouts) {
+    runner.Add(layout.name, [=](pmemsim_bench::SweepPoint& point) {
+      const Result r = layout.run(records);
+      point.Printf("%s,%llu,%.1f,%.3f\n", layout.name,
+                   static_cast<unsigned long long>(records), r.cycles, r.wa);
+      point.AddRow()
+          .Set("layout", layout.name)
+          .Set("records", records)
+          .Set("cycles_per_record", r.cycles)
+          .Set("write_amplification", r.wa);
+    });
+  }
+  return runner.Finish(report);
 }

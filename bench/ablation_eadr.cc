@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/config.h"
 #include "src/core/system.h"
 #include "src/datastores/chase_list.h"
@@ -55,6 +56,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   pmemsim_bench::BenchReport report(flags, "ablation_eadr");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
   pmemsim_bench::PrintHeader("Ablation", "G2 with and without eADR (paper §6)");
   std::printf("workload,platform,cycles\n");
   const PlatformConfig g2 = G2Platform();
@@ -62,18 +65,23 @@ int main(int argc, char** argv) {
   struct Case {
     const char* workload;
     const char* platform;
-    double cycles;
+    double (*run)(const PlatformConfig&);
+    const PlatformConfig* cfg;
   };
   const Case cases[] = {
-      {"element-update-strict", "G2", ElementUpdate(g2)},
-      {"element-update-strict", "G2+eADR", ElementUpdate(eadr)},
-      {"btree-inplace-insert", "G2", BtreeInsert(g2)},
-      {"btree-inplace-insert", "G2+eADR", BtreeInsert(eadr)},
+      {"element-update-strict", "G2", &ElementUpdate, &g2},
+      {"element-update-strict", "G2+eADR", &ElementUpdate, &eadr},
+      {"btree-inplace-insert", "G2", &BtreeInsert, &g2},
+      {"btree-inplace-insert", "G2+eADR", &BtreeInsert, &eadr},
   };
   for (const Case& c : cases) {
-    std::printf("%s,%s,%.1f\n", c.workload, c.platform, c.cycles);
-    report.AddRow().Set("workload", c.workload).Set("platform", c.platform).Set("cycles",
-                                                                                c.cycles);
+    const std::string label = std::string(c.workload) + "/" + c.platform;
+    runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+      const double cycles = c.run(*c.cfg);
+      point.Printf("%s,%s,%.1f\n", c.workload, c.platform, cycles);
+      point.AddRow().Set("workload", c.workload).Set("platform", c.platform).Set("cycles",
+                                                                                 cycles);
+    });
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

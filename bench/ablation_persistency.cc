@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/core/platform.h"
 #include "src/datastores/chase_list.h"
 
@@ -39,16 +40,22 @@ int main(int argc, char** argv) {
     return 0;
   }
   pmemsim_bench::BenchReport report(flags, "ablation_persistency");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
   pmemsim_bench::PrintHeader("Ablation", "persistency spectrum: strict -> epoch -> relaxed");
   std::printf("wss_kb,epoch_len,cycles_per_element\n");
   for (const uint64_t kb : {8ull, 64ull, 1024ull, 16384ull}) {
     for (const uint64_t epoch : {1ull, 4ull, 16ull, 64ull, 1024ull}) {
-      const double cycles = Measure(KiB(kb), epoch);
-      std::printf("%llu,%llu,%.1f\n", static_cast<unsigned long long>(kb),
-                  static_cast<unsigned long long>(epoch), cycles);
-      report.AddRow().Set("wss_kb", kb).Set("epoch_len", epoch).Set("cycles_per_element",
-                                                                    cycles);
+      const std::string label =
+          std::to_string(kb) + "kb/epoch" + std::to_string(epoch);
+      runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+        const double cycles = Measure(KiB(kb), epoch);
+        point.Printf("%llu,%llu,%.1f\n", static_cast<unsigned long long>(kb),
+                     static_cast<unsigned long long>(epoch), cycles);
+        point.AddRow().Set("wss_kb", kb).Set("epoch_len", epoch).Set("cycles_per_element",
+                                                                     cycles);
+      });
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/config.h"
 #include "src/core/platform.h"
 #include "src/trace/counters.h"
@@ -59,6 +60,8 @@ int main(int argc, char** argv) {
   }
   const uint64_t max_kb = flags.GetU64("max_kb", 32);
   pmemsim_bench::BenchReport report(flags, "ablation_read_buffer");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   struct Policy {
     const char* name;
@@ -79,15 +82,20 @@ int main(int argc, char** argv) {
     dimm.read_buffer_exclusive = p.exclusive;
     for (uint64_t kb = 4; kb <= max_kb; kb += 4) {
       for (uint32_t cpx = 1; cpx <= 4; cpx += 3) {
-        const double ra = MeasureRa(dimm, KiB(kb), cpx);
-        std::printf("%s,%llu,%u,%.3f\n", p.name, static_cast<unsigned long long>(kb), cpx, ra);
-        report.AddRow()
-            .Set("policy", p.name)
-            .Set("wss_kb", kb)
-            .Set("cpx", cpx)
-            .Set("read_amplification", ra);
+        const std::string label =
+            std::string(p.name) + "/" + std::to_string(kb) + "kb/cpx" + std::to_string(cpx);
+        runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+          const double ra = MeasureRa(dimm, KiB(kb), cpx);
+          point.Printf("%s,%llu,%u,%.3f\n", p.name, static_cast<unsigned long long>(kb), cpx,
+                       ra);
+          point.AddRow()
+              .Set("policy", p.name)
+              .Set("wss_kb", kb)
+              .Set("cpx", cpx)
+              .Set("read_amplification", ra);
+        });
       }
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/config.h"
 #include "src/core/system.h"
 #include "src/datastores/chase_list.h"
@@ -40,15 +41,21 @@ int main(int argc, char** argv) {
     return 0;
   }
   pmemsim_bench::BenchReport report(flags, "ablation_wpq_depth");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
   pmemsim_bench::PrintHeader("Ablation", "WPQ depth vs write-latency consistency (Fig. 8c)");
   std::printf("wpq_entries,wss_kb,cycles_per_element\n");
   for (const uint32_t entries : {1u, 4u, 16u, 64u}) {
     for (const uint64_t kb : {4ull, 16ull, 64ull, 256ull, 1024ull, 4096ull}) {
-      const double cycles = Measure(entries, KiB(kb));
-      std::printf("%u,%llu,%.1f\n", entries, static_cast<unsigned long long>(kb), cycles);
-      report.AddRow().Set("wpq_entries", entries).Set("wss_kb", kb).Set("cycles_per_element",
-                                                                        cycles);
+      const std::string label =
+          "wpq" + std::to_string(entries) + "/" + std::to_string(kb) + "kb";
+      runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+        const double cycles = Measure(entries, KiB(kb));
+        point.Printf("%u,%llu,%.1f\n", entries, static_cast<unsigned long long>(kb), cycles);
+        point.AddRow().Set("wpq_entries", entries).Set("wss_kb", kb).Set("cycles_per_element",
+                                                                         cycles);
+      });
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

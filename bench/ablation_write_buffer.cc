@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/config.h"
 #include "src/common/random.h"
 #include "src/core/platform.h"
@@ -80,25 +81,36 @@ int main(int argc, char** argv) {
   }
   const uint64_t max_kb = flags.GetU64("max_kb", 32);
   pmemsim_bench::BenchReport report(flags, "ablation_write_buffer");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Ablation", "write-buffer eviction & periodic write-back");
   std::printf("experiment,policy,wss_kb,value\n");
-  auto emit = [&](const char* experiment, const char* policy, uint64_t kb, double value) {
-    std::printf("%s,%s,%llu,%.3f\n", experiment, policy, static_cast<unsigned long long>(kb),
-                value);
-    report.AddRow()
+  auto emit = [](pmemsim_bench::SweepPoint& point, const char* experiment, const char* policy,
+                 uint64_t kb, double value) {
+    point.Printf("%s,%s,%llu,%.3f\n", experiment, policy, static_cast<unsigned long long>(kb),
+                 value);
+    point.AddRow()
         .Set("experiment", experiment)
         .Set("policy", policy)
         .Set("wss_kb", kb)
         .Set("value", value);
   };
   for (uint64_t kb = 4; kb <= max_kb; kb += 4) {
-    emit("cyclic-hit-ratio", "random", kb, CyclicHitRatio(0, KiB(kb)));
-    emit("cyclic-hit-ratio", "oldest-first", kb, CyclicHitRatio(1, KiB(kb)));
+    runner.Add("cyclic-hit-ratio/" + std::to_string(kb) + "kb",
+               [=](pmemsim_bench::SweepPoint& point) {
+                 emit(point, "cyclic-hit-ratio", "random", kb, CyclicHitRatio(0, KiB(kb)));
+                 emit(point, "cyclic-hit-ratio", "oldest-first", kb, CyclicHitRatio(1, KiB(kb)));
+               });
   }
   for (uint64_t kb = 4; kb <= max_kb; kb += 4) {
-    emit("full-write-wa", "periodic-on (G1 hardware)", kb, FullWriteWa(true, KiB(kb)));
-    emit("full-write-wa", "periodic-off (G2-like)", kb, FullWriteWa(false, KiB(kb)));
+    runner.Add("full-write-wa/" + std::to_string(kb) + "kb",
+               [=](pmemsim_bench::SweepPoint& point) {
+                 emit(point, "full-write-wa", "periodic-on (G1 hardware)", kb,
+                      FullWriteWa(true, KiB(kb)));
+                 emit(point, "full-write-wa", "periodic-off (G2-like)", kb,
+                      FullWriteWa(false, KiB(kb)));
+               });
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

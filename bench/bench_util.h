@@ -11,9 +11,12 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +27,10 @@
 
 namespace pmemsim_bench {
 
+// Tiny --name / --name=value parser. Every Has/Get* call registers the name
+// as recognized; after querying all its flags, a bench calls RejectUnknown()
+// so a typo (--stats-json for --stats_json) fails loudly instead of silently
+// no-opping. Malformed numeric values exit(2) with the offending flag named.
 class Flags {
  public:
   Flags(int argc, char** argv) {
@@ -33,6 +40,7 @@ class Flags {
   }
 
   bool Has(const std::string& name) const {
+    known_.insert(name);
     for (const std::string& a : args_) {
       if (a == "--" + name) {
         return true;
@@ -42,6 +50,7 @@ class Flags {
   }
 
   std::string Get(const std::string& name, const std::string& def) const {
+    known_.insert(name);
     const std::string prefix = "--" + name + "=";
     for (const std::string& a : args_) {
       if (a.rfind(prefix, 0) == 0) {
@@ -53,16 +62,61 @@ class Flags {
 
   uint64_t GetU64(const std::string& name, uint64_t def) const {
     const std::string v = Get(name, "");
-    return v.empty() ? def : std::stoull(v);
+    if (v.empty()) {
+      return def;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+    if (errno != 0 || end == v.c_str() || *end != '\0' || v[0] == '-') {
+      BadValue(name, v, "unsigned integer");
+    }
+    return parsed;
   }
 
   double GetDouble(const std::string& name, double def) const {
     const std::string v = Get(name, "");
-    return v.empty() ? def : std::stod(v);
+    if (v.empty()) {
+      return def;
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (errno != 0 || end == v.c_str() || *end != '\0') {
+      BadValue(name, v, "number");
+    }
+    return parsed;
+  }
+
+  // Exits(2) naming any --flag whose name was never queried. Call after the
+  // last Get/Has (flag queries register names, so order matters).
+  void RejectUnknown() const {
+    for (const std::string& a : args_) {
+      if (a.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "error: unexpected argument '%s'\n", a.c_str());
+        std::exit(2);
+      }
+      const size_t eq = a.find('=');
+      const std::string name =
+          eq == std::string::npos ? a.substr(2) : a.substr(2, eq - 2);
+      if (known_.count(name) == 0) {
+        std::fprintf(stderr, "error: unrecognized flag '--%s' (see --help)\n", name.c_str());
+        std::exit(2);
+      }
+    }
   }
 
  private:
+  [[noreturn]] static void BadValue(const std::string& name, const std::string& v,
+                                    const char* expected) {
+    std::fprintf(stderr, "error: invalid value for --%s: '%s' (expected %s)\n", name.c_str(),
+                 v.c_str(), expected);
+    std::exit(2);
+  }
+
   std::vector<std::string> args_;
+  // Names queried so far; mutable because Get/Has are logically const reads.
+  mutable std::set<std::string> known_;
 };
 
 inline void PrintHeader(const char* figure, const char* description) {
@@ -118,6 +172,15 @@ class BenchReport {
   Row& AddRow() {
     rows_.emplace_back();
     return rows_.back();
+  }
+
+  // Appends rows built elsewhere (the sweep runner collects each point's rows
+  // on a worker thread and splices them in deterministic point order).
+  void AppendRows(std::vector<Row>&& rows) {
+    for (Row& row : rows) {
+      rows_.push_back(std::move(row));
+    }
+    rows.clear();
   }
 
   // Attaches a labelled counter snapshot (e.g. the final system counters).

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/core/platform.h"
 #include "src/trace/counters.h"
 
@@ -57,6 +58,8 @@ int main(int argc, char** argv) {
   const std::string gen_flag = flags.Get("gen", "both");
   const uint64_t max_kb = flags.GetU64("max_kb", 36);
   pmemsim_bench::BenchReport report(flags, "fig02_read_buffer");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Figure 2", "read amplification vs WSS (strided reads, CpX=1..4)");
   std::printf("gen,wss_kb,cpx,read_amplification\n");
@@ -68,15 +71,20 @@ int main(int argc, char** argv) {
     const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
     for (uint64_t kb = 1; kb <= max_kb; ++kb) {
       for (uint32_t cpx = 1; cpx <= 4; ++cpx) {
-        const double ra = MeasureRa(gen, KiB(kb), cpx);
-        std::printf("%s,%llu,%u,%.3f\n", gen_name, static_cast<unsigned long long>(kb), cpx, ra);
-        report.AddRow()
-            .Set("gen", gen_name)
-            .Set("wss_kb", kb)
-            .Set("cpx", cpx)
-            .Set("read_amplification", ra);
+        const std::string label =
+            std::string(gen_name) + "/" + std::to_string(kb) + "kb/cpx" + std::to_string(cpx);
+        runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+          const double ra = MeasureRa(gen, KiB(kb), cpx);
+          point.Printf("%s,%llu,%u,%.3f\n", gen_name, static_cast<unsigned long long>(kb), cpx,
+                       ra);
+          point.AddRow()
+              .Set("gen", gen_name)
+              .Set("wss_kb", kb)
+              .Set("cpx", cpx)
+              .Set("read_amplification", ra);
+        });
       }
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/random.h"
 #include "src/core/platform.h"
 #include "src/trace/counters.h"
@@ -70,6 +71,8 @@ int main(int argc, char** argv) {
   const uint64_t max_kb = flags.GetU64("max_kb", 32);
   const bool random = flags.Has("random");
   pmemsim_bench::BenchReport report(flags, "fig03_write_amplification");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Figure 3", "write amplification vs WSS (nt-store partial/full)");
   std::printf("gen,wss_kb,write_pct,write_amplification\n");
@@ -81,16 +84,21 @@ int main(int argc, char** argv) {
     const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
     for (uint64_t kb = 1; kb <= max_kb; ++kb) {
       for (uint32_t lines = 1; lines <= 4; ++lines) {
-        const double wa = MeasureWa(gen, KiB(kb), lines, random);
-        std::printf("%s,%llu,%u,%.3f\n", gen_name, static_cast<unsigned long long>(kb),
-                    lines * 25, wa);
-        report.AddRow()
-            .Set("gen", gen_name)
-            .Set("wss_kb", kb)
-            .Set("write_pct", lines * 25)
-            .Set("write_amplification", wa);
+        const std::string label =
+            std::string(gen_name) + "/" + std::to_string(kb) + "kb/" +
+            std::to_string(lines * 25) + "pct";
+        runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+          const double wa = MeasureWa(gen, KiB(kb), lines, random);
+          point.Printf("%s,%llu,%u,%.3f\n", gen_name, static_cast<unsigned long long>(kb),
+                       lines * 25, wa);
+          point.AddRow()
+              .Set("gen", gen_name)
+              .Set("wss_kb", kb)
+              .Set("write_pct", lines * 25)
+              .Set("write_amplification", wa);
+        });
       }
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/random.h"
 #include "src/core/platform.h"
 #include "src/trace/counters.h"
@@ -52,6 +53,8 @@ int main(int argc, char** argv) {
   const std::string gen_flag = flags.Get("gen", "both");
   const uint64_t max_kb = flags.GetU64("max_kb", 32);
   pmemsim_bench::BenchReport report(flags, "fig04_write_buffer_hit");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Figure 4", "write-buffer hit ratio vs WSS (random partial writes)");
   std::printf("gen,wss_kb,hit_ratio\n");
@@ -62,10 +65,13 @@ int main(int argc, char** argv) {
     }
     const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
     for (uint64_t kb = 2; kb <= max_kb; ++kb) {
-      const double ratio = MeasureHitRatio(gen, KiB(kb));
-      std::printf("%s,%llu,%.3f\n", gen_name, static_cast<unsigned long long>(kb), ratio);
-      report.AddRow().Set("gen", gen_name).Set("wss_kb", kb).Set("hit_ratio", ratio);
+      const std::string label = std::string(gen_name) + "/" + std::to_string(kb) + "kb";
+      runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+        const double ratio = MeasureHitRatio(gen, KiB(kb));
+        point.Printf("%s,%llu,%.3f\n", gen_name, static_cast<unsigned long long>(kb), ratio);
+        point.AddRow().Set("gen", gen_name).Set("wss_kb", kb).Set("hit_ratio", ratio);
+      });
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

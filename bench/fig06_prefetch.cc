@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/random.h"
 #include "src/core/platform.h"
 #include "src/trace/counters.h"
@@ -105,6 +106,8 @@ int main(int argc, char** argv) {
   const uint64_t max_visits = flags.GetU64("max_visits", 60000);
   const uint32_t repeats = static_cast<uint32_t>(flags.GetU64("repeats", 4));
   pmemsim_bench::BenchReport report(flags, "fig06_prefetch");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   static const PrefetcherConfig kConfigs[] = {
       {"none", false, false, false},
@@ -122,19 +125,22 @@ int main(int argc, char** argv) {
     }
     for (const PrefetcherConfig& pf : kConfigs) {
       for (uint64_t kb = 4; kb <= max_mb * 1024; kb *= 4) {
-        const Ratios r = MeasureRatios(gen, KiB(kb), pf, max_visits, repeats);
         const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
-        std::printf("%s,%s,%llu,%.3f,%.3f\n", gen_name, pf.name,
-                    static_cast<unsigned long long>(kb), r.pm, r.imc);
-        std::fflush(stdout);
-        report.AddRow()
-            .Set("gen", gen_name)
-            .Set("prefetcher", pf.name)
-            .Set("wss_kb", kb)
-            .Set("pm_ratio", r.pm)
-            .Set("imc_ratio", r.imc);
+        const std::string label =
+            std::string(gen_name) + "/" + pf.name + "/" + std::to_string(kb) + "kb";
+        runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+          const Ratios r = MeasureRatios(gen, KiB(kb), pf, max_visits, repeats);
+          point.Printf("%s,%s,%llu,%.3f,%.3f\n", gen_name, pf.name,
+                       static_cast<unsigned long long>(kb), r.pm, r.imc);
+          point.AddRow()
+              .Set("gen", gen_name)
+              .Set("prefetcher", pf.name)
+              .Set("wss_kb", kb)
+              .Set("pm_ratio", r.pm)
+              .Set("imc_ratio", r.imc);
+        });
       }
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/core/platform.h"
 
 namespace {
@@ -92,6 +93,8 @@ int main(int argc, char** argv) {
   const std::string panel = flags.Get("panel", "all");
   const uint64_t max_distance = flags.GetU64("max_distance", 40);
   pmemsim_bench::BenchReport report(flags, "fig07_rap");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Figure 7", "read-after-persist latency vs distance (Algorithm 1)");
   std::printf("gen,device,locality,mode,distance,cycles\n");
@@ -113,22 +116,26 @@ int main(int argc, char** argv) {
             continue;  // the paper's DRAM panels plot only the clwb variants
           }
           for (uint64_t d = 0; d <= max_distance; ++d) {
-            const double cycles = MeasureRap(gen, dram, remote, mode, d);
             const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
-            std::printf("%s,%s,%s,%s,%llu,%.1f\n", gen_name, dram ? "DRAM" : "PM",
-                        remote ? "remote" : "local", ModeName(mode),
-                        static_cast<unsigned long long>(d), cycles);
-            report.AddRow()
-                .Set("gen", gen_name)
-                .Set("device", dram ? "DRAM" : "PM")
-                .Set("locality", remote ? "remote" : "local")
-                .Set("mode", ModeName(mode))
-                .Set("distance", d)
-                .Set("cycles", cycles);
+            const std::string label = std::string(gen_name) + "/" + key + "/" + ModeName(mode) +
+                                      "/d" + std::to_string(d);
+            runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+              const double cycles = MeasureRap(gen, dram, remote, mode, d);
+              point.Printf("%s,%s,%s,%s,%llu,%.1f\n", gen_name, dram ? "DRAM" : "PM",
+                           remote ? "remote" : "local", ModeName(mode),
+                           static_cast<unsigned long long>(d), cycles);
+              point.AddRow()
+                  .Set("gen", gen_name)
+                  .Set("device", dram ? "DRAM" : "PM")
+                  .Set("locality", remote ? "remote" : "local")
+                  .Set("mode", ModeName(mode))
+                  .Set("distance", d)
+                  .Set("cycles", cycles);
+            });
           }
         }
       }
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/core/platform.h"
 #include "src/datastores/chase_list.h"
 
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
   const uint64_t max_mb = flags.GetU64("max_mb", 1024);
   const uint64_t max_ops = flags.GetU64("max_ops", 120000);
   pmemsim_bench::BenchReport report(flags, "fig08_latency");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   static const Series kWriteSeries[] = {
       {"seq_clwb", true, PersistMode::kClwbSfence},
@@ -111,35 +114,41 @@ int main(int argc, char** argv) {
     const char* gname = gen == Generation::kG1 ? "G1" : "G2";
     for (const uint64_t wss : wss_points) {
       for (const Series& s : kWriteSeries) {
-        const double strict =
-            MeasureUpdate(gen, wss, s.sequential, s.mode, Persistency::kStrict, max_ops);
-        std::printf("%s,strict,%s,%llu,%.1f\n", gname, s.name,
-                    static_cast<unsigned long long>(wss / 1024), strict);
-        report.AddRow().Set("gen", gname).Set("panel", "strict").Set("series", s.name)
-            .Set("wss_kb", wss / 1024).Set("cycles", strict);
-        const double relaxed =
-            MeasureUpdate(gen, wss, s.sequential, s.mode, Persistency::kRelaxed, max_ops);
-        std::printf("%s,relaxed,%s,%llu,%.1f\n", gname, s.name,
-                    static_cast<unsigned long long>(wss / 1024), relaxed);
-        report.AddRow().Set("gen", gname).Set("panel", "relaxed").Set("series", s.name)
-            .Set("wss_kb", wss / 1024).Set("cycles", relaxed);
-        const double pure =
-            MeasurePureWrite(gen, wss, s.sequential, s.mode, max_ops);
-        std::printf("%s,breakdown,%s,%llu,%.1f\n", gname, s.name,
-                    static_cast<unsigned long long>(wss / 1024), pure);
-        report.AddRow().Set("gen", gname).Set("panel", "breakdown").Set("series", s.name)
-            .Set("wss_kb", wss / 1024).Set("cycles", pure);
+        const std::string label = std::string(gname) + "/" + s.name + "/" +
+                                  std::to_string(wss / 1024) + "kb";
+        runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+          const double strict =
+              MeasureUpdate(gen, wss, s.sequential, s.mode, Persistency::kStrict, max_ops);
+          point.Printf("%s,strict,%s,%llu,%.1f\n", gname, s.name,
+                       static_cast<unsigned long long>(wss / 1024), strict);
+          point.AddRow().Set("gen", gname).Set("panel", "strict").Set("series", s.name)
+              .Set("wss_kb", wss / 1024).Set("cycles", strict);
+          const double relaxed =
+              MeasureUpdate(gen, wss, s.sequential, s.mode, Persistency::kRelaxed, max_ops);
+          point.Printf("%s,relaxed,%s,%llu,%.1f\n", gname, s.name,
+                       static_cast<unsigned long long>(wss / 1024), relaxed);
+          point.AddRow().Set("gen", gname).Set("panel", "relaxed").Set("series", s.name)
+              .Set("wss_kb", wss / 1024).Set("cycles", relaxed);
+          const double pure = MeasurePureWrite(gen, wss, s.sequential, s.mode, max_ops);
+          point.Printf("%s,breakdown,%s,%llu,%.1f\n", gname, s.name,
+                       static_cast<unsigned long long>(wss / 1024), pure);
+          point.AddRow().Set("gen", gname).Set("panel", "breakdown").Set("series", s.name)
+              .Set("wss_kb", wss / 1024).Set("cycles", pure);
+        });
       }
       for (const bool sequential : {true, false}) {
-        const double read = MeasureRead(gen, wss, sequential, max_ops);
-        std::printf("%s,breakdown,%s_rd,%llu,%.1f\n", gname, sequential ? "seq" : "rand",
-                    static_cast<unsigned long long>(wss / 1024), read);
-        report.AddRow().Set("gen", gname).Set("panel", "breakdown")
-            .Set("series", std::string(sequential ? "seq" : "rand") + "_rd")
-            .Set("wss_kb", wss / 1024).Set("cycles", read);
+        const std::string label = std::string(gname) + "/" + (sequential ? "seq" : "rand") +
+                                  "_rd/" + std::to_string(wss / 1024) + "kb";
+        runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+          const double read = MeasureRead(gen, wss, sequential, max_ops);
+          point.Printf("%s,breakdown,%s_rd,%llu,%.1f\n", gname, sequential ? "seq" : "rand",
+                       static_cast<unsigned long long>(wss / 1024), read);
+          point.AddRow().Set("gen", gname).Set("panel", "breakdown")
+              .Set("series", std::string(sequential ? "seq" : "rand") + "_rd")
+              .Set("wss_kb", wss / 1024).Set("cycles", read);
+        });
       }
-      std::fflush(stdout);
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

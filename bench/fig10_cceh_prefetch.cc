@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/config.h"
 #include "src/core/platform.h"
 #include "src/cpu/scheduler.h"
@@ -124,24 +125,30 @@ int main(int argc, char** argv) {
   const bool scaled_cache = !flags.Has("full_cache");
   const uint32_t dimms = static_cast<uint32_t>(flags.GetU64("dimms", 6));
   pmemsim_bench::BenchReport report(flags, "fig10_cceh_prefetch");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Figure 10", "CCEH with helper-thread prefetching (PM vs DRAM)");
   std::printf("device,variant,workers,cycles_per_insert,mops\n");
   for (const MemoryKind kind : {MemoryKind::kOptane, MemoryKind::kDram}) {
     for (const bool prefetch : {false, true}) {
       for (uint32_t w = 1; w <= max_workers; ++w) {
-        const Result r = RunCceh(gen, kind, w, prefetch, keys, depth, scaled_cache, dimms);
-        std::printf("%s,%s,%u,%.0f,%.2f\n", kind == MemoryKind::kOptane ? "PM" : "DRAM",
-                    prefetch ? "cceh+prefetch" : "cceh", w, r.cycles_per_insert, r.mops);
-        std::fflush(stdout);
-        report.AddRow()
-            .Set("device", kind == MemoryKind::kOptane ? "PM" : "DRAM")
-            .Set("variant", prefetch ? "cceh+prefetch" : "cceh")
-            .Set("workers", w)
-            .Set("cycles_per_insert", r.cycles_per_insert)
-            .Set("mops", r.mops);
+        const char* device = kind == MemoryKind::kOptane ? "PM" : "DRAM";
+        const char* variant = prefetch ? "cceh+prefetch" : "cceh";
+        const std::string label =
+            std::string(device) + "/" + variant + "/w" + std::to_string(w);
+        runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+          const Result r = RunCceh(gen, kind, w, prefetch, keys, depth, scaled_cache, dimms);
+          point.Printf("%s,%s,%u,%.0f,%.2f\n", device, variant, w, r.cycles_per_insert, r.mops);
+          point.AddRow()
+              .Set("device", device)
+              .Set("variant", variant)
+              .Set("workers", w)
+              .Set("cycles_per_insert", r.cycles_per_insert)
+              .Set("mops", r.mops);
+        });
       }
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

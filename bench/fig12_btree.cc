@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/core/platform.h"
 #include "src/cpu/scheduler.h"
 #include "src/datastores/fast_fair.h"
@@ -88,6 +89,8 @@ int main(int argc, char** argv) {
   const uint64_t keys = flags.GetU64("keys", 120000);
   const uint32_t max_threads = static_cast<uint32_t>(flags.GetU64("max_threads", 9));
   pmemsim_bench::BenchReport report(flags, "fig12_btree");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Figure 12",
                              "FAST&FAIR inserts: in-place vs out-of-place redo logging");
@@ -99,20 +102,23 @@ int main(int argc, char** argv) {
     }
     for (const BTreeUpdateMode mode : {BTreeUpdateMode::kInPlace, BTreeUpdateMode::kRedoLog}) {
       for (uint32_t t = 1; t <= max_threads; t += 2) {
-        const Result r = RunTree(gen, mode, t, keys);
         const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
         const char* mode_name = mode == BTreeUpdateMode::kInPlace ? "in-place" : "out-of-place";
-        std::printf("%s,%s,%u,%.0f,%.3f\n", gen_name, mode_name, t, r.cycles_per_insert,
-                    r.mops);
-        std::fflush(stdout);
-        report.AddRow()
-            .Set("gen", gen_name)
-            .Set("mode", mode_name)
-            .Set("threads", t)
-            .Set("cycles_per_insert", r.cycles_per_insert)
-            .Set("mops", r.mops);
+        const std::string label =
+            std::string(gen_name) + "/" + mode_name + "/t" + std::to_string(t);
+        runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+          const Result r = RunTree(gen, mode, t, keys);
+          point.Printf("%s,%s,%u,%.0f,%.3f\n", gen_name, mode_name, t, r.cycles_per_insert,
+                       r.mops);
+          point.AddRow()
+              .Set("gen", gen_name)
+              .Set("mode", mode_name)
+              .Set("threads", t)
+              .Set("cycles_per_insert", r.cycles_per_insert)
+              .Set("mops", r.mops);
+        });
       }
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

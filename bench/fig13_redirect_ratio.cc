@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/random.h"
 #include "src/core/platform.h"
 #include "src/trace/counters.h"
@@ -102,6 +103,8 @@ int main(int argc, char** argv) {
   const uint64_t max_mb = flags.GetU64("max_mb", 1024);
   const uint64_t max_visits = flags.GetU64("max_visits", 60000);
   pmemsim_bench::BenchReport report(flags, "fig13_redirect_ratio");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Figure 13", "misprefetch reduction via AVX redirect (Algorithm 2)");
   std::printf("gen,variant,wss_kb,pm_ratio,imc_ratio\n");
@@ -112,20 +115,23 @@ int main(int argc, char** argv) {
     }
     for (const bool optimized : {false, true}) {
       for (uint64_t kb = 4; kb <= max_mb * 1024; kb *= 4) {
-        const Ratios r = MeasureRedirect(gen, KiB(kb), optimized, max_visits, /*repeats=*/4);
         const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
         const char* variant = optimized ? "optimized" : "prefetching";
-        std::printf("%s,%s,%llu,%.3f,%.3f\n", gen_name, variant,
-                    static_cast<unsigned long long>(kb), r.pm, r.imc);
-        std::fflush(stdout);
-        report.AddRow()
-            .Set("gen", gen_name)
-            .Set("variant", variant)
-            .Set("wss_kb", kb)
-            .Set("pm_ratio", r.pm)
-            .Set("imc_ratio", r.imc);
+        const std::string label =
+            std::string(gen_name) + "/" + variant + "/" + std::to_string(kb) + "kb";
+        runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+          const Ratios r = MeasureRedirect(gen, KiB(kb), optimized, max_visits, /*repeats=*/4);
+          point.Printf("%s,%s,%llu,%.3f,%.3f\n", gen_name, variant,
+                       static_cast<unsigned long long>(kb), r.pm, r.imc);
+          point.AddRow()
+              .Set("gen", gen_name)
+              .Set("variant", variant)
+              .Set("wss_kb", kb)
+              .Set("pm_ratio", r.pm)
+              .Set("imc_ratio", r.imc);
+        });
       }
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/random.h"
 #include "src/core/platform.h"
 #include "src/cpu/scheduler.h"
@@ -122,6 +123,8 @@ int main(int argc, char** argv) {
   const uint64_t wss = MiB(flags.GetU64("wss_mb", 256));
   const uint64_t blocks = flags.GetU64("blocks", 4000);
   pmemsim_bench::BenchReport report(flags, "fig14_redirect_scaling");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Figure 14", "redirect latency/throughput vs thread count");
   std::printf("gen,variant,threads,cycles_per_block,throughput_gbps\n");
@@ -133,19 +136,23 @@ int main(int argc, char** argv) {
     const uint32_t max_threads = gen == Generation::kG1 ? 16 : 24;
     for (const bool optimized : {false, true}) {
       for (uint32_t t = 1; t <= max_threads; t += (t < 4 ? 1 : 2)) {
-        const Result r = RunScaling(gen, optimized, t, wss, blocks);
         const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
         const char* variant = optimized ? "optimized" : "prefetching";
-        std::printf("%s,%s,%u,%.0f,%.3f\n", gen_name, variant, t, r.cycles_per_block, r.gbps);
-        std::fflush(stdout);
-        report.AddRow()
-            .Set("gen", gen_name)
-            .Set("variant", variant)
-            .Set("threads", t)
-            .Set("cycles_per_block", r.cycles_per_block)
-            .Set("throughput_gbps", r.gbps);
+        const std::string label =
+            std::string(gen_name) + "/" + variant + "/t" + std::to_string(t);
+        runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+          const Result r = RunScaling(gen, optimized, t, wss, blocks);
+          point.Printf("%s,%s,%u,%.0f,%.3f\n", gen_name, variant, t, r.cycles_per_block,
+                       r.gbps);
+          point.AddRow()
+              .Set("gen", gen_name)
+              .Set("variant", variant)
+              .Set("threads", t)
+              .Set("cycles_per_block", r.cycles_per_block)
+              .Set("throughput_gbps", r.gbps);
+        });
       }
     }
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

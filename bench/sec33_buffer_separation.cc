@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/core/platform.h"
 #include "src/trace/counters.h"
 
@@ -25,7 +26,7 @@ namespace {
 
 using namespace pmemsim;
 
-void RunSeparation(Generation gen, pmemsim_bench::BenchReport& report) {
+void RunSeparation(Generation gen, pmemsim_bench::SweepPoint& point) {
   auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
   ThreadContext& ctx = system->CreateThread();
   SetPrefetchers(ctx, false, false, false);
@@ -57,9 +58,9 @@ void RunSeparation(Generation gen, pmemsim_bench::BenchReport& report) {
   const bool no_media_write = d.media_write_bytes == 0;
   const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
   const char* verdict = (ra < 1.05 && no_media_write) ? "SEPARATE-BUFFERS" : "SHARED-BUFFERS";
-  std::printf("%s,separation,RA=%.3f,media_write_bytes=%llu,verdict=%s\n", gen_name, ra,
-              static_cast<unsigned long long>(d.media_write_bytes), verdict);
-  report.AddRow()
+  point.Printf("%s,separation,RA=%.3f,media_write_bytes=%llu,verdict=%s\n", gen_name, ra,
+               static_cast<unsigned long long>(d.media_write_bytes), verdict);
+  point.AddRow()
       .Set("gen", gen_name)
       .Set("experiment", "separation")
       .Set("read_amplification", ra)
@@ -67,7 +68,7 @@ void RunSeparation(Generation gen, pmemsim_bench::BenchReport& report) {
       .Set("verdict", verdict);
 }
 
-void RunTransition(Generation gen, pmemsim_bench::BenchReport& report) {
+void RunTransition(Generation gen, pmemsim_bench::SweepPoint& point) {
   auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
   ThreadContext& ctx = system->CreateThread();
   SetPrefetchers(ctx, false, false, false);
@@ -102,11 +103,11 @@ void RunTransition(Generation gen, pmemsim_bench::BenchReport& report) {
   const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
   const char* verdict =
       (media_vs_imc_read < 0.5 && media_vs_imc_write < 1.2) ? "BUFFER-HITS" : "MEDIA-BOUND";
-  std::printf(
+  point.Printf(
       "%s,transition,media/imc_read=%.3f,media/imc_write=%.3f,transitions=%llu,verdict=%s\n",
       gen_name, media_vs_imc_read, media_vs_imc_write,
       static_cast<unsigned long long>(d.read_write_transitions), verdict);
-  report.AddRow()
+  point.AddRow()
       .Set("gen", gen_name)
       .Set("experiment", "transition")
       .Set("media_imc_read_ratio", media_vs_imc_read)
@@ -125,10 +126,15 @@ int main(int argc, char** argv) {
     return 0;
   }
   pmemsim_bench::BenchReport report(flags, "sec33_buffer_separation");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
   pmemsim_bench::PrintHeader("Section 3.3", "read/write buffer separation and XPLine transition");
   for (Generation gen : {Generation::kG1, Generation::kG2}) {
-    RunSeparation(gen, report);
-    RunTransition(gen, report);
+    const char* gen_name = gen == Generation::kG1 ? "G1" : "G2";
+    runner.Add(std::string(gen_name) + "/separation",
+               [=](pmemsim_bench::SweepPoint& point) { RunSeparation(gen, point); });
+    runner.Add(std::string(gen_name) + "/transition",
+               [=](pmemsim_bench::SweepPoint& point) { RunTransition(gen, point); });
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

@@ -1,0 +1,169 @@
+#include "bench/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdarg>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace pmemsim_bench {
+
+void SweepPoint::Printf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (n > 0) {
+    const size_t old = text_.size();
+    text_.resize(old + static_cast<size_t>(n) + 1);
+    std::vsnprintf(&text_[old], static_cast<size_t>(n) + 1, fmt, args_copy);
+    text_.resize(old + static_cast<size_t>(n));  // drop the NUL
+  }
+  va_end(args_copy);
+}
+
+BenchReport::Row& SweepPoint::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+SweepRunner::SweepRunner(const Flags& flags) {
+  const uint64_t jobs = flags.GetU64("jobs", 1);
+  jobs_ = jobs == 0 ? 1 : static_cast<uint32_t>(jobs);
+  if (jobs_ > 1 && pmemsim::TraceEmitter::Global().enabled()) {
+    std::fprintf(stderr,
+                 "note: --trace_out uses the process-wide trace buffer; "
+                 "running with --jobs=1 for a deterministic trace\n");
+    jobs_ = 1;
+  }
+}
+
+void SweepRunner::Add(std::string label, std::function<void(SweepPoint&)> fn) {
+  points_.push_back(Point{std::move(label), std::move(fn)});
+}
+
+namespace {
+
+// Execution state of one queued point, filled in by a worker.
+struct PointState {
+  SweepPoint output;
+  std::string error;  // non-empty <=> the point failed
+  bool failed = false;
+  bool done = false;
+};
+
+// Runs one point with failure isolation: CHECK failures (rethrown as
+// pmemsim::CheckFailure under the capture scope) and exceptions become an
+// error recorded on the state instead of killing the process.
+void RunPoint(const std::function<void(SweepPoint&)>& fn, PointState& state) {
+  pmemsim::ScopedCheckCapture capture;
+  try {
+    fn(state.output);
+  } catch (const std::exception& e) {
+    state.failed = true;
+    state.error = e.what();
+  } catch (...) {
+    state.failed = true;
+    state.error = "unknown exception";
+  }
+}
+
+}  // namespace
+
+int SweepRunner::Run(BenchReport& report) {
+  PMEMSIM_CHECK_MSG(!ran_, "SweepRunner::Run called twice");
+  ran_ = true;
+
+  std::vector<PointState> states(points_.size());
+
+  // Deterministic emission: submission order, whatever the completion order.
+  int failures = 0;
+  auto emit = [&](size_t i) {
+    PointState& state = states[i];
+    if (state.failed) {
+      ++failures;
+      std::fprintf(stderr, "sweep point failed: %s: %s\n", points_[i].label.c_str(),
+                   state.error.c_str());
+      std::printf("error,%s\n", points_[i].label.c_str());
+      report.AddRow().Set("point", points_[i].label).Set("error", state.error);
+    } else {
+      if (!state.output.text_.empty()) {
+        std::fwrite(state.output.text_.data(), 1, state.output.text_.size(), stdout);
+      }
+      report.AppendRows(std::move(state.output.rows_));
+    }
+    std::fflush(stdout);
+  };
+
+  if (jobs_ <= 1 || points_.size() <= 1) {
+    // Serial path: run on the calling thread, emitting as each point ends.
+    // Identical to the historical per-bench loops, plus failure isolation.
+    for (size_t i = 0; i < points_.size(); ++i) {
+      RunPoint(points_[i].fn, states[i]);
+      states[i].done = true;
+      emit(i);
+    }
+  } else {
+    // Sharded path: workers claim points via an atomic cursor; the main
+    // thread streams each point's output as soon as every earlier point has
+    // been emitted. Each point builds its own System from fixed seeds, so
+    // its output is independent of which worker runs it or when.
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    auto worker = [&]() {
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= points_.size()) {
+          return;
+        }
+        PointState& state = states[i];
+        RunPoint(points_[i].fn, state);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          state.done = true;
+        }
+        cv.notify_one();
+      }
+    };
+    const uint32_t n = static_cast<uint32_t>(std::min<size_t>(jobs_, points_.size()));
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (uint32_t t = 0; t < n; ++t) {
+      threads.emplace_back(worker);
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      for (size_t i = 0; i < states.size(); ++i) {
+        cv.wait(lock, [&] { return states[i].done; });
+        lock.unlock();
+        emit(i);  // emission off-lock: workers keep claiming points
+        lock.lock();
+      }
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  return failures;
+}
+
+int SweepRunner::Finish(BenchReport& report) {
+  const size_t total = points_.size();
+  const int failures = Run(report);
+  const int report_rc = report.Finish();
+  if (failures > 0) {
+    std::fprintf(stderr, "sweep: %d of %zu points failed\n", failures, total);
+    return 1;
+  }
+  return report_rc;
+}
+
+}  // namespace pmemsim_bench

@@ -1,0 +1,95 @@
+// Work-sharded sweep runner for the figure benches.
+//
+// Every fig*/ablation_*/sec33_* bench is a sweep over independent points
+// (one simulated System per point, fixed seeds), so the points can run on
+// --jobs=N OS worker threads. The runner keeps the observable outputs
+// identical to a serial run:
+//
+//  * each point's stdout text and report rows are buffered on the worker and
+//    emitted in submission order, regardless of completion order — the CSV
+//    stream and the --stats_json file are byte-identical at any --jobs;
+//  * a point that throws (or fails a PMEMSIM_CHECK — workers run inside a
+//    ScopedCheckCapture) is isolated: the sweep continues, the point emits an
+//    error row {"point": label, "error": message}, an "error," CSV line, and
+//    the run exits nonzero with a failure summary on stderr.
+//
+// Tracing (--trace_out) uses the process-wide TraceEmitter whose event order
+// would depend on worker interleaving, so tracing runs are pinned to one job.
+//
+// Usage, from a bench main() after parsing flags:
+//
+//   pmemsim_bench::BenchReport report(flags, "fig04_write_buffer_hit");
+//   pmemsim_bench::SweepRunner runner(flags);   // reads --jobs (default 1)
+//   flags.RejectUnknown();
+//   for (...)
+//     runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+//       const double v = Measure(...);          // builds its own System
+//       point.Printf("%s,%.3f\n", label.c_str(), v);
+//       point.AddRow().Set("value", v);
+//     });
+//   return runner.Finish(report);               // from main()
+
+#ifndef BENCH_SWEEP_RUNNER_H_
+#define BENCH_SWEEP_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace pmemsim_bench {
+
+// Per-point output collector. Methods are called from the worker running the
+// point; the runner emits the buffered output in submission order.
+class SweepPoint {
+ public:
+  // Buffers printf-formatted text destined for stdout (the CSV rows).
+  void Printf(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  // Buffers a row destined for the bench's --stats_json report.
+  BenchReport::Row& AddRow();
+
+ private:
+  friend class SweepRunner;
+  std::string text_;
+  std::vector<BenchReport::Row> rows_;
+};
+
+class SweepRunner {
+ public:
+  // Reads --jobs=N from `flags` (default 1, clamped to >= 1). Tracing runs
+  // (--trace_out, already enabled on the global TraceEmitter by BenchReport)
+  // are clamped to one job with a note on stderr.
+  explicit SweepRunner(const Flags& flags);
+
+  // Queues one sweep point. `label` names the point in error rows and the
+  // failure summary; `fn` runs on a worker thread and must only touch state
+  // it creates (each point constructs its own System).
+  void Add(std::string label, std::function<void(SweepPoint&)> fn);
+
+  // Runs all queued points across the worker threads; emits text and rows in
+  // submission order. Returns the number of failed points.
+  int Run(BenchReport& report);
+
+  // Run() + failure summary + report.Finish(). Returns the process exit code:
+  // nonzero when any point failed or the report could not be written.
+  int Finish(BenchReport& report);
+
+  uint32_t jobs() const { return jobs_; }
+
+ private:
+  struct Point {
+    std::string label;
+    std::function<void(SweepPoint&)> fn;
+  };
+
+  uint32_t jobs_ = 1;
+  std::vector<Point> points_;
+  bool ran_ = false;
+};
+
+}  // namespace pmemsim_bench
+
+#endif  // BENCH_SWEEP_RUNNER_H_

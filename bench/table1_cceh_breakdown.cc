@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/config.h"
 #include "src/core/platform.h"
 #include "src/cpu/scheduler.h"
@@ -87,7 +88,10 @@ int main(int argc, char** argv) {
     return 0;
   }
   const uint64_t keys = flags.GetU64("keys", 2000000);
+  const bool scaled_cache = !flags.Has("full_cache");
   pmemsim_bench::BenchReport report(flags, "table1_cceh_breakdown");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
 
   pmemsim_bench::PrintHeader("Table 1", "time breakdown of key insertion in CCEH (G1)");
   std::printf(
@@ -100,18 +104,19 @@ int main(int argc, char** argv) {
   static const Config kConfigs[] = {
       {1, 1, "1T/1-DIMM"}, {5, 1, "5T/1-DIMM"}, {1, 6, "1T/6-DIMM"}, {5, 6, "5T/6-DIMM"}};
   for (const Config& c : kConfigs) {
-    const Row r = RunBreakdown(c.threads, c.dimms, keys, !flags.Has("full_cache"));
-    std::printf("%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.0f\n", c.name, r.directory, r.segment_meta,
-                r.bucket, r.persist, r.split, r.total_cycles_per_insert);
-    std::fflush(stdout);
-    report.AddRow()
-        .Set("config", c.name)
-        .Set("directory_pct", r.directory)
-        .Set("segment_meta_pct", r.segment_meta)
-        .Set("bucket_probe_pct", r.bucket)
-        .Set("persist_pct", r.persist)
-        .Set("split_pct", r.split)
-        .Set("cycles_per_insert", r.total_cycles_per_insert);
+    runner.Add(c.name, [=](pmemsim_bench::SweepPoint& point) {
+      const Row r = RunBreakdown(c.threads, c.dimms, keys, scaled_cache);
+      point.Printf("%s,%.1f,%.1f,%.1f,%.1f,%.1f,%.0f\n", c.name, r.directory, r.segment_meta,
+                   r.bucket, r.persist, r.split, r.total_cycles_per_insert);
+      point.AddRow()
+          .Set("config", c.name)
+          .Set("directory_pct", r.directory)
+          .Set("segment_meta_pct", r.segment_meta)
+          .Set("bucket_probe_pct", r.bucket)
+          .Set("persist_pct", r.persist)
+          .Set("split_pct", r.split)
+          .Set("cycles_per_insert", r.total_cycles_per_insert);
+    });
   }
-  return report.Finish();
+  return runner.Finish(report);
 }

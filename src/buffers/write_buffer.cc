@@ -63,7 +63,11 @@ void WriteBuffer::Tick(Cycles now, std::vector<WritebackRequest>& writebacks) {
     return;
   }
   last_periodic_tick_ = now;
-  for (auto& [addr, e] : map_) {
+  // Iterate keys_, not map_: unordered_map iteration order differs across
+  // standard libraries, and the write-back order must be bit-for-bit
+  // reproducible for the figure-regression gate.
+  for (const Addr addr : keys_) {
+    Entry& e = map_.find(addr)->second;
     if (e.dirty_mask == 0x0F) {
       writebacks.push_back({addr, /*needs_rmw=*/false, /*periodic=*/true});
       e.dirty_mask = 0;
@@ -159,9 +163,10 @@ void WriteBuffer::EnsureRoom(std::vector<WritebackRequest>& writebacks) {
       }
     }
     if (!found) {
-      for (const auto& [addr, e] : map_) {
-        if (IsPartial(e)) {
-          victim = addr;
+      // Fallback scan over keys_ (deterministic across stdlibs).
+      for (const Addr cand : keys_) {
+        if (IsPartial(map_.find(cand)->second)) {
+          victim = cand;
           found = true;
           break;
         }
@@ -182,8 +187,11 @@ Addr WriteBuffer::PickRandomishVictim() {
 
 void WriteBuffer::EvictOne(std::vector<WritebackRequest>& writebacks) {
   PMEMSIM_CHECK(!keys_.empty());
-  // Prefer a clean entry (free to drop); otherwise a policy victim.
-  for (const auto& [addr, e] : map_) {
+  // Prefer a clean entry (free to drop); otherwise a policy victim. Scan
+  // keys_ so the victim does not depend on the stdlib's unordered_map
+  // iteration order.
+  for (const Addr addr : keys_) {
+    const Entry& e = map_.find(addr)->second;
     if (e.clean && e.dirty_mask == 0) {
       EvictVictim(addr, writebacks);
       return;
@@ -220,7 +228,9 @@ void WriteBuffer::EvictVictim(Addr xpline, std::vector<WritebackRequest>& writeb
 }
 
 void WriteBuffer::DrainAll(std::vector<WritebackRequest>& writebacks) {
-  for (const auto& [addr, e] : map_) {
+  // Drain in keys_ order, for reproducible write-back sequences.
+  for (const Addr addr : keys_) {
+    const Entry& e = map_.find(addr)->second;
     if (e.dirty_mask != 0) {
       writebacks.push_back({addr, e.valid_mask != 0x0F, false});
       ++counters_->write_buffer_evictions;

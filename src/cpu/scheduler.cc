@@ -1,37 +1,119 @@
 #include "src/cpu/scheduler.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace pmemsim {
+namespace {
+
+// Index min-heap over job clocks. Ties break toward the smaller job index,
+// which reproduces the original linear scan's pick (first minimum wins), so
+// multi-thread interleavings are identical to the pre-heap scheduler.
+class JobHeap {
+ public:
+  explicit JobHeap(const std::vector<SimJob>& jobs) : jobs_(jobs) {
+    heap_.resize(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      heap_[i] = i;
+    }
+    for (size_t i = heap_.size() / 2; i-- > 0;) {
+      SiftDown(i);
+    }
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  size_t top() const { return heap_[0]; }
+
+  // Smallest key among all jobs except the top; the top stays the scheduling
+  // pick while its key is <= this. Call only with size() >= 2.
+  // In a binary heap the runner-up is one of the root's children.
+  std::pair<Cycles, size_t> RunnerUp() const {
+    std::pair<Cycles, size_t> best = Key(heap_[1]);
+    if (heap_.size() > 2) {
+      best = std::min(best, Key(heap_[2]));
+    }
+    return best;
+  }
+
+  void PopTop() {
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      SiftDown(0);
+    }
+  }
+
+  void SiftDownTop() { SiftDown(0); }
+
+ private:
+  std::pair<Cycles, size_t> Key(size_t job) const {
+    return {jobs_[job].ctx->clock(), job};
+  }
+
+  void SiftDown(size_t pos) {
+    const size_t n = heap_.size();
+    while (true) {
+      const size_t l = 2 * pos + 1;
+      const size_t r = 2 * pos + 2;
+      size_t smallest = pos;
+      if (l < n && Key(heap_[l]) < Key(heap_[smallest])) {
+        smallest = l;
+      }
+      if (r < n && Key(heap_[r]) < Key(heap_[smallest])) {
+        smallest = r;
+      }
+      if (smallest == pos) {
+        return;
+      }
+      std::swap(heap_[pos], heap_[smallest]);
+      pos = smallest;
+    }
+  }
+
+  const std::vector<SimJob>& jobs_;
+  std::vector<size_t> heap_;
+};
+
+}  // namespace
 
 Cycles Scheduler::Run(std::vector<SimJob>& jobs) {
-  std::vector<bool> done(jobs.size(), false);
-  size_t remaining = jobs.size();
+  if (jobs.empty()) {
+    return 0;
+  }
+  JobHeap heap(jobs);
   uint64_t stuck_guard = 0;
 
-  while (remaining > 0) {
-    // Pick the runnable job with the smallest clock.
-    size_t best = jobs.size();
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      if (!done[i] && (best == jobs.size() || jobs[i].ctx->clock() < jobs[best].ctx->clock())) {
-        best = i;
+  while (!heap.empty()) {
+    const size_t i = heap.top();
+    SimJob& job = jobs[i];
+    // Batched fast path: keep stepping the minimum-clock job while it remains
+    // the minimum, re-checking only against the heap's runner-up (O(1)) and
+    // touching the heap itself only when the lead changes hands or the job
+    // finishes.
+    while (true) {
+      const Cycles before = job.ctx->clock();
+      const StepResult r = job.step();
+      if (r == StepResult::kDone) {
+        heap.PopTop();
+        stuck_guard = 0;
+        break;
       }
-    }
-    PMEMSIM_CHECK(best < jobs.size());
-
-    const Cycles before = jobs[best].ctx->clock();
-    const StepResult r = jobs[best].step();
-    if (r == StepResult::kDone) {
-      done[best] = true;
-      --remaining;
-      stuck_guard = 0;
-      continue;
-    }
-    // Livelock guard: steps must advance time.
-    if (jobs[best].ctx->clock() == before) {
-      PMEMSIM_CHECK_MSG(++stuck_guard < 1000000, "scheduler livelock: step did not advance clock");
-    } else {
-      stuck_guard = 0;
+      // Livelock guard: steps must advance time.
+      if (job.ctx->clock() == before) {
+        PMEMSIM_CHECK_MSG(++stuck_guard < 1000000, "scheduler livelock: step did not advance clock");
+      } else {
+        stuck_guard = 0;
+      }
+      if (heap.size() == 1) {
+        continue;  // sole runnable job: no one to yield to
+      }
+      if (std::make_pair(job.ctx->clock(), i) < heap.RunnerUp()) {
+        continue;  // still the unique minimum
+      }
+      heap.SiftDownTop();
+      break;
     }
   }
 

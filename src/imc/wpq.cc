@@ -20,11 +20,15 @@ Wpq::AcceptResult Wpq::Accept(Cycles now, Cycles dimm_backpressure_until) {
 
   Cycles start = now;
   if (inflight_.size() >= config_.entries) {
-    // Queue full: the store waits for the oldest entry to leave.
+    // Queue full: the store waits for the oldest entry to leave. The entry
+    // retires at its drain time (not now): popping it early would make
+    // OccupancyAt and the wpq_occupancy trace under-report during the stall.
     const Cycles wait_until = inflight_.front();
     counters_->wpq_stall_cycles += wait_until - start;
     start = wait_until;
-    inflight_.pop_front();
+    while (!inflight_.empty() && inflight_.front() <= start) {
+      inflight_.pop_front();
+    }
   }
 
   AcceptResult r;

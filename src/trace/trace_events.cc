@@ -12,8 +12,9 @@ TraceEmitter& TraceEmitter::Global() {
 }
 
 void TraceEmitter::Enable(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   path_ = path;
-  enabled_ = true;
+  enabled_.store(true, std::memory_order_relaxed);
   events_.clear();
   dropped_ = 0;
   if (tracks_.empty()) {
@@ -22,13 +23,15 @@ void TraceEmitter::Enable(const std::string& path) {
 }
 
 bool TraceEmitter::Disable() {
-  const bool ok = enabled_ ? Flush() : true;
-  enabled_ = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const bool ok = enabled_.load(std::memory_order_relaxed) ? FlushLocked() : true;
+  enabled_.store(false, std::memory_order_relaxed);
   events_.clear();
   return ok;
 }
 
 int TraceEmitter::RegisterTrack(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (tracks_.empty()) {
     tracks_.push_back("sim");
   }
@@ -45,6 +48,7 @@ int TraceEmitter::RegisterTrack(const std::string& name) {
 }
 
 void TraceEmitter::Push(Event e) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= kMaxEvents) {
     ++dropped_;
     return;
@@ -73,7 +77,22 @@ void TraceEmitter::CounterEvent(int track, const std::string& name, Cycles ts, d
   Push(std::move(e));
 }
 
+size_t TraceEmitter::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t TraceEmitter::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
 bool TraceEmitter::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+bool TraceEmitter::FlushLocked() {
   JsonWriter w;
   w.BeginObject();
   w.Key("displayTimeUnit").Value("ns");

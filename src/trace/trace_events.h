@@ -8,11 +8,18 @@
 // so one trace "us" == one model cycle. Each emitting component registers a
 // named track (rendered as a thread row in the viewer) to keep per-DIMM
 // streams separate.
+//
+// The emitter is process-wide and the sweep runner constructs Systems on
+// worker threads, so track registration and event pushes are mutex-guarded.
+// (The interleaving of events from concurrently running sweep points is not
+// deterministic; the runner pins tracing runs to --jobs=1 for that reason.)
 
 #ifndef SRC_TRACE_TRACE_EVENTS_H_
 #define SRC_TRACE_TRACE_EVENTS_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,10 +37,10 @@ class TraceEmitter {
   void Enable(const std::string& path);
   // Flushes and stops emitting. Returns false if the file write failed.
   bool Disable();
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Tracks render as separate rows in the viewer. Returns a track id to pass
-  // to the event calls; track 0 is a default "sim" row.
+  // to the event calls; track 0 is a default "sim" row. Thread-safe.
   int RegisterTrack(const std::string& name);
 
   // Instant event ("i" phase), e.g. an eviction.
@@ -47,8 +54,8 @@ class TraceEmitter {
   // Writes the buffered events as {"traceEvents": [...]}; keeps emitting.
   bool Flush();
 
-  size_t event_count() const { return events_.size(); }
-  uint64_t dropped_events() const { return dropped_; }
+  size_t event_count() const;
+  uint64_t dropped_events() const;
 
  private:
   struct Event {
@@ -62,11 +69,15 @@ class TraceEmitter {
   };
 
   void Push(Event e);
+  bool FlushLocked();
 
   // Bounds memory for long runs; beyond this, events are counted as dropped.
   static constexpr size_t kMaxEvents = 1 << 22;
 
-  bool enabled_ = false;
+  // Guards tracks_, events_, dropped_, path_ against concurrent sweep-point
+  // workers (System construction registers per-DIMM tracks).
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
   std::string path_;
   std::vector<std::string> tracks_;
   std::vector<Event> events_;

@@ -30,11 +30,13 @@ ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
 
 uint64_t ZipfGenerator::Next() {
   const double u = rng_.NextDouble();
-  const double uz = u * zetan_;
-  if (uz < 1.0) {
+  // Head shortcuts via the thresholds cached by the constructor — this is the
+  // hot path, and pow() per sample is pure waste (u < (1 + 0.5^theta)/zeta(n)
+  // is exactly u*zeta(n) < 1 + 0.5^theta).
+  if (u < threshold1_) {
     return 0;
   }
-  if (uz < 1.0 + std::pow(0.5, theta_)) {
+  if (u < threshold2_) {
     return 1;
   }
   const double v =

@@ -287,5 +287,82 @@ TEST_P(WriteBufferHitProperty, Fig4Law) {
 INSTANTIATE_TEST_SUITE_P(Sweep, WriteBufferHitProperty,
                          ::testing::Values(KiB(4), KiB(8), KiB(12), KiB(20), KiB(32), KiB(64)));
 
+// Regression: the buffer must replay bit-for-bit for identical seeds. Tick,
+// EvictOne's clean-entry scan, and DrainAll used to walk the unordered map_,
+// whose iteration order is a stdlib implementation detail — eviction and
+// write-back sequences could differ across toolchains for the same seed.
+// They now walk keys_, whose order is a pure function of the operation
+// history, so two identically seeded buffers must emit identical sequences.
+std::vector<WritebackRequest> ReplayMixedWorkload(const WriteBufferConfig& cfg) {
+  Counters c;
+  WriteBuffer buf(cfg, &c);
+  std::vector<WritebackRequest> all;
+  std::vector<WritebackRequest> wb;
+  Rng rng(0xD373C7);
+  for (int i = 0; i < 5000; ++i) {
+    const Addr xpline = rng.NextBelow(96) * kXPLineSize;
+    const uint64_t cl = rng.NextBelow(kLinesPerXPLine);
+    buf.Write(xpline + cl * kCacheLineSize, static_cast<Cycles>(i * 7),
+              static_cast<Cycles>(i * 7 + 50), wb);
+    if (i % 97 == 0) {
+      buf.Tick(static_cast<Cycles>(i * 7), wb);
+    }
+    all.insert(all.end(), wb.begin(), wb.end());
+    wb.clear();
+  }
+  buf.DrainAll(wb);
+  all.insert(all.end(), wb.begin(), wb.end());
+  return all;
+}
+
+TEST(WriteBufferTest, DeterministicWritebackSequence) {
+  for (const bool g1 : {true, false}) {
+    const WriteBufferConfig cfg = [&] {
+      WriteBufferConfig c = g1 ? G1WbConfig() : G2WbConfig();
+      c.eviction = WriteBufferEviction::kRandom;
+      return c;
+    }();
+    const std::vector<WritebackRequest> a = ReplayMixedWorkload(cfg);
+    const std::vector<WritebackRequest> b = ReplayMixedWorkload(cfg);
+    ASSERT_EQ(a.size(), b.size()) << "g1=" << g1;
+    ASSERT_FALSE(a.empty()) << "workload produced no write-backs; test is vacuous";
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].xpline, b[i].xpline) << "g1=" << g1 << " i=" << i;
+      EXPECT_EQ(a[i].needs_rmw, b[i].needs_rmw) << "g1=" << g1 << " i=" << i;
+      EXPECT_EQ(a[i].periodic, b[i].periodic) << "g1=" << g1 << " i=" << i;
+    }
+  }
+}
+
+TEST(WriteBufferTest, DeterministicOldestEvictionSequence) {
+  // The kOldest ablation policy must also replay identically.
+  WriteBufferConfig cfg = G2WbConfig();
+  cfg.eviction = WriteBufferEviction::kOldest;
+  const std::vector<WritebackRequest> a = ReplayMixedWorkload(cfg);
+  const std::vector<WritebackRequest> b = ReplayMixedWorkload(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].xpline, b[i].xpline) << i;
+  }
+}
+
+TEST(WriteBufferTest, DrainAllOrderFollowsKeyList) {
+  // DrainAll walks keys_ (deterministic), not map_. With no evictions the
+  // key list is insertion-ordered, so the drain order is the write order.
+  Counters c;
+  WriteBuffer buf(G2WbConfig(), &c);
+  std::vector<WritebackRequest> wb;
+  const Addr xplines[] = {7 * kXPLineSize, 3 * kXPLineSize, 11 * kXPLineSize, 1 * kXPLineSize};
+  for (const Addr xp : xplines) {
+    buf.Write(xp, 0, 0, wb);
+  }
+  ASSERT_TRUE(wb.empty());
+  buf.DrainAll(wb);
+  ASSERT_EQ(wb.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(wb[i].xpline, xplines[i]) << i;
+  }
+}
+
 }  // namespace
 }  // namespace pmemsim

@@ -219,6 +219,141 @@ TEST(SchedulerTest, InterleavesByClock) {
   EXPECT_EQ(order, expected);
 }
 
+TEST(SchedulerTest, CollidingClocksBreakTiesByJobIndex) {
+  // The heap scheduler keys on (clock, job index), reproducing the linear
+  // scan's first-minimum-wins rule: with N jobs at identical clocks, each
+  // round steps them in submission order. The golden sequence below is what
+  // the pre-heap scheduler produced.
+  auto system = MakeG1System(1);
+  constexpr int kJobs = 5;
+  std::vector<ThreadContext*> ctxs;
+  for (int i = 0; i < kJobs; ++i) {
+    ctxs.push_back(&system->CreateThread());
+  }
+  std::vector<int> order;
+  std::vector<int> counts(kJobs, 0);
+  std::vector<SimJob> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    jobs.push_back({ctxs[i], [&, i]() {
+                      if (counts[i] >= 3) {
+                        return StepResult::kDone;
+                      }
+                      order.push_back(i);
+                      ctxs[i]->AddCompute(50);  // all clocks collide every round
+                      ++counts[i];
+                      return StepResult::kProgress;
+                    }});
+  }
+  Scheduler::Run(jobs);
+  const std::vector<int> expected{0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SchedulerTest, IdenticalRunsProduceIdenticalInterleavings) {
+  // Two runs of the same mixed-cost workload must interleave identically —
+  // the heap must not introduce any ordering dependence on its internal
+  // layout. Step costs are chosen so clocks repeatedly collide.
+  auto run_once = [] {
+    auto system = MakeG1System(1);
+    constexpr int kJobs = 4;
+    const Cycles costs[kJobs] = {30, 60, 30, 90};
+    std::vector<ThreadContext*> ctxs;
+    for (int i = 0; i < kJobs; ++i) {
+      ctxs.push_back(&system->CreateThread());
+    }
+    std::vector<int> order;
+    std::vector<int> counts(kJobs, 0);
+    std::vector<SimJob> jobs;
+    for (int i = 0; i < kJobs; ++i) {
+      jobs.push_back({ctxs[i], [&, i]() {
+                        if (counts[i] >= 12) {
+                          return StepResult::kDone;
+                        }
+                        order.push_back(i);
+                        ctxs[i]->AddCompute(costs[i]);
+                        ++counts[i];
+                        return StepResult::kProgress;
+                      }});
+    }
+    Scheduler::Run(jobs);
+    return order;
+  };
+  const std::vector<int> first = run_once();
+  const std::vector<int> second = run_once();
+  ASSERT_EQ(first.size(), 4u * 12u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(SchedulerTest, BatchedFastPathMatchesGoldenSequence) {
+  // One job far behind the others: the sole-minimum fast path lets it step
+  // repeatedly without heap churn, but the observable order must equal the
+  // per-step linear scan's. Job 0 steps in 10-cycle increments while jobs 1
+  // and 2 sit at clock 100/200 until job 0 passes them.
+  auto system = MakeG1System(1);
+  ThreadContext& a = system->CreateThread();
+  ThreadContext& b = system->CreateThread();
+  ThreadContext& c = system->CreateThread();
+  b.AdvanceTo(100);
+  c.AdvanceTo(200);
+  std::vector<int> order;
+  int na = 0, nb = 0, nc = 0;
+  std::vector<SimJob> jobs;
+  jobs.push_back({&a, [&]() {
+                    if (na >= 25) {
+                      return StepResult::kDone;
+                    }
+                    order.push_back(0);
+                    a.AddCompute(10);
+                    ++na;
+                    return StepResult::kProgress;
+                  }});
+  jobs.push_back({&b, [&]() {
+                    if (nb >= 1) {
+                      return StepResult::kDone;
+                    }
+                    order.push_back(1);
+                    b.AddCompute(500);
+                    ++nb;
+                    return StepResult::kProgress;
+                  }});
+  jobs.push_back({&c, [&]() {
+                    if (nc >= 1) {
+                      return StepResult::kDone;
+                    }
+                    order.push_back(2);
+                    c.AddCompute(500);
+                    ++nc;
+                    return StepResult::kProgress;
+                  }});
+  Scheduler::Run(jobs);
+  EXPECT_EQ(order.size(), 27u);
+  EXPECT_EQ(na, 25);
+  EXPECT_EQ(nb, 1);
+  EXPECT_EQ(nc, 1);
+  // Golden order from a reference linear scan with first-minimum-wins ties —
+  // exactly the pre-heap scheduler's policy.
+  std::vector<int> golden;
+  struct J {
+    Cycles clock;
+    int steps_left;
+    Cycles cost;
+  };
+  J sim[3] = {{0, 25, 10}, {100, 1, 500}, {200, 1, 500}};
+  while (sim[0].steps_left || sim[1].steps_left || sim[2].steps_left) {
+    int best = -1;
+    for (int i = 0; i < 3; ++i) {
+      if (sim[i].steps_left &&
+          (best < 0 || sim[i].clock < sim[best].clock)) {
+        best = i;
+      }
+    }
+    golden.push_back(best);
+    sim[best].clock += sim[best].cost;
+    --sim[best].steps_left;
+  }
+  EXPECT_EQ(order, golden);
+}
+
 TEST(SchedulerTest, SlowThreadYieldsToFast) {
   auto system = MakeG1System(1);
   ThreadContext& slow = system->CreateThread();

@@ -39,6 +39,53 @@ TEST(WpqTest, FullQueueStallsAcceptance) {
   EXPECT_GT(r.accepted_at, last_accept);
 }
 
+TEST(WpqTest, FullQueueRetainsEntriesUntilDrainTime) {
+  // Regression: the full-queue path used to pop the oldest entry the moment a
+  // stalled store arrived, before that entry's drain time — OccupancyAt (and
+  // the wpq_occupancy trace) under-reported exactly when the queue mattered
+  // most. Entries must retire at their drain time, not at stall start.
+  Counters c;
+  Wpq wpq({2, 10, 100}, &c);
+  const Wpq::AcceptResult a = wpq.Accept(0, 0);  // drains at 110
+  const Wpq::AcceptResult b = wpq.Accept(0, 0);  // drains at 210
+  EXPECT_EQ(a.drained_at, 110u);
+  EXPECT_EQ(b.drained_at, 210u);
+  EXPECT_EQ(wpq.OccupancyAt(50), 2u);
+
+  // Third store at t=0: the queue is full, so acceptance waits for the front
+  // entry's drain at 110 and exactly that entry retires then.
+  const Wpq::AcceptResult r = wpq.Accept(0, 0);
+  EXPECT_EQ(c.wpq_stall_cycles, 110u);
+  EXPECT_EQ(r.accepted_at, 120u);   // stall end + accept latency
+  EXPECT_EQ(r.drained_at, 310u);    // serialized behind entry b's drain
+  // During the stall window both original entries were still queued; after
+  // it, b and the new entry remain in flight.
+  EXPECT_EQ(wpq.OccupancyAt(50), 2u);
+  EXPECT_EQ(wpq.OccupancyAt(150), 2u);   // b (210) and r (310)
+  EXPECT_EQ(wpq.OccupancyAt(250), 1u);   // only r
+  EXPECT_EQ(wpq.OccupancyAt(310), 0u);
+}
+
+TEST(WpqTest, StallTimingUnchangedByRetireAtDrain) {
+  // The accounting fix must not shift accept/drain times: consecutive stalled
+  // stores still pipeline at one drain per drain_latency.
+  Counters c;
+  Wpq wpq({2, 10, 100}, &c);
+  wpq.Accept(0, 0);
+  wpq.Accept(0, 0);
+  Cycles prev_accept = 0;
+  Cycles prev_drain = 0;
+  for (int i = 0; i < 4; ++i) {
+    const Wpq::AcceptResult r = wpq.Accept(0, 0);
+    if (i > 0) {
+      EXPECT_EQ(r.accepted_at - prev_accept, 100u) << i;  // one drain period
+      EXPECT_EQ(r.drained_at - prev_drain, 100u) << i;
+    }
+    prev_accept = r.accepted_at;
+    prev_drain = r.drained_at;
+  }
+}
+
 TEST(WpqTest, BackpressureDelaysDrains) {
   Counters c;
   Wpq wpq({16, 10, 30}, &c);

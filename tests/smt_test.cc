@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/platform.h"
+#include "src/cpu/scheduler.h"
 
 namespace pmemsim {
 namespace {
@@ -60,6 +61,48 @@ TEST(SmtSiblingTest, SiblingFillsEvictFromSharedL1) {
   const Cycles t0 = worker.clock();
   worker.Load64(region.base);
   EXPECT_GT(worker.clock() - t0, G1Platform().cache.l1.hit_latency);  // evicted from L1
+}
+
+TEST(SmtSiblingTest, ScheduledSiblingsInterleaveDeterministically) {
+  // Worker/helper pairs share private caches, so the scheduler's interleaving
+  // decides the simulated cache state — a nondeterministic tie-break would
+  // make sibling runs diverge. Drive two pairs through the scheduler twice
+  // with colliding clocks and require identical step orders and end clocks.
+  auto run_once = [] {
+    auto system = MakeG1System(1);
+    ThreadContext& w0 = system->CreateThread();
+    ThreadContext& h0 = system->CreateSmtSibling(w0);
+    ThreadContext& w1 = system->CreateThread();
+    ThreadContext& h1 = system->CreateSmtSibling(w1);
+    const PmRegion region = system->AllocatePm(KiB(16));
+    ThreadContext* ctxs[4] = {&w0, &h0, &w1, &h1};
+
+    std::vector<int> order;
+    std::vector<int> counts(4, 0);
+    std::vector<SimJob> jobs;
+    for (int i = 0; i < 4; ++i) {
+      jobs.push_back({ctxs[i], [&, i]() {
+                        if (counts[i] >= 8) {
+                          return StepResult::kDone;
+                        }
+                        order.push_back(i);
+                        // Helpers prefetch the line their worker reads next;
+                        // every step costs the same so clocks collide.
+                        ctxs[i]->Load64(region.base +
+                                        static_cast<uint64_t>(counts[i]) * kCacheLineSize);
+                        ctxs[i]->AddCompute(25);
+                        ++counts[i];
+                        return StepResult::kProgress;
+                      }});
+    }
+    const Cycles end = Scheduler::Run(jobs);
+    return std::make_pair(order, end);
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.first.size(), 4u * 8u);
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
 }
 
 }  // namespace

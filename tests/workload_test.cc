@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "src/workload/ycsb.h"
@@ -87,6 +88,53 @@ TEST(ZipfTest, LowThetaApproachesUniform) {
     hot += zipf.Next() < 10 ? 1 : 0;
   }
   EXPECT_LT(static_cast<double>(hot) / n, 0.05);
+}
+
+TEST(ZipfTest, HeadFrequenciesMatchTheory) {
+  // Regression for the cached-threshold fast path: the shortcuts for ranks 0
+  // and 1 must fire with exactly the Zipf head probabilities p(0) = 1/zeta(n)
+  // and p(1) = 0.5^theta/zeta(n). A chi-squared statistic over the partition
+  // {rank 0, rank 1, everything else} catches a miscomputed threshold (e.g.
+  // a dropped zetan factor) far outside the noise floor.
+  const uint64_t n = 1000;
+  const double theta = 0.99;
+  double zetan = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  const double p0 = 1.0 / zetan;
+  const double p1 = std::pow(0.5, theta) / zetan;
+
+  ZipfGenerator zipf(n, theta, 11);
+  const int samples = 200000;
+  double c0 = 0, c1 = 0, rest = 0;
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t r = zipf.Next();
+    if (r == 0) {
+      ++c0;
+    } else if (r == 1) {
+      ++c1;
+    } else {
+      ++rest;
+    }
+  }
+  const double e0 = samples * p0;
+  const double e1 = samples * p1;
+  const double er = samples * (1.0 - p0 - p1);
+  const double chi2 = (c0 - e0) * (c0 - e0) / e0 + (c1 - e1) * (c1 - e1) / e1 +
+                      (rest - er) * (rest - er) / er;
+  // df=2; the 99.9th percentile is 13.8. A wrong threshold shifts chi2 into
+  // the thousands, so 20 leaves margin against seed sensitivity.
+  EXPECT_LT(chi2, 20.0) << "p0_obs=" << c0 / samples << " p0=" << p0
+                        << " p1_obs=" << c1 / samples << " p1=" << p1;
+}
+
+TEST(ZipfTest, DeterministicPerSeed) {
+  ZipfGenerator a(500, 0.8, 99);
+  ZipfGenerator b(500, 0.8, 99);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next()) << i;
+  }
 }
 
 TEST(ZipfTest, RankFrequencyMonotone) {

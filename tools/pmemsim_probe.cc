@@ -11,10 +11,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/random.h"
 #include "src/common/stats.h"
 #include "src/core/platform.h"
@@ -61,7 +63,7 @@ struct ProbeConfig {
   bool remote = false;
 };
 
-void RunProbe(const ProbeConfig& cfg) {
+void RunProbe(const ProbeConfig& cfg, pmemsim_bench::SweepPoint& point) {
   auto system = MakeSystem(cfg.gen, cfg.dimms);
   const PmRegion region = system->AllocatePm(cfg.wss, kXPLineSize);
   const uint64_t lines = cfg.wss / cfg.stride;
@@ -112,8 +114,7 @@ void RunProbe(const ProbeConfig& cfg) {
     } else if (cfg.op == "copy") {
       ctx.StreamCopyXPLine(XPLineBase(addr), bounce.base);
     } else {
-      std::fprintf(stderr, "unknown --op=%s\n", cfg.op.c_str());
-      std::exit(1);
+      throw std::runtime_error("unknown --op=" + cfg.op);
     }
     w.latency.Add(ctx.clock() - t0);
   };
@@ -166,20 +167,30 @@ void RunProbe(const ProbeConfig& cfg) {
   const double touched =
       static_cast<double>(total_ops) * (cfg.op == "copy" ? kXPLineSize : kCacheLineSize);
 
-  std::printf("op=%s pattern=%s wss=%llu KB stride=%llu threads=%u gen=%s dimms=%u\n",
-              cfg.op.c_str(), cfg.pattern.c_str(),
-              static_cast<unsigned long long>(cfg.wss / 1024),
-              static_cast<unsigned long long>(cfg.stride), cfg.threads,
-              cfg.gen == Generation::kG1 ? "G1" : "G2", cfg.dimms);
-  std::printf("latency (cycles): %s\n", all.Summary().c_str());
-  std::printf("throughput: %.2f Mops/s, %.3f GB/s of demanded data\n",
-              static_cast<double>(total_ops) / seconds / 1e6, touched / seconds / 1e9);
+  const double mops = static_cast<double>(total_ops) / seconds / 1e6;
+  const double gbps = touched / seconds / 1e9;
+  point.Printf("op=%s pattern=%s wss=%llu KB stride=%llu threads=%u gen=%s dimms=%u\n",
+               cfg.op.c_str(), cfg.pattern.c_str(),
+               static_cast<unsigned long long>(cfg.wss / 1024),
+               static_cast<unsigned long long>(cfg.stride), cfg.threads,
+               cfg.gen == Generation::kG1 ? "G1" : "G2", cfg.dimms);
+  point.Printf("latency (cycles): %s\n", all.Summary().c_str());
+  point.Printf("throughput: %.2f Mops/s, %.3f GB/s of demanded data\n", mops, gbps);
   const Counters d = delta.Delta();
-  std::printf("counters: %s\n", d.ToString().c_str());
-  std::printf("rap stalls: %llu loads, %llu cycles; wpq stalls: %llu cycles\n",
-              static_cast<unsigned long long>(d.rap_stalled_loads),
-              static_cast<unsigned long long>(d.rap_stall_cycles),
-              static_cast<unsigned long long>(d.wpq_stall_cycles));
+  point.Printf("counters: %s\n", d.ToString().c_str());
+  point.Printf("rap stalls: %llu loads, %llu cycles; wpq stalls: %llu cycles\n",
+               static_cast<unsigned long long>(d.rap_stalled_loads),
+               static_cast<unsigned long long>(d.rap_stall_cycles),
+               static_cast<unsigned long long>(d.wpq_stall_cycles));
+  point.AddRow()
+      .Set("op", cfg.op)
+      .Set("pattern", cfg.pattern)
+      .Set("wss_kb", cfg.wss / 1024)
+      .Set("threads", cfg.threads)
+      .Set("mops", mops)
+      .Set("gbps", gbps)
+      .Set("rap_stall_cycles", d.rap_stall_cycles)
+      .Set("wpq_stall_cycles", d.wpq_stall_cycles);
 }
 
 }  // namespace
@@ -191,7 +202,8 @@ int main(int argc, char** argv) {
         "usage: pmemsim_probe [--gen=g1|g2] [--op=read|write|ntstore|rap|copy]\n"
         "                     [--pattern=seq|rand] [--persist=none|clwb|clwb+mfence]\n"
         "                     [--wss=64M] [--stride=64] [--threads=1] [--ops=100000]\n"
-        "                     [--distance=0] [--dimms=1] [--no_prefetch] [--remote]\n");
+        "                     [--distance=0] [--dimms=1] [--no_prefetch] [--remote]\n%s",
+        pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   ProbeConfig cfg;
@@ -207,6 +219,9 @@ int main(int argc, char** argv) {
   cfg.dimms = static_cast<uint32_t>(flags.GetU64("dimms", 1));
   cfg.prefetch = !flags.Has("no_prefetch");
   cfg.remote = flags.Has("remote");
-  RunProbe(cfg);
-  return 0;
+  pmemsim_bench::BenchReport report(flags, "pmemsim_probe");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
+  runner.Add(cfg.op, [=](pmemsim_bench::SweepPoint& point) { RunProbe(cfg, point); });
+  return runner.Finish(report);
 }
