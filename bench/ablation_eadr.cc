@@ -11,6 +11,8 @@
 // Output: CSV  workload,platform,value_cycles
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/sweep_runner.h"
@@ -52,36 +54,48 @@ double BtreeInsert(const PlatformConfig& cfg) {
 int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
-    std::printf("usage: ablation_eadr\n%s", pmemsim_bench::kTelemetryFlagsHelp);
+    std::printf("usage: ablation_eadr [--platform=g1|g2|g2-eadr]\n%s",
+                pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
+  // Default: the paper's contrast pair (G2 vs G2+eADR). --platform narrows
+  // the run to one named preset; unknown names exit(2) via the flag path.
+  const std::string platform_arg = flags.Get("platform", "");
   pmemsim_bench::BenchReport report(flags, "ablation_eadr");
   pmemsim_bench::SweepRunner runner(flags);
   flags.RejectUnknown();
+  std::vector<PlatformConfig> platforms;
+  if (platform_arg.empty()) {
+    platforms = {G2Platform(), G2EadrPlatform()};
+  } else {
+    const auto platform = PlatformByName(platform_arg);
+    if (!platform) {
+      pmemsim_bench::Flags::BadValue("platform", platform_arg, "g1|g2|g2-eadr");
+    }
+    platforms = {*platform};
+  }
   pmemsim_bench::PrintHeader("Ablation", "G2 with and without eADR (paper §6)");
   std::printf("workload,platform,cycles\n");
-  const PlatformConfig g2 = G2Platform();
-  const PlatformConfig eadr = G2EadrPlatform();
   struct Case {
     const char* workload;
-    const char* platform;
     double (*run)(const PlatformConfig&);
-    const PlatformConfig* cfg;
   };
   const Case cases[] = {
-      {"element-update-strict", "G2", &ElementUpdate, &g2},
-      {"element-update-strict", "G2+eADR", &ElementUpdate, &eadr},
-      {"btree-inplace-insert", "G2", &BtreeInsert, &g2},
-      {"btree-inplace-insert", "G2+eADR", &BtreeInsert, &eadr},
+      {"element-update-strict", &ElementUpdate},
+      {"btree-inplace-insert", &BtreeInsert},
   };
   for (const Case& c : cases) {
-    const std::string label = std::string(c.workload) + "/" + c.platform;
-    runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
-      const double cycles = c.run(*c.cfg);
-      point.Printf("%s,%s,%.1f\n", c.workload, c.platform, cycles);
-      point.AddRow().Set("workload", c.workload).Set("platform", c.platform).Set("cycles",
-                                                                                 cycles);
-    });
+    for (const PlatformConfig& platform : platforms) {
+      const std::string label = std::string(c.workload) + "/" + platform.name;
+      runner.Add(label, [=](pmemsim_bench::SweepPoint& point) {
+        const double cycles = c.run(platform);
+        point.Printf("%s,%s,%.1f\n", c.workload, platform.name.c_str(), cycles);
+        point.AddRow()
+            .Set("workload", c.workload)
+            .Set("platform", platform.name)
+            .Set("cycles", cycles);
+      });
+    }
   }
   return runner.Finish(report);
 }

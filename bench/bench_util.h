@@ -88,6 +88,16 @@ class Flags {
     return parsed;
   }
 
+  // Exits(2) naming a flag with an unusable value. Public so benches can
+  // reject domain-invalid values (e.g. an unknown --platform name) through
+  // the same error path as malformed numbers.
+  [[noreturn]] static void BadValue(const std::string& name, const std::string& v,
+                                    const char* expected) {
+    std::fprintf(stderr, "error: invalid value for --%s: '%s' (expected %s)\n", name.c_str(),
+                 v.c_str(), expected);
+    std::exit(2);
+  }
+
   // Exits(2) naming any --flag whose name was never queried. Call after the
   // last Get/Has (flag queries register names, so order matters).
   void RejectUnknown() const {
@@ -107,13 +117,6 @@ class Flags {
   }
 
  private:
-  [[noreturn]] static void BadValue(const std::string& name, const std::string& v,
-                                    const char* expected) {
-    std::fprintf(stderr, "error: invalid value for --%s: '%s' (expected %s)\n", name.c_str(),
-                 v.c_str(), expected);
-    std::exit(2);
-  }
-
   std::vector<std::string> args_;
   // Names queried so far; mutable because Get/Has are logically const reads.
   mutable std::set<std::string> known_;

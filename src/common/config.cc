@@ -1,5 +1,7 @@
 #include "src/common/config.h"
 
+#include <cctype>
+
 namespace pmemsim {
 
 PlatformConfig G1Platform() {
@@ -93,6 +95,24 @@ PlatformConfig G2EadrPlatform() {
 
 PlatformConfig PlatformFor(Generation gen) {
   return gen == Generation::kG1 ? G1Platform() : G2Platform();
+}
+
+std::optional<PlatformConfig> PlatformByName(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "g1") {
+    return G1Platform();
+  }
+  if (lower == "g2") {
+    return G2Platform();
+  }
+  if (lower == "g2-eadr") {
+    return G2EadrPlatform();
+  }
+  return std::nullopt;
 }
 
 }  // namespace pmemsim

@@ -12,7 +12,9 @@
 #define SRC_COMMON_CONFIG_H_
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/common/types.h"
 
@@ -174,6 +176,11 @@ PlatformConfig G2EadrPlatform();
 
 // Convenience: preset selected by generation.
 PlatformConfig PlatformFor(Generation gen);
+
+// Preset selected by a command-line name: "g1", "g2", or "g2-eadr"
+// (case-insensitive). Returns nullopt for unknown names so callers can route
+// the error through their own flag-rejection path.
+std::optional<PlatformConfig> PlatformByName(std::string_view name);
 
 }  // namespace pmemsim
 

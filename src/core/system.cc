@@ -35,6 +35,7 @@ ThreadContext& System::CreateThread(NodeId node) {
   Counters* scope = registry_.CreateScope("thread" + std::to_string(threads_.size()));
   threads_.push_back(std::make_unique<ThreadContext>(config_, &backing_, mc_.get(), l3_.get(),
                                                      scope, node, thread_seed_));
+  threads_.back()->SetPersistObserver(persist_observer_);
   return *threads_.back();
 }
 
@@ -42,7 +43,15 @@ ThreadContext& System::CreateSmtSibling(ThreadContext& sibling) {
   Counters* scope = registry_.CreateScope("thread" + std::to_string(threads_.size()));
   threads_.push_back(
       std::make_unique<ThreadContext>(config_, &backing_, mc_.get(), scope, &sibling));
+  threads_.back()->SetPersistObserver(persist_observer_);
   return *threads_.back();
+}
+
+void System::SetPersistObserver(PersistObserver* observer) {
+  persist_observer_ = observer;
+  for (auto& t : threads_) {
+    t->SetPersistObserver(observer);
+  }
 }
 
 void System::ResetMicroarchState() {

@@ -69,6 +69,11 @@ class System {
   // and counters. Used between benchmark configurations.
   void ResetMicroarchState();
 
+  // Installs (or clears, with nullptr) a store/fence observer on every
+  // existing thread and every thread created afterwards. Used by the
+  // crash-consistency subsystem's PersistTracker.
+  void SetPersistObserver(PersistObserver* observer);
+
  private:
   PlatformConfig config_;
   CounterRegistry registry_;
@@ -81,6 +86,7 @@ class System {
   Addr pm_next_ = kPageSize;
   Addr dram_next_ = kDramAddressBase;
   uint64_t thread_seed_ = 0xA11CE;
+  PersistObserver* persist_observer_ = nullptr;
 };
 
 }  // namespace pmemsim

@@ -101,6 +101,9 @@ void ThreadContext::StoreTimed(Addr addr) {
 void ThreadContext::Store64(Addr addr, uint64_t value) {
   StoreTimed(addr);
   backing_->WriteU64(addr, value);
+  if (observer_ != nullptr) {
+    observer_->OnStore(addr, sizeof(value), clock_);
+  }
 }
 
 void ThreadContext::StoreLine(Addr addr) { StoreTimed(addr); }
@@ -118,6 +121,9 @@ void ThreadContext::Write(Addr addr, const void* data, size_t len) {
     StoreTimed(line);
   }
   backing_->Write(addr, data, len);
+  if (observer_ != nullptr) {
+    observer_->OnStore(addr, len, clock_);
+  }
 }
 
 void ThreadContext::TrackPersist(Addr line, Cycles accepted_at, bool is_flush) {
@@ -165,6 +171,13 @@ void ThreadContext::Clwb(Addr addr) {
 }
 
 void ThreadContext::Clflushopt(Addr addr) {
+  if (eadr_) {
+    // Same as Clwb under eADR: the caches are already persistent, so the
+    // flush (including its invalidation) buys nothing and retires as a
+    // cheap no-op.
+    clock_ += 1;
+    return;
+  }
   const FlushResult r = hier_->Clflushopt(addr, clock_);
   clock_ += std::max<Cycles>(r.cost, cpu_.flush_issue_cost);
   NoteRecentFlush(CacheLineBase(addr));
@@ -174,34 +187,36 @@ void ThreadContext::Clflushopt(Addr addr) {
 }
 
 void ThreadContext::NtStoreLine(Addr addr, const void* data64) {
+  // Data lands in the backing store before the iMC write so persist-path
+  // observers (MemoryController::SetPersistWriteHook) capture the new bytes.
   const Addr line = CacheLineBase(addr);
+  if (data64 != nullptr) {
+    backing_->Write(line, data64, kCacheLineSize);
+  }
   hier_->InvalidateAll(line);
   const McWriteResult w = mc_->Write(line, clock_, node_);
   clock_ += cpu_.nt_store_issue_cost;
   TrackPersist(line, w.accepted_at, /*is_flush=*/false);
-  if (data64 != nullptr) {
-    backing_->Write(line, data64, kCacheLineSize);
-  }
 }
 
 void ThreadContext::NtStore64(Addr addr, uint64_t value) {
   // Timing is line-granular (write-combining buffers merge within the line).
   const Addr line = CacheLineBase(addr);
+  backing_->WriteU64(addr, value);
   hier_->InvalidateAll(line);
   const McWriteResult w = mc_->Write(line, clock_, node_);
   clock_ += cpu_.nt_store_issue_cost;
   TrackPersist(line, w.accepted_at, /*is_flush=*/false);
-  backing_->WriteU64(addr, value);
 }
 
 void ThreadContext::NtWrite(Addr addr, const void* data, size_t len) {
+  backing_->Write(addr, data, len);
   for (Addr line = CacheLineBase(addr); line < addr + len; line += kCacheLineSize) {
     hier_->InvalidateAll(line);
     const McWriteResult w = mc_->Write(line, clock_, node_);
     clock_ += cpu_.nt_store_issue_cost;
     TrackPersist(line, w.accepted_at, /*is_flush=*/false);
   }
-  backing_->Write(addr, data, len);
 }
 
 void ThreadContext::FenceCommon(bool is_mfence) {
@@ -220,6 +235,9 @@ void ThreadContext::FenceCommon(bool is_mfence) {
     recent_flushes_.clear();  // younger loads are ordered after the flushes
   }
   loads_ordered_ = is_mfence;
+  if (observer_ != nullptr) {
+    observer_->OnFence(clock_);
+  }
 }
 
 void ThreadContext::Sfence() { FenceCommon(/*is_mfence=*/false); }

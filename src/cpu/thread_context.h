@@ -17,6 +17,7 @@
 #include "src/common/backing_store.h"
 #include "src/common/config.h"
 #include "src/common/types.h"
+#include "src/cpu/persist_observer.h"
 #include "src/imc/memory_controller.h"
 #include "src/trace/counters.h"
 
@@ -92,6 +93,10 @@ class ThreadContext {
   BackingStore& backing() { return *backing_; }
   NodeId node() const { return node_; }
 
+  // Installs (or clears, with nullptr) a store/fence observer. Used by the
+  // crash-consistency subsystem's PersistTracker; at most one at a time.
+  void SetPersistObserver(PersistObserver* observer) { observer_ = observer; }
+
   // Test helper: drop private cache state and pending persist tracking.
   void ResetMicroarchState();
 
@@ -122,6 +127,7 @@ class ThreadContext {
   Cycles clock_ = 0;
   LastAccess last_access_;
 
+  PersistObserver* observer_ = nullptr;
   std::deque<Outstanding> outstanding_;
   bool loads_ordered_ = false;  // true after mfence, false after sfence
   // Lines flushed by the most recent clwb/clflushopt ops whose cache-side

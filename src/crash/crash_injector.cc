@@ -1,0 +1,27 @@
+#include "src/crash/crash_injector.h"
+
+namespace pmemsim {
+
+const char* CrashEventKindName(CrashEventKind kind) {
+  switch (kind) {
+    case CrashEventKind::kWpqAccept:
+      return "wpq_accept";
+    case CrashEventKind::kWpqDrain:
+      return "wpq_drain";
+    case CrashEventKind::kFence:
+      return "fence";
+  }
+  return "unknown";
+}
+
+void CrashInjector::OnEvent(CrashEventKind kind, Cycles crash_now) {
+  const uint64_t index = count_++;
+  if (armed_ && !fired_ && index == target_) {
+    fired_ = true;
+    fired_kind_ = kind;
+    crash_now_ = crash_now;
+    throw CrashSignal{};
+  }
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,60 @@
+// Crash-consistency workloads: the structures crashcheck can interrupt.
+//
+// A CrashWorkload drives one persistent structure while keeping enough
+// bookkeeping to validate a durable image afterwards:
+//  - Setup() builds the structure (its persists are recorded by the tracker
+//    but are not crash points — call it before StartEvents);
+//  - Run() performs the operations and may be abandoned mid-flight by a
+//    CrashSignal thrown from the injector;
+//  - Validate() checks the structure's recovery contract against a fresh
+//    System holding the materialized durable image.
+//
+// Bookkeeping discipline: an operation is recorded as *attempted* before the
+// call and promoted to *acked* only after the call returns, so at any crash
+// point the expectation splits operations exactly into must-be-visible and
+// may-be-partial.
+
+#ifndef SRC_CRASH_WORKLOADS_H_
+#define SRC_CRASH_WORKLOADS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/cpu/thread_context.h"
+#include "src/crash/recovery_validator.h"
+
+namespace pmemsim {
+
+struct CrashWorkloadOptions {
+  uint64_t ops = 2000;  // inserts (cceh/fastfair/flatlog) or log writes (redo/undo)
+  uint64_t seed = 1;
+  // Deliberately drop the slot-commit persist barrier (cceh only): the
+  // validator must then report violations — crashcheck's self-test.
+  bool break_persist = false;
+};
+
+class CrashWorkload {
+ public:
+  virtual ~CrashWorkload() = default;
+
+  virtual const char* name() const = 0;
+  virtual void Setup(System& system, ThreadContext& ctx) = 0;
+  virtual void Run(ThreadContext& ctx) = 0;
+  virtual void Validate(System& fresh, ThreadContext& ctx, ValidationReport* report) = 0;
+
+  // Acked operations at the time Run() stopped (for reporting).
+  virtual uint64_t acked_ops() const = 0;
+
+  // Factory: store is one of StoreNames(). Returns nullptr for unknown names.
+  static std::unique_ptr<CrashWorkload> Create(std::string_view store,
+                                               const CrashWorkloadOptions& opts);
+  static std::vector<std::string> StoreNames();
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_CRASH_WORKLOADS_H_

@@ -101,8 +101,10 @@ bool Cceh::Insert(ThreadContext& ctx, uint64_t key, uint64_t value) {
       // slot; one cacheline flush + fence persists the bucket line.
       ctx.Store64(target_slot + 8, value);
       ctx.Store64(target_slot, key);
-      ctx.Clwb(target_slot);
-      ctx.Sfence();
+      if (!skip_persist_for_test_) {
+        ctx.Clwb(target_slot);
+        ctx.Sfence();
+      }
       breakdown_.persist += ctx.clock() - t3;
       ++breakdown_.inserts;
       if (!update) {
@@ -198,12 +200,14 @@ void Cceh::Split(ThreadContext& ctx, Addr segment, uint64_t hash) {
   const PmRegion new_seg = AllocateSegment();
   InitSegment(ctx, new_seg.base, local_depth + 1, (pattern << 1) | 1);
 
-  // Redistribute: keys whose (local_depth+1)-th top bit is set move over.
+  // Redistribute: COPY keys whose (local_depth+1)-th top bit is set into the
+  // sibling — the old slots stay intact until after publication, so a crash
+  // anywhere before the directory update still finds every key through the
+  // old segment (CCEH's lazy-deletion split protocol).
   const uint64_t shift = 64 - (local_depth + 1);
   for (uint64_t b = 0; b < kBucketsPerSegment; ++b) {
     const Addr old_bucket = SegmentBucketAddr(segment, b);
     const Addr new_bucket = SegmentBucketAddr(new_seg.base, b);
-    bool old_dirty = false;
     bool new_dirty = false;
     for (uint64_t slot = 0; slot < kSlotsPerBucket; ++slot) {
       const Addr slot_addr = old_bucket + slot * kSlotSize;
@@ -218,15 +222,10 @@ void Cceh::Split(ThreadContext& ctx, Addr segment, uint64_t hash) {
       const uint64_t slot_value = ctx.Load64(slot_addr + 8);
       ctx.Store64(new_bucket + slot * kSlotSize + 8, slot_value);
       ctx.Store64(new_bucket + slot * kSlotSize, slot_key);
-      ctx.Store64(slot_addr, kInvalidKey);
-      old_dirty = true;
       new_dirty = true;
     }
     if (new_dirty) {
       ctx.Clwb(new_bucket);
-    }
-    if (old_dirty) {
-      ctx.Clwb(old_bucket);
     }
   }
   ctx.Sfence();  // new segment content durable before publication
@@ -242,6 +241,30 @@ void Cceh::Split(ThreadContext& ctx, Addr segment, uint64_t hash) {
   for (uint64_t i = first + span / 2; i < first + span; ++i) {
     ctx.Store64(directory_ + i * 8, new_seg.base);
     ctx.Clwb(directory_ + i * 8);
+  }
+  ctx.Sfence();
+
+  // Cleanup: now that the directory routes 1-branch hashes to the sibling,
+  // lazily invalidate the moved copies. A crash mid-cleanup only leaves
+  // unreachable duplicates behind, never a lost key.
+  for (uint64_t b = 0; b < kBucketsPerSegment; ++b) {
+    const Addr old_bucket = SegmentBucketAddr(segment, b);
+    bool old_dirty = false;
+    for (uint64_t slot = 0; slot < kSlotsPerBucket; ++slot) {
+      const Addr slot_addr = old_bucket + slot * kSlotSize;
+      const uint64_t slot_key = ctx.Load64(slot_addr);
+      if (slot_key == kInvalidKey) {
+        continue;
+      }
+      if (((HashOf(slot_key) >> shift) & 1) == 0) {
+        continue;
+      }
+      ctx.Store64(slot_addr, kInvalidKey);
+      old_dirty = true;
+    }
+    if (old_dirty) {
+      ctx.Clwb(old_bucket);
+    }
   }
   ctx.Sfence();
 

@@ -77,6 +77,11 @@ class Cceh {
   uint32_t global_depth() const { return global_depth_; }
   uint64_t segment_count() const { return segment_count_; }
   uint64_t size() const { return size_; }
+  Addr directory_addr() const { return directory_; }
+
+  // Test-only (crashcheck --break_persist): drop the clwb+sfence after the
+  // slot commit so the validator can demonstrate it catches the omission.
+  void set_skip_persist_for_test(bool skip) { skip_persist_for_test_ = skip; }
 
  private:
   static uint64_t HashOf(uint64_t key);
@@ -101,6 +106,7 @@ class Cceh {
   uint32_t global_depth_ = 0;
   uint64_t segment_count_ = 0;
   uint64_t size_ = 0;
+  bool skip_persist_for_test_ = false;
   CcehBreakdown breakdown_;
 };
 

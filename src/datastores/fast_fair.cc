@@ -76,7 +76,34 @@ void FastFairTree::ShiftInsert(ThreadContext& ctx, Addr node, uint64_t count, ui
 
   // Baseline: in-place shifts, one persistence barrier per 16 B move. Moves
   // within one cacheline repeatedly flush and reload that line.
-  for (uint64_t j = count; j > pos; --j) {
+  //
+  // Crash-safe order (FAST): first duplicate the last entry one slot right
+  // and grow the count over it, THEN shift the remaining entries. Every
+  // intermediate state keeps all committed entries inside [0, count) — a
+  // crash mid-shift leaves only an adjacent duplicate, which readers discard
+  // via the no-duplicate-pointer invariant. Growing the count before the
+  // duplicate (or shifting first) would strand the last entry beyond the
+  // count for a window, losing it on a crash.
+  if (pos == count) {
+    // Appending: publish the entry, then the count (entry invisible until the
+    // count grows, so a crash in between simply drops the unacked insert).
+    ctx.Store64(EntryAddr(node, pos), key);
+    ctx.Store64(EntryAddr(node, pos) + 8, value);
+    ctx.Clwb(EntryAddr(node, pos));
+    ctx.Sfence();
+    ctx.Store64(node, count + 1);
+    ctx.Clwb(node);
+    ctx.Sfence();
+    return;
+  }
+  ctx.Store64(EntryAddr(node, count), ctx.Load64(EntryAddr(node, count - 1)));
+  ctx.Store64(EntryAddr(node, count) + 8, ctx.Load64(EntryAddr(node, count - 1) + 8));
+  ctx.Clwb(EntryAddr(node, count));
+  ctx.Sfence();
+  ctx.Store64(node, count + 1);
+  ctx.Clwb(node);
+  ctx.Sfence();
+  for (uint64_t j = count - 1; j > pos; --j) {
     const uint64_t k = ctx.Load64(EntryAddr(node, j - 1));
     const uint64_t v = ctx.Load64(EntryAddr(node, j - 1) + 8);
     ctx.Store64(EntryAddr(node, j), k);
@@ -87,9 +114,6 @@ void FastFairTree::ShiftInsert(ThreadContext& ctx, Addr node, uint64_t count, ui
   ctx.Store64(EntryAddr(node, pos), key);
   ctx.Store64(EntryAddr(node, pos) + 8, value);
   ctx.Clwb(EntryAddr(node, pos));
-  ctx.Sfence();
-  ctx.Store64(node, count + 1);
-  ctx.Clwb(node);
   ctx.Sfence();
 }
 
@@ -127,16 +151,19 @@ FastFairTree::Promoted FastFairTree::SplitNode(ThreadContext& ctx, Addr node, bo
   ctx.Clwb(right);
   ctx.Sfence();  // right node fully durable before it becomes reachable
 
-  // Shrink the left node and link the sibling; order: count first (entries
-  // beyond it become garbage), then the link.
-  ctx.Store64(node, half);
-  ctx.Clwb(node);
-  ctx.Sfence();
+  // Link the sibling first, then shrink the left node. With the link durable
+  // the right half is reachable through the leaf chain even if the crash
+  // lands before the count shrink (readers see the moved entries twice and
+  // drop the second copies); shrinking first would leave those entries
+  // unreachable — committed keys silently lost — for a whole barrier window.
   if (leaf) {
     ctx.Store64(node + 16, right);
     ctx.Clwb(node + 16);
     ctx.Sfence();
   }
+  ctx.Store64(node, half);
+  ctx.Clwb(node);
+  ctx.Sfence();
   return {separator, right};
 }
 

@@ -58,6 +58,7 @@ class FastFairTree {
   uint64_t height() const { return height_; }
   uint64_t size() const { return size_; }
   uint64_t node_count() const { return node_count_; }
+  Addr meta_addr() const { return meta_; }
 
  private:
   struct Promoted {

@@ -92,6 +92,9 @@ McWriteResult MemoryController::Write(Addr addr, Cycles now, NodeId requester) {
   // The store's persist point includes the interconnect crossing.
   result.accepted_at = accept.accepted_at + hop;
   result.visible_at = w.visible_at;
+  if (persist_hook_ && KindOf(addr) == MemoryKind::kOptane) {
+    persist_hook_(CacheLineBase(addr), now, result.accepted_at, accept.drained_at);
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #ifndef SRC_IMC_MEMORY_CONTROLLER_H_
 #define SRC_IMC_MEMORY_CONTROLLER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -62,6 +63,15 @@ class MemoryController {
     return addr >= kDramAddressBase ? MemoryKind::kDram : MemoryKind::kOptane;
   }
 
+  // Observes every persist-path write that reaches an Optane WPQ (DRAM writes
+  // are not reported): `line` is the cacheline base, `issue` the cycle the
+  // write left the core, `accepted_at` its ADR persist point, `drained_at`
+  // when it lands in media. Used by the crash-consistency subsystem; at most
+  // one hook at a time (set an empty function to clear).
+  using PersistWriteHook = std::function<void(Addr line, Cycles issue, Cycles accepted_at,
+                                              Cycles drained_at)>;
+  void SetPersistWriteHook(PersistWriteHook hook) { persist_hook_ = std::move(hook); }
+
   void Reset();
 
   size_t optane_dimm_count() const { return optane_dimms_.size(); }
@@ -92,6 +102,8 @@ class MemoryController {
 
   std::vector<const Counters*> optane_scope_counters_;
   const Counters* dram_scope_counters_ = nullptr;
+
+  PersistWriteHook persist_hook_;
 };
 
 }  // namespace pmemsim

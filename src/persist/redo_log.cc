@@ -138,6 +138,13 @@ size_t RedoLog::Recover(ThreadContext& ctx) {
       group.push_back(s);
       last_seen = i + 1;
     } else if (magic == kCommitMagic) {
+      // Reaching here relies on the magic word's 8-byte failure atomicity
+      // (static_asserted in the header): a torn commit record can never show
+      // kCommitMagic with half-written neighbors in the same word, so any
+      // record that *does* carry the magic was sealed by the committer's
+      // fence. A commit torn away entirely reads as its old contents and the
+      // group above is simply never replayed — torn commit == not committed.
+      //
       // The commit record names its group size: replay exactly the last
       // `count` updates. Earlier strays (an aborted group's records) are
       // discarded — they were never covered by a commit.

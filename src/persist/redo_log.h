@@ -42,6 +42,29 @@ class RedoLog {
   static constexpr uint32_t kUpdateMagic = 0x5244554C;  // "RDUL"
   static constexpr uint32_t kCommitMagic = 0x5244434D;  // "RDCM"
 
+  // Record field offsets. The commit-deciding magic lives at [12..16) and the
+  // length at [8..12): both inside the single aligned 8-byte word [8..16).
+  // x86 guarantees failure atomicity only per aligned 8-byte unit, so a crash
+  // mid-persist tears a log cacheline at word granularity — the magic word is
+  // then either entirely old (not a commit: the group is discarded) or
+  // entirely new (a commit whose updates a prior fence already made durable).
+  // Recovery may therefore never observe a half-written commit flag; a torn
+  // record is torn in its *other* words, which recovery tolerates (length
+  // sanity check, group-size clamp). The static_asserts pin this layout: if
+  // the magic ever straddles two words, a torn flag could read as committed.
+  static constexpr uint64_t kTargetOffset = 0;
+  static constexpr uint64_t kLenOffset = 8;
+  static constexpr uint64_t kMagicOffset = 12;
+  static constexpr uint64_t kEpochOffset = 16;
+  static constexpr uint64_t kPayloadOffset = 24;
+  static_assert(kMagicOffset / 8 == (kMagicOffset + sizeof(uint32_t) - 1) / 8,
+                "commit/update magic must sit inside one aligned 8-byte word "
+                "(the x86 failure-atomicity unit) or a torn flag could be "
+                "misread as a commit");
+  static_assert(kMagicOffset % 8 + sizeof(uint32_t) <= 8,
+                "magic may not straddle the 8-byte atomicity boundary");
+  static_assert(kPayloadOffset + kMaxPayload <= kRecordSize, "payload overflows the record");
+
   // `log_region` must be PM, cacheline aligned, and hold >= 4 records.
   RedoLog(System* system, PmRegion log_region);
 

@@ -15,12 +15,30 @@ Transaction::Transaction(System* system, PmRegion log_region)
   PMEMSIM_CHECK(IsCacheLineAligned(region_.base));
 }
 
+namespace {
+
+// XOR of the record's first 7 words — the torn-record detector (see header).
+uint64_t RecordChecksum(const uint8_t* rec) {
+  uint64_t sum = 0;
+  for (uint64_t off = 0; off < Transaction::kChecksumOffset; off += 8) {
+    uint64_t word = 0;
+    std::memcpy(&word, rec + off, sizeof(word));
+    sum ^= word;
+  }
+  return sum;
+}
+
+}  // namespace
+
 void Transaction::WriteHead(ThreadContext& ctx, uint64_t state, uint64_t seq) {
   uint8_t head[kRecordSize] = {};
   const uint32_t magic = kHeadMagic;
   std::memcpy(head, &magic, sizeof(magic));
-  std::memcpy(head + 4, &state, 4);
-  std::memcpy(head + 8, &seq, sizeof(seq));
+  // State and seq share ONE aligned word so they can never tear apart (a
+  // torn active-bit paired with a stale seq would roll back the previous
+  // transaction — see the header comment).
+  const uint64_t packed = (seq << 1) | (state & 1);
+  std::memcpy(head + 8, &packed, sizeof(packed));
   ctx.NtStoreLine(region_.base, head);
   ctx.Sfence();
 }
@@ -44,6 +62,8 @@ void Transaction::AppendSnapshotRecord(ThreadContext& ctx, Addr target,
   std::memcpy(rec + 12, &magic, sizeof(magic));
   std::memcpy(rec + 16, &seq_, sizeof(seq_));
   std::memcpy(rec + 24, old_bytes, len);
+  const uint64_t checksum = RecordChecksum(rec);
+  std::memcpy(rec + kChecksumOffset, &checksum, sizeof(checksum));
   ctx.NtStoreLine(RecordAddr(next_record_), rec);
   ++next_record_;
 
@@ -106,10 +126,11 @@ size_t Transaction::Recover(ThreadContext& ctx) {
   uint8_t head[kRecordSize];
   ctx.Read(region_.base, head, sizeof(head));
   uint32_t magic = 0;
-  uint64_t state = 0, seq = 0;
+  uint64_t packed = 0;
   std::memcpy(&magic, head, sizeof(magic));
-  std::memcpy(&state, head + 4, 4);
-  std::memcpy(&seq, head + 8, sizeof(seq));
+  std::memcpy(&packed, head + 8, sizeof(packed));
+  const uint64_t state = packed & 1;
+  const uint64_t seq = packed >> 1;
 
   active_ = false;
   shadows_.clear();
@@ -139,6 +160,11 @@ size_t Transaction::Recover(ThreadContext& ctx) {
     }
     if (len == 0 || len > kMaxPayload) {
       break;  // torn record: everything after it is unreliable
+    }
+    uint64_t stored_sum = 0;
+    std::memcpy(&stored_sum, rec + kChecksumOffset, sizeof(stored_sum));
+    if (stored_sum != RecordChecksum(rec)) {
+      break;  // torn payload (only the interrupted Snapshot call can be torn)
     }
     Rec r;
     std::memcpy(&r.target, rec, sizeof(r.target));

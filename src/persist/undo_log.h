@@ -8,11 +8,26 @@
 // the log itself never re-persists a recently persisted line on G1.
 //
 // PM layout: an arena of 64 B records.
-//   record 0 (head):    [0..4) kHeadMagic | [4..8) state | [8..16) seq
-//   snapshot record:    [0..8) target | [8..12) len(<=40) | [12..16) kSnapMagic
-//                       [16..24) seq | [24..24+len) old bytes
+//   record 0 (head):    [0..4) kHeadMagic | [4..8) unused
+//                       [8..16) (seq << 1) | active-bit
+//   snapshot record:    [0..8) target | [8..12) len(<=32) | [12..16) kSnapMagic
+//                       [16..24) seq | [24..24+len) old bytes | [56..64) XOR
+//                       checksum of words 0..6
 // Large snapshots split across multiple records. Recovery applies matching-
 // seq records in reverse order, restoring the pre-transaction image.
+//
+// Two fields are designed around the x86 8-byte failure-atomicity unit:
+//  - The head packs the active bit and the sequence number into ONE aligned
+//    word. Were they separate words, a torn head (new state, old seq) would
+//    roll back the PREVIOUS transaction's still-present records over its
+//    committed state.
+//  - Snapshot payload words can tear independently of the (atomic) magic
+//    word, because records within one Snapshot() call are nt-stored without
+//    intervening fences. The checksum word detects any torn record; recovery
+//    stops at the first mismatch. That is sound because only records of the
+//    crash-interrupted Snapshot call can be torn (every earlier call fenced),
+//    and that call's in-place store never executed — its target needs no
+//    rollback.
 
 #ifndef SRC_PERSIST_UNDO_LOG_H_
 #define SRC_PERSIST_UNDO_LOG_H_
@@ -29,11 +44,13 @@ namespace pmemsim {
 class Transaction {
  public:
   static constexpr uint64_t kRecordSize = kCacheLineSize;
-  static constexpr uint32_t kMaxPayload = 40;
+  static constexpr uint32_t kMaxPayload = 32;  // bytes [24..56); [56..64) is the checksum
   static constexpr uint32_t kHeadMagic = 0x554E4448;  // "UNDH"
   static constexpr uint32_t kSnapMagic = 0x554E4453;  // "UNDS"
   static constexpr uint64_t kStateIdle = 0;
   static constexpr uint64_t kStateActive = 1;
+  static constexpr uint64_t kChecksumOffset = 56;
+  static_assert(24 + kMaxPayload <= kChecksumOffset, "payload overlaps the checksum word");
 
   // `log_region` must be PM; its first record is the transaction head.
   Transaction(System* system, PmRegion log_region);

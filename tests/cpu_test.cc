@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "src/api/pmem.h"
 #include "src/core/platform.h"
 #include "src/cpu/scheduler.h"
 
@@ -379,6 +380,66 @@ TEST(SchedulerTest, SlowThreadYieldsToFast) {
   Scheduler::Run(jobs);
   EXPECT_EQ(ns, 1);
   EXPECT_EQ(nf, 10);
+}
+
+// ---------- eADR semantics ----------
+
+struct EadrFixture {
+  std::unique_ptr<System> system = std::make_unique<System>(G2EadrPlatform(), 1);
+  ThreadContext* ctx = &system->CreateThread();
+  PmRegion pm = system->AllocatePm(KiB(64));
+
+  EadrFixture() { SetPrefetchers(*ctx, false, false, false); }
+};
+
+TEST(EadrTest, FlushesAreLatencyFreeNoOps) {
+  // With the caches inside the persistence domain, clwb and clflushopt do
+  // nothing but advance the clock by a cycle — and queue no persist.
+  EadrFixture f;
+  f.ctx->Store64(f.pm.base, 0xE1);
+  Cycles t0 = f.ctx->clock();
+  f.ctx->Clwb(f.pm.base);
+  EXPECT_EQ(f.ctx->clock() - t0, 1u);
+  t0 = f.ctx->clock();
+  f.ctx->Clflushopt(f.pm.base);
+  EXPECT_EQ(f.ctx->clock() - t0, 1u);
+  EXPECT_EQ(f.ctx->outstanding_persists(), 0u);
+  EXPECT_EQ(f.system->counters().imc_write_bytes, 0u);
+  // Contrast: the same sequence on plain G2 issues a real write-back.
+  Fixture g2(Generation::kG2);
+  g2.ctx->Store64(g2.pm.base, 0xE1);
+  g2.ctx->Clwb(g2.pm.base);
+  EXPECT_EQ(g2.ctx->outstanding_persists(), 1u);
+}
+
+TEST(EadrTest, FencesStillOrderWpqDrains) {
+  // eADR removes flushes, not fences: an nt-store still traverses the iMC and
+  // sfence/mfence must still wait for its WPQ drain.
+  EadrFixture f;
+  f.ctx->NtStore64(f.pm.base, 0xE2);
+  EXPECT_GT(f.ctx->outstanding_persists(), 0u);
+  f.ctx->Sfence();
+  EXPECT_EQ(f.ctx->outstanding_persists(), 0u);
+  f.ctx->NtStore64(f.pm.base + 64, 0xE3);
+  EXPECT_GT(f.ctx->outstanding_persists(), 0u);
+  f.ctx->Mfence();
+  EXPECT_EQ(f.ctx->outstanding_persists(), 0u);
+}
+
+TEST(EadrTest, PmemHasAutoFlushAgreesWithFlushBehavior) {
+  // The API-level predicate must match what ThreadContext actually does:
+  // auto-flush platforms are exactly those whose Clwb queues no persist.
+  for (const auto& platform : {G1Platform(), G2Platform(), G2EadrPlatform()}) {
+    auto system = std::make_unique<System>(platform, 1);
+    ThreadContext& ctx = system->CreateThread();
+    SetPrefetchers(ctx, false, false, false);
+    const PmRegion pm = system->AllocatePm(KiB(4));
+    ctx.Store64(pm.base, 1);
+    ctx.Clwb(pm.base);
+    const bool flush_was_noop = ctx.outstanding_persists() == 0;
+    EXPECT_EQ(PmemHasAutoFlush(*system), flush_was_noop) << platform.name;
+    ctx.Sfence();
+  }
 }
 
 }  // namespace

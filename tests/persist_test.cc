@@ -190,6 +190,32 @@ TEST(RedoLogTest, OpenGroupSurvivesWrap) {
   EXPECT_EQ(f.ctx->Load64(f.data.base + 576), 0xBu);
 }
 
+TEST(RedoLogTest, TornCommitFlagTreatedAsUncommitted) {
+  // The commit protocol leans on x86 8-byte failure atomicity: kCommitMagic
+  // lives inside one aligned word (the static_asserts in redo_log.h pin it
+  // there), so a crash mid-commit leaves that word either fully written or
+  // untouched — never half a magic. Simulate the untouched half and check
+  // recovery treats the group as not committed.
+  LogFixture f;
+  {
+    RedoLog log(f.system.get(), f.log_region);
+    const uint64_t v1 = 0x11, v2 = 0x22;
+    log.LogUpdate(*f.ctx, f.data.base, &v1, sizeof(v1));
+    log.Commit(*f.ctx);  // group 1: cleanly committed (records 0-1)
+    log.LogUpdate(*f.ctx, f.data.base + 64, &v2, sizeof(v2));
+    log.Commit(*f.ctx);  // group 2: its commit flag is torn below (record 3)
+  }
+  // Power failed as group 2's commit record was written: the aligned word
+  // holding the magic never reached the media.
+  const Addr commit2 = f.log_region.base + 3 * RedoLog::kRecordSize;
+  const uint64_t zero = 0;
+  f.system->backing().Write(commit2 + RedoLog::kLenOffset, &zero, sizeof(zero));
+  RedoLog recovered(f.system.get(), f.log_region);
+  EXPECT_EQ(recovered.Recover(*f.ctx), 1u);  // only group 1 replays
+  EXPECT_EQ(f.ctx->Load64(f.data.base), 0x11u);
+  EXPECT_EQ(f.ctx->Load64(f.data.base + 64), 0u);
+}
+
 TEST(RedoLogTest, FreshLogLinesAvoidSameLineStalls) {
   // The design point of §4.2: consecutive log appends persist quickly because
   // they never target a recently persisted cacheline.

@@ -120,6 +120,33 @@ TEST(TransactionTest, SequentialTransactionsReuseArena) {
   EXPECT_EQ(f.ctx->Load64(f.data.base + 1 * 64), 49u);
 }
 
+TEST(TransactionTest, TornSnapshotRecordStopsRollbackAtChecksum) {
+  // Snapshot payload words can tear independently of the record's magic word
+  // (nt-stores within one Snapshot call are unfenced); the XOR checksum must
+  // catch the tear and recovery must stop there, rolling back only the
+  // records persisted before it.
+  Fixture f;
+  {
+    Transaction tx(f.system.get(), f.log_region);
+    f.ctx->Store64(f.data.base, 1);
+    f.ctx->Store64(f.data.base + 64, 2);
+    tx.Begin(*f.ctx);
+    tx.Store64(*f.ctx, f.data.base, 101);       // snapshot record 1
+    tx.Store64(*f.ctx, f.data.base + 64, 102);  // snapshot record 2
+    // Crash before Commit; record 2's payload word tore on the way down.
+  }
+  const Addr record2 = f.log_region.base + 2 * Transaction::kRecordSize;
+  const uint64_t garbage = 0xDEADDEADDEADDEADull;
+  f.system->backing().Write(record2 + 24, &garbage, sizeof(garbage));
+  Transaction recovered(f.system.get(), f.log_region);
+  EXPECT_EQ(recovered.Recover(*f.ctx), 1u);
+  // The scan stops at record 2's checksum mismatch, so only record 1 rolls
+  // back: the first field is restored, and the corrupt snapshot is never
+  // applied over the second field's in-place value.
+  EXPECT_EQ(f.ctx->Load64(f.data.base), 1u);
+  EXPECT_EQ(f.ctx->Load64(f.data.base + 64), 102u);
+}
+
 TEST(TransactionTest, RecoverOnCleanLogIsNoop) {
   Fixture f;
   Transaction tx(f.system.get(), f.log_region);

@@ -1,0 +1,6 @@
+// CLI entry point; the driver lives in crashcheck_lib so the determinism
+// property test can run the same pipeline in-process.
+
+#include "tools/crashcheck_lib.h"
+
+int main(int argc, char** argv) { return pmemsim_crashcheck::RunCrashcheck(argc, argv); }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -49,7 +50,7 @@ uint64_t ParseSize(const std::string& s) {
 }
 
 struct ProbeConfig {
-  Generation gen = Generation::kG1;
+  PlatformConfig platform;        // selected by --platform (or legacy --gen)
   std::string op = "read";        // read | write | ntstore | rap | copy
   std::string pattern = "rand";   // seq | rand
   std::string persist = "none";   // none | clwb | clwb+mfence
@@ -64,7 +65,7 @@ struct ProbeConfig {
 };
 
 void RunProbe(const ProbeConfig& cfg, pmemsim_bench::SweepPoint& point) {
-  auto system = MakeSystem(cfg.gen, cfg.dimms);
+  auto system = std::make_unique<System>(cfg.platform, cfg.dimms);
   const PmRegion region = system->AllocatePm(cfg.wss, kXPLineSize);
   const uint64_t lines = cfg.wss / cfg.stride;
 
@@ -162,18 +163,18 @@ void RunProbe(const ProbeConfig& cfg, pmemsim_bench::SweepPoint& point) {
     all.Merge(w.latency);
     total_ops += w.done;
   }
-  const double ghz = cfg.gen == Generation::kG1 ? 2.1 : 3.0;
-  const double seconds = static_cast<double>(end - start_max) / (ghz * 1e9);
+  const double seconds =
+      static_cast<double>(end - start_max) / (cfg.platform.cpu_ghz * 1e9);
   const double touched =
       static_cast<double>(total_ops) * (cfg.op == "copy" ? kXPLineSize : kCacheLineSize);
 
   const double mops = static_cast<double>(total_ops) / seconds / 1e6;
   const double gbps = touched / seconds / 1e9;
-  point.Printf("op=%s pattern=%s wss=%llu KB stride=%llu threads=%u gen=%s dimms=%u\n",
+  point.Printf("op=%s pattern=%s wss=%llu KB stride=%llu threads=%u platform=%s dimms=%u\n",
                cfg.op.c_str(), cfg.pattern.c_str(),
                static_cast<unsigned long long>(cfg.wss / 1024),
                static_cast<unsigned long long>(cfg.stride), cfg.threads,
-               cfg.gen == Generation::kG1 ? "G1" : "G2", cfg.dimms);
+               cfg.platform.name.c_str(), cfg.dimms);
   point.Printf("latency (cycles): %s\n", all.Summary().c_str());
   point.Printf("throughput: %.2f Mops/s, %.3f GB/s of demanded data\n", mops, gbps);
   const Counters d = delta.Delta();
@@ -199,15 +200,27 @@ int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
     std::printf(
-        "usage: pmemsim_probe [--gen=g1|g2] [--op=read|write|ntstore|rap|copy]\n"
+        "usage: pmemsim_probe [--platform=g1|g2|g2-eadr] [--op=read|write|ntstore|rap|copy]\n"
         "                     [--pattern=seq|rand] [--persist=none|clwb|clwb+mfence]\n"
         "                     [--wss=64M] [--stride=64] [--threads=1] [--ops=100000]\n"
-        "                     [--distance=0] [--dimms=1] [--no_prefetch] [--remote]\n%s",
+        "                     [--distance=0] [--dimms=1] [--no_prefetch] [--remote]\n"
+        "                     (--gen=g1|g2 is accepted as a legacy alias)\n%s",
         pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   ProbeConfig cfg;
-  cfg.gen = flags.Get("gen", "g1") == "g2" ? Generation::kG2 : Generation::kG1;
+  // --platform selects the preset by name; --gen remains a legacy alias for
+  // the two paper testbeds (--platform wins when both are given).
+  const std::string gen = flags.Get("gen", "");
+  std::string platform_name = flags.Get("platform", "");
+  if (platform_name.empty()) {
+    platform_name = gen.empty() ? "g1" : gen;
+  }
+  const auto platform = PlatformByName(platform_name);
+  if (!platform) {
+    pmemsim_bench::Flags::BadValue("platform", platform_name, "g1|g2|g2-eadr");
+  }
+  cfg.platform = *platform;
   cfg.op = flags.Get("op", "read");
   cfg.pattern = flags.Get("pattern", "rand");
   cfg.persist = flags.Get("persist", "none");
