@@ -163,8 +163,12 @@ class BenchReport {
     std::vector<std::pair<std::string, Cell>> cells_;
   };
 
-  BenchReport(const Flags& flags, const std::string& bench_name)
-      : bench_name_(bench_name), stats_path_(flags.Get("stats_json", "")) {
+  // `default_stats_path` lets a bench opt into writing its report even when
+  // --stats_json is absent (perf_hotpath commits its trajectory baseline at
+  // the repo root); pass --stats_json= (empty) to suppress it.
+  BenchReport(const Flags& flags, const std::string& bench_name,
+              const std::string& default_stats_path = "")
+      : bench_name_(bench_name), stats_path_(flags.Get("stats_json", default_stats_path)) {
     const std::string trace_path = flags.Get("trace_out", "");
     if (!trace_path.empty()) {
       pmemsim::TraceEmitter::Global().Enable(trace_path);

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Gate engine throughput against the committed perf_hotpath baseline.
+
+Compares a fresh perf_hotpath stats export against the checked-in
+BENCH_hotpath.json and fails when any workload's simulated-ops/sec falls
+below `1 / --max_regression` of its baseline (default: a 2x slowdown).
+
+The bar is deliberately loose: CI runners are noisy shared machines and the
+committed baseline comes from a different host, so this gate only catches
+catastrophic regressions (an accidental O(n) scan on a hot path, a debug
+build slipping into the perf job), not percent-level drift. Tighten
+--max_regression locally for real A/B work.
+
+Usage:
+    check_perf.py --baseline BENCH_hotpath.json --current /tmp/hotpath.json \
+        [--max_regression 2.0] [--report]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = doc.get("rows", [])
+    if not rows:
+        sys.exit(f"error: {path} has no rows")
+    return {row["workload"]: row for row in rows}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, help="committed BENCH_hotpath.json")
+    parser.add_argument("--current", required=True, help="freshly generated stats JSON")
+    parser.add_argument(
+        "--max_regression",
+        type=float,
+        default=2.0,
+        help="fail when baseline/current throughput exceeds this ratio (default 2.0)",
+    )
+    parser.add_argument("--report", action="store_true", help="print every comparison")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    current = load_rows(args.current)
+
+    failures = []
+    for workload, base_row in sorted(baseline.items()):
+        cur_row = current.get(workload)
+        if cur_row is None:
+            failures.append(f"{workload}: missing from current run")
+            continue
+        base = base_row["sim_mops_per_sec"]
+        cur = cur_row["sim_mops_per_sec"]
+        if cur <= 0:
+            failures.append(f"{workload}: nonpositive throughput {cur}")
+            continue
+        ratio = base / cur
+        status = "FAIL" if ratio > args.max_regression else "ok"
+        if args.report or status == "FAIL":
+            print(
+                f"{status:4} {workload}: {cur:.3f} Mops/s vs baseline {base:.3f} "
+                f"(slowdown {ratio:.2f}x, limit {args.max_regression:.2f}x)"
+            )
+        if status == "FAIL":
+            failures.append(workload)
+
+    if failures:
+        print(f"{len(failures)} workload(s) regressed past the floor", file=sys.stderr)
+        return 1
+    print(f"{len(baseline)} workloads within {args.max_regression:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

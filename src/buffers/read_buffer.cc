@@ -12,24 +12,28 @@ ReadBuffer::ReadBuffer(uint64_t capacity_bytes, Counters* counters,
       slots_(static_cast<size_t>(capacity_bytes / kXPLineSize)) {
   PMEMSIM_CHECK(!slots_.empty());
   PMEMSIM_CHECK(counters_ != nullptr);
+  map_.Reserve(slots_.size());
+  free_.reserve(slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    free_.push_back(static_cast<uint32_t>(i));
+  }
 }
 
 bool ReadBuffer::Probe(Addr line_addr) const {
-  auto it = map_.find(XPLineBase(line_addr));
-  if (it == map_.end()) {
+  const uint32_t* pos = map_.Find(XPLineBase(line_addr));
+  if (pos == nullptr) {
     return false;
   }
-  const Slot& slot = slots_[it->second];
-  return (slot.valid_mask >> LineIndexInXPLine(line_addr)) & 1u;
+  return (slots_[*pos].valid_mask >> LineIndexInXPLine(line_addr)) & 1u;
 }
 
 bool ReadBuffer::ConsumeLine(Addr line_addr) {
-  auto it = map_.find(XPLineBase(line_addr));
-  if (it == map_.end()) {
+  const uint32_t* pos = map_.Find(XPLineBase(line_addr));
+  if (pos == nullptr) {
     ++counters_->read_buffer_misses;
     return false;
   }
-  Slot& slot = slots_[it->second];
+  Slot& slot = slots_[*pos];
   const uint8_t bit = static_cast<uint8_t>(1u << LineIndexInXPLine(line_addr));
   if (!(slot.valid_mask & bit)) {
     ++counters_->read_buffer_misses;
@@ -39,63 +43,131 @@ bool ReadBuffer::ConsumeLine(Addr line_addr) {
     // Exclusive with the CPU caches: once a line moves up, drop our copy.
     slot.valid_mask = static_cast<uint8_t>(slot.valid_mask & ~bit);
   }
-  slot.last_touch = ++touch_tick_;
+  if (eviction_ == ReadBufferEviction::kLru) {
+    LruUnlink(*pos);
+    LruPushFront(*pos);
+  }
   ++counters_->read_buffer_hits;
   return true;
 }
 
+uint32_t ReadBuffer::PopFree() {
+  while (free_head_ < free_.size()) {
+    const uint32_t v = free_[free_head_++];
+    if (free_head_ == free_.size()) {
+      free_.clear();
+      free_head_ = 0;
+    }
+    if (!slots_[v].in_use) {
+      return v;
+    }
+  }
+  return kNil;
+}
+
 size_t ReadBuffer::PickVictim() {
+  // Reuse slots vacated by Remove (and virgin slots at start-up) before
+  // evicting anything live. Before this, FIFO advanced its hand blindly and
+  // could evict a resident XPLine while a freed slot sat idle.
+  if (const uint32_t freed = PopFree(); freed != kNil) {
+    return freed;
+  }
   if (eviction_ == ReadBufferEviction::kFifo) {
     const size_t v = next_fill_;
     next_fill_ = (next_fill_ + 1) % slots_.size();
     return v;
   }
-  size_t best = 0;
-  for (size_t i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].in_use) {
-      return i;
-    }
-    if (slots_[i].last_touch < slots_[best].last_touch) {
-      best = i;
-    }
+  PMEMSIM_DCHECK(lru_tail_ != kNil);
+  return lru_tail_;  // exact least-recently-touched slot
+}
+
+void ReadBuffer::LruUnlink(uint32_t i) {
+  Slot& s = slots_[i];
+  if (s.lru_prev != kNil) {
+    slots_[s.lru_prev].lru_next = s.lru_next;
+  } else if (lru_head_ == i) {
+    lru_head_ = s.lru_next;
   }
-  return best;
+  if (s.lru_next != kNil) {
+    slots_[s.lru_next].lru_prev = s.lru_prev;
+  } else if (lru_tail_ == i) {
+    lru_tail_ = s.lru_prev;
+  }
+  s.lru_prev = kNil;
+  s.lru_next = kNil;
+}
+
+void ReadBuffer::LruPushFront(uint32_t i) {
+  Slot& s = slots_[i];
+  s.lru_prev = kNil;
+  s.lru_next = lru_head_;
+  if (lru_head_ != kNil) {
+    slots_[lru_head_].lru_prev = i;
+  }
+  lru_head_ = i;
+  if (lru_tail_ == kNil) {
+    lru_tail_ = i;
+  }
 }
 
 void ReadBuffer::Fill(Addr addr) {
   const Addr xpline = XPLineBase(addr);
-  auto it = map_.find(xpline);
-  if (it != map_.end()) {
+  if (const uint32_t* pos = map_.Find(xpline)) {
     // Refetch of an XPLine still occupying a slot: refresh in place.
-    slots_[it->second].valid_mask = 0x0F;
-    slots_[it->second].last_touch = ++touch_tick_;
+    slots_[*pos].valid_mask = 0x0F;
+    if (eviction_ == ReadBufferEviction::kLru) {
+      LruUnlink(*pos);
+      LruPushFront(*pos);
+    }
     return;
   }
   const size_t victim = PickVictim();
   Slot& slot = slots_[victim];
   if (slot.in_use) {
-    map_.erase(slot.xpline);
+    map_.Erase(slot.xpline);
+    if (eviction_ == ReadBufferEviction::kLru) {
+      LruUnlink(static_cast<uint32_t>(victim));
+    }
   }
   slot.xpline = xpline;
   slot.valid_mask = 0x0F;
   slot.in_use = true;
-  slot.last_touch = ++touch_tick_;
-  map_[xpline] = victim;
+  if (eviction_ == ReadBufferEviction::kLru) {
+    LruPushFront(static_cast<uint32_t>(victim));
+  }
+  map_[xpline] = static_cast<uint32_t>(victim);
+}
+
+void ReadBuffer::FillForDelivery(Addr line_addr) {
+  Fill(line_addr);
+  const uint32_t* pos = map_.Find(XPLineBase(line_addr));
+  PMEMSIM_DCHECK(pos != nullptr);
+  if (exclusive_) {
+    Slot& slot = slots_[*pos];
+    const uint8_t bit = static_cast<uint8_t>(1u << LineIndexInXPLine(line_addr));
+    PMEMSIM_DCHECK(slot.valid_mask & bit);
+    slot.valid_mask = static_cast<uint8_t>(slot.valid_mask & ~bit);
+  }
 }
 
 bool ReadBuffer::ContainsXPLine(Addr addr) const {
-  auto it = map_.find(XPLineBase(addr));
-  return it != map_.end() && slots_[it->second].valid_mask != 0;
+  const uint32_t* pos = map_.Find(XPLineBase(addr));
+  return pos != nullptr && slots_[*pos].valid_mask != 0;
 }
 
 bool ReadBuffer::Remove(Addr addr) {
-  auto it = map_.find(XPLineBase(addr));
-  if (it == map_.end()) {
+  const uint32_t* pos = map_.Find(XPLineBase(addr));
+  if (pos == nullptr) {
     return false;
   }
-  slots_[it->second].in_use = false;
-  slots_[it->second].valid_mask = 0;
-  map_.erase(it);
+  const uint32_t i = *pos;
+  slots_[i].in_use = false;
+  slots_[i].valid_mask = 0;
+  if (eviction_ == ReadBufferEviction::kLru) {
+    LruUnlink(i);
+  }
+  map_.Erase(slots_[i].xpline);
+  free_.push_back(i);
   return true;
 }
 
@@ -103,8 +175,15 @@ void ReadBuffer::Clear() {
   for (Slot& s : slots_) {
     s = Slot{};
   }
-  map_.clear();
+  map_.Clear();
   next_fill_ = 0;
+  free_.clear();
+  free_head_ = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    free_.push_back(static_cast<uint32_t>(i));
+  }
+  lru_head_ = kNil;
+  lru_tail_ = kNil;
 }
 
 }  // namespace pmemsim

@@ -15,16 +15,26 @@ WriteBuffer::WriteBuffer(const WriteBufferConfig& config, Counters* counters)
   PMEMSIM_CHECK(capacity_entries_ > 0);
   PMEMSIM_CHECK(config.partial_reserve_entries < capacity_entries_);
   partial_capacity_ = capacity_entries_ - config.partial_reserve_entries;
+  keys_.reserve(capacity_entries_);
+  entries_.reserve(capacity_entries_);
+  index_.Reserve(capacity_entries_);
 }
 
 size_t WriteBuffer::CountPartial() const {
   size_t n = 0;
-  for (const auto& [addr, e] : map_) {
+  for (const Entry& e : entries_) {
     if (IsPartial(e)) {
       ++n;
     }
   }
   return n;
+}
+
+void WriteBuffer::Append(Addr xpline, const Entry& e) {
+  index_[xpline] = static_cast<uint32_t>(keys_.size());
+  keys_.push_back(xpline);
+  entries_.push_back(e);
+  NotePartialChange(false, IsPartial(e));
 }
 
 bool WriteBuffer::Write(Addr line_addr, Cycles now, Cycles visible_at,
@@ -33,14 +43,15 @@ bool WriteBuffer::Write(Addr line_addr, Cycles now, Cycles visible_at,
   const Addr xpline = XPLineBase(line_addr);
   const uint8_t bit = static_cast<uint8_t>(1u << LineIndexInXPLine(line_addr));
 
-  auto it = map_.find(xpline);
-  if (it != map_.end()) {
-    Entry& e = it->second;
+  if (const uint32_t* pos = index_.Find(xpline)) {
+    Entry& e = entries_[*pos];
+    const bool was_partial = IsPartial(e);
     e.dirty_mask |= bit;
     e.valid_mask |= bit;
     const uint64_t idx = LineIndexInXPLine(line_addr);
     e.visible_at[idx] = std::max(e.visible_at[idx], visible_at);
     e.clean = false;
+    NotePartialChange(was_partial, IsPartial(e));
     ++counters_->write_buffer_hits;
     return true;
   }
@@ -51,9 +62,7 @@ bool WriteBuffer::Write(Addr line_addr, Cycles now, Cycles visible_at,
   e.dirty_mask = bit;
   e.valid_mask = bit;
   e.visible_at[LineIndexInXPLine(line_addr)] = visible_at;
-  map_.emplace(xpline, e);
-  key_pos_[xpline] = keys_.size();
-  keys_.push_back(xpline);
+  Append(xpline, e);
   return false;
 }
 
@@ -63,13 +72,12 @@ void WriteBuffer::Tick(Cycles now, std::vector<WritebackRequest>& writebacks) {
     return;
   }
   last_periodic_tick_ = now;
-  // Iterate keys_, not map_: unordered_map iteration order differs across
-  // standard libraries, and the write-back order must be bit-for-bit
-  // reproducible for the figure-regression gate.
-  for (const Addr addr : keys_) {
-    Entry& e = map_.find(addr)->second;
+  // Iterate the dense insertion-ordered storage: the write-back order must be
+  // bit-for-bit reproducible for the figure-regression gate.
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    Entry& e = entries_[i];
     if (e.dirty_mask == 0x0F) {
-      writebacks.push_back({addr, /*needs_rmw=*/false, /*periodic=*/true});
+      writebacks.push_back({keys_[i], /*needs_rmw=*/false, /*periodic=*/true});
       e.dirty_mask = 0;
       e.clean = true;
       ++counters_->periodic_writebacks;
@@ -78,21 +86,23 @@ void WriteBuffer::Tick(Cycles now, std::vector<WritebackRequest>& writebacks) {
 }
 
 bool WriteBuffer::HoldsLine(Addr line_addr) const {
-  auto it = map_.find(XPLineBase(line_addr));
-  if (it == map_.end()) {
+  const uint32_t* pos = index_.Find(XPLineBase(line_addr));
+  if (pos == nullptr) {
     return false;
   }
-  return (it->second.valid_mask >> LineIndexInXPLine(line_addr)) & 1u;
+  return (entries_[*pos].valid_mask >> LineIndexInXPLine(line_addr)) & 1u;
 }
 
-bool WriteBuffer::ContainsXPLine(Addr addr) const { return map_.count(XPLineBase(addr)) != 0; }
+bool WriteBuffer::ContainsXPLine(Addr addr) const {
+  return index_.Contains(XPLineBase(addr));
+}
 
 Cycles WriteBuffer::VisibleAt(Addr line_addr) const {
-  auto it = map_.find(XPLineBase(line_addr));
-  if (it == map_.end()) {
+  const uint32_t* pos = index_.Find(XPLineBase(line_addr));
+  if (pos == nullptr) {
     return 0;
   }
-  const Entry& e = it->second;
+  const Entry& e = entries_[*pos];
   const uint64_t idx = LineIndexInXPLine(line_addr);
   if (!(e.valid_mask & (1u << idx))) {
     return 0;
@@ -104,135 +114,135 @@ void WriteBuffer::InstallTransition(Addr line_addr, Cycles now, Cycles visible_a
                                     std::vector<WritebackRequest>& writebacks) {
   Tick(now, writebacks);
   const Addr xpline = XPLineBase(line_addr);
-  PMEMSIM_DCHECK(map_.find(xpline) == map_.end());
+  PMEMSIM_DCHECK(!index_.Contains(xpline));
   EnsureRoom(writebacks);
   Entry e;
   e.dirty_mask = static_cast<uint8_t>(1u << LineIndexInXPLine(line_addr));
   e.valid_mask = 0x0F;  // the read buffer held the whole XPLine
   e.visible_at[LineIndexInXPLine(line_addr)] = visible_at;
-  map_.emplace(xpline, e);
-  key_pos_[xpline] = keys_.size();
-  keys_.push_back(xpline);
+  Append(xpline, e);
   ++counters_->read_write_transitions;
   ++counters_->write_buffer_hits;  // the 64 B write itself did not miss
 }
 
 bool WriteBuffer::AbsorbFill(Addr addr) {
-  auto it = map_.find(XPLineBase(addr));
-  if (it == map_.end()) {
+  const uint32_t* pos = index_.Find(XPLineBase(addr));
+  if (pos == nullptr) {
     return false;
   }
-  it->second.valid_mask = 0x0F;
+  entries_[*pos].valid_mask = 0x0F;
   return true;
 }
 
 void WriteBuffer::EnsureRoom(std::vector<WritebackRequest>& writebacks) {
   // Total-capacity constraint.
-  while (map_.size() >= capacity_entries_) {
+  while (keys_.size() >= capacity_entries_) {
     EvictOne(writebacks);
   }
   // Partial-entry constraint (the G1 12 KB knee).
-  size_t partial = CountPartial();
-  if (partial < partial_capacity_) {
+  PMEMSIM_DCHECK(partial_count_ == static_cast<ptrdiff_t>(CountPartial()));
+  if (partial_count_ < static_cast<ptrdiff_t>(partial_capacity_)) {
     return;
   }
-  const size_t target =
-      config_.batch_evict
-          ? static_cast<size_t>(static_cast<double>(partial_capacity_) *
-                                config_.batch_evict_keep_fraction)
-          : partial_capacity_ - 1;
-  while (partial > target) {
+  const ptrdiff_t target = static_cast<ptrdiff_t>(
+      config_.batch_evict ? static_cast<size_t>(static_cast<double>(partial_capacity_) *
+                                                config_.batch_evict_keep_fraction)
+                          : partial_capacity_ - 1);
+  while (partial_count_ > target) {
     // Evict a *partial* victim chosen by the configured policy.
-    Addr victim = 0;
+    size_t victim = 0;
     bool found = false;
     if (config_.eviction == WriteBufferEviction::kOldest) {
-      for (const Addr cand : keys_) {
-        if (IsPartial(map_[cand])) {
-          victim = cand;
+      for (size_t i = 0; i < keys_.size(); ++i) {
+        if (IsPartial(entries_[i])) {
+          victim = i;
           found = true;
           break;
         }
       }
     } else {
       for (int tries = 0; tries < 64 && !found; ++tries) {
-        const Addr cand = keys_[rng_.NextBelow(keys_.size())];
-        if (IsPartial(map_[cand])) {
+        const size_t cand = static_cast<size_t>(rng_.NextBelow(keys_.size()));
+        if (IsPartial(entries_[cand])) {
           victim = cand;
           found = true;
         }
       }
     }
     if (!found) {
-      // Fallback scan over keys_ (deterministic across stdlibs).
-      for (const Addr cand : keys_) {
-        if (IsPartial(map_.find(cand)->second)) {
-          victim = cand;
+      // Fallback scan in insertion order (deterministic across stdlibs).
+      for (size_t i = 0; i < keys_.size(); ++i) {
+        if (IsPartial(entries_[i])) {
+          victim = i;
           found = true;
           break;
         }
       }
     }
     PMEMSIM_CHECK(found);
-    EvictVictim(victim, writebacks);
-    --partial;
+    EvictVictimAt(victim, writebacks);
   }
 }
 
-Addr WriteBuffer::PickRandomishVictim() {
+size_t WriteBuffer::PickRandomishVictimPos() {
   if (config_.eviction == WriteBufferEviction::kOldest) {
-    return keys_.front();  // insertion order survives until eviction swaps
+    return 0;  // insertion order survives until eviction shifts
   }
-  return keys_[rng_.NextBelow(keys_.size())];
+  return static_cast<size_t>(rng_.NextBelow(keys_.size()));
 }
 
 void WriteBuffer::EvictOne(std::vector<WritebackRequest>& writebacks) {
   PMEMSIM_CHECK(!keys_.empty());
-  // Prefer a clean entry (free to drop); otherwise a policy victim. Scan
-  // keys_ so the victim does not depend on the stdlib's unordered_map
-  // iteration order.
-  for (const Addr addr : keys_) {
-    const Entry& e = map_.find(addr)->second;
+  // Prefer a clean entry (free to drop); otherwise a policy victim. Scan the
+  // dense insertion-ordered storage so the victim does not depend on any
+  // hash-table iteration order.
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    const Entry& e = entries_[i];
     if (e.clean && e.dirty_mask == 0) {
-      EvictVictim(addr, writebacks);
+      EvictVictimAt(i, writebacks);
       return;
     }
   }
-  EvictVictim(PickRandomishVictim(), writebacks);
+  EvictVictimAt(PickRandomishVictimPos(), writebacks);
 }
 
-void WriteBuffer::EvictVictim(Addr xpline, std::vector<WritebackRequest>& writebacks) {
-  auto it = map_.find(xpline);
-  PMEMSIM_CHECK(it != map_.end());
-  const Entry& e = it->second;
+void WriteBuffer::EvictVictimAt(size_t pos, std::vector<WritebackRequest>& writebacks) {
+  PMEMSIM_DCHECK(pos < keys_.size());
+  const Addr xpline = keys_[pos];
+  const Entry& e = entries_[pos];
   if (e.dirty_mask != 0) {
     // Partially dirty entries whose remaining lines are not held (valid_mask
     // short of full) must fetch the rest of the XPLine before programming.
     writebacks.push_back({xpline, /*needs_rmw=*/e.valid_mask != 0x0F, /*periodic=*/false});
     ++counters_->write_buffer_evictions;
   }
-  const size_t pos = key_pos_[xpline];
+  NotePartialChange(IsPartial(e), false);
   if (config_.eviction == WriteBufferEviction::kOldest) {
     // Preserve insertion order (n <= 64, the erase is cheap).
     keys_.erase(keys_.begin() + static_cast<ptrdiff_t>(pos));
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(pos));
     for (size_t i = pos; i < keys_.size(); ++i) {
-      key_pos_[keys_[i]] = i;
+      index_[keys_[i]] = static_cast<uint32_t>(i);
     }
-  } else {
-    const Addr last = keys_.back();
-    keys_[pos] = last;
-    key_pos_[last] = pos;
+  } else if (pos + 1 == keys_.size()) {
     keys_.pop_back();
+    entries_.pop_back();
+  } else {
+    keys_[pos] = keys_.back();
+    entries_[pos] = entries_.back();
+    index_[keys_[pos]] = static_cast<uint32_t>(pos);
+    keys_.pop_back();
+    entries_.pop_back();
   }
-  key_pos_.erase(xpline);
-  map_.erase(it);
+  index_.Erase(xpline);
 }
 
 void WriteBuffer::DrainAll(std::vector<WritebackRequest>& writebacks) {
-  // Drain in keys_ order, for reproducible write-back sequences.
-  for (const Addr addr : keys_) {
-    const Entry& e = map_.find(addr)->second;
+  // Drain in insertion order, for reproducible write-back sequences.
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    const Entry& e = entries_[i];
     if (e.dirty_mask != 0) {
-      writebacks.push_back({addr, e.valid_mask != 0x0F, false});
+      writebacks.push_back({keys_[i], e.valid_mask != 0x0F, false});
       ++counters_->write_buffer_evictions;
     }
   }
@@ -240,9 +250,10 @@ void WriteBuffer::DrainAll(std::vector<WritebackRequest>& writebacks) {
 }
 
 void WriteBuffer::Clear() {
-  map_.clear();
   keys_.clear();
-  key_pos_.clear();
+  entries_.clear();
+  index_.Clear();
+  partial_count_ = 0;
 }
 
 }  // namespace pmemsim

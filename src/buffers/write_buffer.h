@@ -19,9 +19,9 @@
 #define SRC_BUFFERS_WRITE_BUFFER_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/common/random.h"
 #include "src/common/types.h"
 #include "src/trace/counters.h"
@@ -89,7 +89,7 @@ class WriteBuffer {
 
   void Clear();
 
-  size_t occupied_entries() const { return map_.size(); }
+  size_t occupied_entries() const { return keys_.size(); }
   size_t capacity_entries() const { return capacity_entries_; }
   size_t partial_capacity_entries() const { return partial_capacity_; }
 
@@ -108,7 +108,17 @@ class WriteBuffer {
   size_t CountPartial() const;
   void EvictOne(std::vector<WritebackRequest>& writebacks);
   void EnsureRoom(std::vector<WritebackRequest>& writebacks);
-  void EvictVictim(Addr xpline, std::vector<WritebackRequest>& writebacks);
+  // Evicts the entry at dense position `pos` (all victim scans already know
+  // the position, so no index lookup is needed to translate a key back).
+  void EvictVictimAt(size_t pos, std::vector<WritebackRequest>& writebacks);
+  // Appends a fresh entry for `xpline` and indexes it.
+  void Append(Addr xpline, const Entry& e);
+  // Tracks partial_count_ across a dirty-mask change.
+  void NotePartialChange(bool was_partial, bool is_partial) {
+    if (was_partial != is_partial) {
+      partial_count_ += is_partial ? 1 : -1;
+    }
+  }
 
   WriteBufferConfig config_;
   Counters* counters_;
@@ -118,13 +128,18 @@ class WriteBuffer {
   size_t partial_capacity_;
   Cycles last_periodic_tick_ = 0;
 
-  Addr PickRandomishVictim();
+  size_t PickRandomishVictimPos();
 
-  std::unordered_map<Addr, Entry> map_;
-  // Dense key list for O(1) random victim selection; insertion-ordered for
-  // the kOldest ablation policy. Kept in sync with map_.
+  // Dense, insertion-ordered storage: keys_[i] owns entries_[i]. Every
+  // ordered walk (periodic write-back, oldest-first/clean-first victim scans,
+  // drain) iterates these vectors, so eviction and write-back sequences are a
+  // function of operation history alone — never of hash-table order. The
+  // flat map only accelerates point lookups (Addr -> dense position).
   std::vector<Addr> keys_;
-  std::unordered_map<Addr, size_t> key_pos_;
+  std::vector<Entry> entries_;
+  FlatMap<Addr, uint32_t> index_;
+  // Live count of partially-written resident XPLines (== CountPartial()).
+  ptrdiff_t partial_count_ = 0;
 };
 
 }  // namespace pmemsim

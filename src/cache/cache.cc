@@ -1,141 +1,206 @@
 #include "src/cache/cache.h"
 
+#include <algorithm>
+#include <bit>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
 #include "src/common/check.h"
 
 namespace pmemsim {
 
+namespace {
+
+// Ask the kernel to back a large long-lived array with huge pages. The block
+// array of a realistically sized L3 is tens of megabytes probed at random
+// set indices: under 4 KB pages every probe is also a dTLB miss, and x86
+// drops software prefetches whose translation misses — which defeats the
+// PrefetchSet overlap scheme entirely. 2 MB pages make the whole array a
+// handful of dTLB entries. Purely a host-side hint; harmless where
+// unsupported.
+void AdviseHugePages(void* p, size_t bytes) {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr uintptr_t kHuge = 2u << 20;
+  const uintptr_t start = (reinterpret_cast<uintptr_t>(p) + kHuge - 1) & ~(kHuge - 1);
+  const uintptr_t end = (reinterpret_cast<uintptr_t>(p) + bytes) & ~(kHuge - 1);
+  if (end > start) {
+    (void)madvise(reinterpret_cast<void*>(start), end - start, MADV_HUGEPAGE);
+  }
+#else
+  (void)p;
+  (void)bytes;
+#endif
+}
+
+}  // namespace
+
 SetAssocCache::SetAssocCache(const CacheLevelConfig& config) : config_(config) {
   PMEMSIM_CHECK(config.ways > 0);
+  PMEMSIM_CHECK(config.ways <= 32);  // valid/ready/pending masks: one bit per way
   PMEMSIM_CHECK(config.size_bytes >= kCacheLineSize * config.ways);
   sets_ = static_cast<size_t>(config.size_bytes / (kCacheLineSize * config.ways));
   PMEMSIM_CHECK(sets_ > 0);
-  ways_.resize(sets_ * config.ways);
+  set_mask_ = (sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0;
+  stride_ = (4 * config.ways + 7) & ~size_t{7};  // whole 64 B lines per set
+  ways_mask_ = config.ways == 32 ? ~0u : (1u << config.ways) - 1u;
+  block_words_ = sets_ * stride_;
+  blocks_.reset(static_cast<uint64_t*>(
+      ::operator new[](block_words_ * sizeof(uint64_t), std::align_val_t{64})));
+  AdviseHugePages(blocks_.get(), block_words_ * sizeof(uint64_t));
+  std::fill_n(blocks_.get(), block_words_, 0);
+  valid_mask_.assign(sets_, 0);
+  ready_mask_.assign(sets_, 0);
+  pending_mask_.assign(sets_, 0);
 }
 
-SetAssocCache::Way* SetAssocCache::Find(Addr line_addr, Cycles now) {
+size_t SetAssocCache::FindWay(Addr line_addr, Cycles now, size_t* set_out) {
   const Addr line = CacheLineBase(line_addr);
-  Way* base = &ways_[SetIndex(line) * config_.ways];
-  for (uint32_t i = 0; i < config_.ways; ++i) {
-    Way& w = base[i];
-    if (w.valid && w.tag == line) {
-      if (w.pending_invalidate_at != 0 && now >= w.pending_invalidate_at) {
-        w.valid = false;  // the scheduled invalidation has taken effect
-        return nullptr;
+  const size_t set = SetIndex(line);
+  *set_out = set;
+  const size_t base = set * stride_;
+  const uint32_t pending = pending_mask_[set];
+  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    if (TagMatches(Tag(base + i), line)) {
+      if ((pending & (1u << i)) != 0 && now >= PendingAt(base + i)) {
+        ClearValid(set, base + i);  // the scheduled invalidation has taken effect
+        return kNone;
       }
-      return &w;
+      return base + i;
     }
   }
-  return nullptr;
+  return kNone;
 }
 
-const SetAssocCache::Way* SetAssocCache::FindConst(Addr line_addr, Cycles now) const {
+size_t SetAssocCache::FindWayConst(Addr line_addr, Cycles now) const {
   const Addr line = CacheLineBase(line_addr);
-  const Way* base = &ways_[SetIndex(line) * config_.ways];
-  for (uint32_t i = 0; i < config_.ways; ++i) {
-    const Way& w = base[i];
-    if (w.valid && w.tag == line) {
-      if (w.pending_invalidate_at != 0 && now >= w.pending_invalidate_at) {
-        return nullptr;
+  const size_t set = SetIndex(line);
+  const size_t base = set * stride_;
+  const uint32_t pending = pending_mask_[set];
+  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    if (TagMatches(Tag(base + i), line)) {
+      if ((pending & (1u << i)) != 0 && now >= PendingAt(base + i)) {
+        return kNone;
       }
-      return &w;
+      return base + i;
     }
   }
-  return nullptr;
+  return kNone;
 }
 
 bool SetAssocCache::Access(Addr line_addr, Cycles now, bool mark_dirty, bool* was_prefetched,
                            Cycles* available_at) {
-  Way* w = Find(line_addr, now);
-  if (w == nullptr) {
+  size_t set;
+  const size_t w = FindWay(line_addr, now, &set);
+  if (w == kNone) {
     if (was_prefetched != nullptr) {
       *was_prefetched = false;
     }
     return false;
   }
-  w->lru = ++tick_;
+  const uint32_t bit = 1u << (w - set * stride_);
+  Lru(w) = ++tick_;
   if (mark_dirty) {
-    w->dirty = true;
+    Tag(w) |= kDirty;
     // A new store supersedes any scheduled clwb invalidation.
-    w->pending_invalidate_at = 0;
+    pending_mask_[set] &= ~bit;
   }
   if (was_prefetched != nullptr) {
-    *was_prefetched = w->prefetched;
+    *was_prefetched = (Tag(w) & kPrefetched) != 0;
   }
   if (available_at != nullptr) {
-    *available_at = w->ready_at > now ? w->ready_at : now;
+    *available_at = (ready_mask_[set] & bit) != 0 && ReadyAt(w) > now ? ReadyAt(w) : now;
   }
-  w->prefetched = false;
-  w->ready_at = 0;
+  Tag(w) &= ~kPrefetched;
+  ready_mask_[set] &= ~bit;  // data is (or becomes) demand-visible now
   return true;
 }
 
 bool SetAssocCache::Probe(Addr line_addr, Cycles now) const {
-  return FindConst(line_addr, now) != nullptr;
+  return FindWayConst(line_addr, now) != kNone;
 }
 
 EvictedLine SetAssocCache::Insert(Addr line_addr, Cycles now, bool dirty, bool prefetched,
                                   Cycles ready_at) {
   const Addr line = CacheLineBase(line_addr);
-  Way* base = &ways_[SetIndex(line) * config_.ways];
+  const size_t set = SetIndex(line);
+  const size_t base = set * stride_;
 
   // Already present: refresh in place.
-  for (uint32_t i = 0; i < config_.ways; ++i) {
-    Way& w = base[i];
-    if (w.valid && w.tag == line) {
-      w.lru = ++tick_;
-      w.dirty = w.dirty || dirty;
-      w.prefetched = prefetched && w.prefetched;
-      w.pending_invalidate_at = 0;
+  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    Addr& t = Tag(base + i);
+    if (TagMatches(t, line)) {
+      Lru(base + i) = ++tick_;
+      if (dirty) {
+        t |= kDirty;
+      }
+      if (!prefetched) {
+        t &= ~kPrefetched;
+      }
+      pending_mask_[set] &= ~(1u << i);
       return {};
     }
   }
 
-  // Pick an invalid way, else the LRU way (expired pending invalidations count
-  // as invalid).
-  Way* victim = nullptr;
-  for (uint32_t i = 0; i < config_.ways; ++i) {
-    Way& w = base[i];
-    if (!w.valid || (w.pending_invalidate_at != 0 && now >= w.pending_invalidate_at)) {
-      victim = &w;
-      victim->valid = false;
-      break;
+  // Pick the first invalid-or-expired way in way order (expired pending
+  // invalidations count as invalid and are dropped, not evicted), else the
+  // LRU way.
+  uint32_t free = ~valid_mask_[set] & ways_mask_;
+  for (uint32_t m = pending_mask_[set] & valid_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    if (now >= PendingAt(base + i)) {
+      free |= 1u << i;
     }
   }
-  if (victim == nullptr) {
+  size_t victim;
+  if (free != 0) {
+    victim = base + static_cast<uint32_t>(std::countr_zero(free));
+    ClearValid(set, victim);
+  } else {
     victim = base;
     for (uint32_t i = 1; i < config_.ways; ++i) {
-      if (base[i].lru < victim->lru) {
-        victim = &base[i];
+      if (Lru(base + i) < Lru(victim)) {
+        victim = base + i;
       }
     }
   }
 
   EvictedLine evicted;
-  if (victim->valid) {
-    evicted = {victim->tag, true, victim->dirty};
+  if ((Tag(victim) & kValid) != 0) {
+    evicted = {Tag(victim) & kTagMask, true, (Tag(victim) & kDirty) != 0};
   }
-  victim->tag = line;
-  victim->valid = true;
-  victim->dirty = dirty;
-  victim->prefetched = prefetched;
-  victim->pending_invalidate_at = 0;
-  victim->ready_at = ready_at;
-  victim->lru = ++tick_;
+  const uint32_t bit = 1u << (victim - base);
+  Tag(victim) = line | kValid | (dirty ? kDirty : 0) | (prefetched ? kPrefetched : 0);
+  valid_mask_[set] |= bit;
+  pending_mask_[set] &= ~bit;
+  if (ready_at != 0) {
+    ReadyAt(victim) = ready_at;
+    ready_mask_[set] |= bit;
+  } else {
+    ready_mask_[set] &= ~bit;
+  }
+  Lru(victim) = ++tick_;
   return evicted;
 }
 
 SetAssocCache::InvalidateResult SetAssocCache::Invalidate(Addr line_addr) {
-  // Invalidation is unconditional; pass now=0 so even lines with scheduled
-  // invalidations are found.
+  // Invalidation is unconditional: even lines with scheduled (not yet due)
+  // invalidations are found by the valid-way scan.
   const Addr line = CacheLineBase(line_addr);
-  Way* base = &ways_[SetIndex(line) * config_.ways];
-  for (uint32_t i = 0; i < config_.ways; ++i) {
-    Way& w = base[i];
-    if (w.valid && w.tag == line) {
-      InvalidateResult r{true, w.dirty};
-      w.valid = false;
-      w.dirty = false;
-      w.pending_invalidate_at = 0;
+  const size_t set = SetIndex(line);
+  const size_t base = set * stride_;
+  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    Addr& t = Tag(base + i);
+    if (TagMatches(t, line)) {
+      InvalidateResult r{true, (t & kDirty) != 0};
+      t &= ~kDirty;
+      ClearValid(set, base + i);
+      ClearPending(set, base + i);
       return r;
     }
   }
@@ -145,14 +210,21 @@ SetAssocCache::InvalidateResult SetAssocCache::Invalidate(Addr line_addr) {
 SetAssocCache::InvalidateResult SetAssocCache::WriteBack(Addr line_addr, Cycles invalidate_at,
                                                          bool retain) {
   const Addr line = CacheLineBase(line_addr);
-  Way* base = &ways_[SetIndex(line) * config_.ways];
-  for (uint32_t i = 0; i < config_.ways; ++i) {
-    Way& w = base[i];
-    if (w.valid && w.tag == line) {
-      InvalidateResult r{true, w.dirty};
-      w.dirty = false;
+  const size_t set = SetIndex(line);
+  const size_t base = set * stride_;
+  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    Addr& t = Tag(base + i);
+    if (TagMatches(t, line)) {
+      InvalidateResult r{true, (t & kDirty) != 0};
+      t &= ~kDirty;
       if (!retain) {
-        w.pending_invalidate_at = invalidate_at;
+        if (invalidate_at != 0) {
+          PendingAt(base + i) = invalidate_at;
+          pending_mask_[set] |= 1u << i;
+        } else {
+          pending_mask_[set] &= ~(1u << i);
+        }
       }
       return r;
     }
@@ -161,32 +233,38 @@ SetAssocCache::InvalidateResult SetAssocCache::WriteBack(Addr line_addr, Cycles 
 }
 
 bool SetAssocCache::ConsumePrefetchedFlag(Addr line_addr, Cycles now) {
-  Way* w = Find(line_addr, now);
-  if (w == nullptr || !w->prefetched) {
+  size_t set;
+  const size_t w = FindWay(line_addr, now, &set);
+  if (w == kNone || (Tag(w) & kPrefetched) == 0) {
     return false;
   }
-  w->prefetched = false;
+  Tag(w) &= ~kPrefetched;
   return true;
 }
 
 void SetAssocCache::ApplyPendingInvalidate(Addr line_addr) {
   const Addr line = CacheLineBase(line_addr);
-  Way* base = &ways_[SetIndex(line) * config_.ways];
-  for (uint32_t i = 0; i < config_.ways; ++i) {
-    Way& w = base[i];
-    if (w.valid && w.tag == line && w.pending_invalidate_at != 0) {
-      w.valid = false;
-      w.dirty = false;
-      w.pending_invalidate_at = 0;
+  const size_t set = SetIndex(line);
+  const size_t base = set * stride_;
+  for (uint32_t m = valid_mask_[set] & pending_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    Addr& t = Tag(base + i);
+    if (TagMatches(t, line)) {
+      t &= ~kDirty;
+      ClearValid(set, base + i);
+      ClearPending(set, base + i);
       return;
     }
   }
 }
 
 void SetAssocCache::Clear() {
-  for (Way& w : ways_) {
-    w = Way{};
-  }
+  std::fill_n(blocks_.get(), block_words_, 0);
+  valid_mask_.assign(valid_mask_.size(), 0);
+  ready_mask_.assign(ready_mask_.size(), 0);
+  pending_mask_.assign(pending_mask_.size(), 0);
+  // tick_ deliberately not reset: LRU order is relative, and Clear() between
+  // benchmark configurations must not make two runs' tick streams collide.
 }
 
 }  // namespace pmemsim

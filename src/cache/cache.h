@@ -1,11 +1,30 @@
 // Set-associative write-back cache with LRU replacement and lazy, timed
 // invalidation (used to model the window between a clwb retiring and its
 // cache-side invalidation becoming visible to younger unordered loads on G1).
+//
+// Storage is struct-of-arrays, tuned for the scan-dominated access pattern:
+// every simulated load probes (and every nt-store snoops) all ways of a set
+// in each level, and most of those scans miss. The per-way hot word packs the
+// 64-aligned line tag with the valid/dirty/prefetched flags in its low bits,
+// so a whole 8-way set scan reads one host cache line instead of a dozen.
+// A per-set valid-way bitmask drives every scan — probes, snoops and victim
+// picks visit only occupied ways, and an nt-store stream invalidating
+// against caches it never fills (the ntstore hot-path shape) costs one load
+// per level instead of a tag walk. The rest of a set's state (LRU ticks,
+// fill-ready times, scheduled invalidations) lives in the same contiguous
+// per-set block right behind its tag words, so a probe's memory fetch also
+// covers the victim scan and LRU update of the insert that typically
+// follows a miss — the dominant cost at simulation scale is host cache
+// misses on these arrays, not instructions. Way-order semantics — victim
+// choice, LRU updates, lazy invalidation — are identical to the
+// straightforward array-of-structs implementation this replaces.
 
 #ifndef SRC_CACHE_CACHE_H_
 #define SRC_CACHE_CACHE_H_
 
 #include <cstdint>
+#include <memory>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -65,29 +84,88 @@ class SetAssocCache {
   size_t sets() const { return sets_; }
   uint32_t ways() const { return config_.ways; }
 
+  // Host-side hint: start fetching the set's hot words (tags + LRU) ahead of
+  // the probe/insert that is about to scan them. No simulated effect — purely
+  // overlaps the host memory latency of multi-level lookups.
+  void PrefetchSet(Addr line_addr) const {
+    const size_t set = SetIndex(CacheLineBase(line_addr));
+    __builtin_prefetch(&valid_mask_[set]);
+    const uint64_t* block = blocks_.get() + set * stride_;
+    // Cover the tag and LRU words (the demand path's whole footprint).
+    for (uint32_t off = 0; off < 2 * config_.ways; off += 8) {
+      __builtin_prefetch(block + off);
+    }
+  }
+
   void Clear();
 
  private:
-  struct Way {
-    Addr tag = 0;
-    uint64_t lru = 0;
-    Cycles pending_invalidate_at = 0;  // 0 = none scheduled
-    Cycles ready_at = 0;               // fill arrival time (0 = ready)
-    bool valid = false;
-    bool dirty = false;
-    bool prefetched = false;
-  };
+  // Hot per-way word: 64-aligned line tag | flags (line addresses leave the
+  // low 6 bits free).
+  static constexpr Addr kValid = 1;
+  static constexpr Addr kDirty = 2;
+  static constexpr Addr kPrefetched = 4;
+  static constexpr Addr kTagMask = ~Addr{63};
+
+  // True iff the way holds `line` (a CacheLineBase value) and is valid.
+  static bool TagMatches(Addr hot, Addr line) {
+    return ((hot ^ line) & (kTagMask | kValid)) == kValid;
+  }
 
   size_t SetIndex(Addr line_addr) const {
-    return static_cast<size_t>((line_addr / kCacheLineSize) % sets_);
+    const uint64_t n = line_addr / kCacheLineSize;
+    // Real set counts are usually powers of two; skip the hardware divide
+    // when they are (it sits on every probe's address path otherwise).
+    return set_mask_ != 0 ? static_cast<size_t>(n & set_mask_)
+                          : static_cast<size_t>(n % sets_);
   }
-  // Returns the way holding the line or nullptr; applies lazy invalidation.
-  Way* Find(Addr line_addr, Cycles now);
-  const Way* FindConst(Addr line_addr, Cycles now) const;
+
+  // A set's state is one contiguous 64 B-aligned block of stride_ words —
+  // [tags][lru][ready_at][pending_at] (padded to a whole host line) — so the
+  // probe's fetch of the tag words also pulls (or hardware-prefetches) the
+  // LRU words the insert after a miss scans. The ready_at/pending_at
+  // quarters are cold: per-set ready/pending bitmasks gate every read and
+  // write of them, so the demand path never touches those lines at all.
+  // `w` below is a block-coordinate way handle: set * stride_ + way.
+  Addr& Tag(size_t w) { return blocks_[w]; }
+  Addr Tag(size_t w) const { return blocks_[w]; }
+  uint64_t& Lru(size_t w) { return blocks_[w + config_.ways]; }
+  Cycles& ReadyAt(size_t w) { return blocks_[w + 2 * config_.ways]; }
+  Cycles ReadyAt(size_t w) const { return blocks_[w + 2 * config_.ways]; }
+  Cycles& PendingAt(size_t w) { return blocks_[w + 3 * config_.ways]; }
+  Cycles PendingAt(size_t w) const { return blocks_[w + 3 * config_.ways]; }
+
+  static constexpr size_t kNone = ~size_t{0};
+  // Returns the block-coordinate way handle holding the line or kNone;
+  // applies lazy invalidation. `set_out` receives the set index.
+  size_t FindWay(Addr line_addr, Cycles now, size_t* set_out);
+  size_t FindWayConst(Addr line_addr, Cycles now) const;
+  // The mask bit is the truth for pending/ready state; the block words are
+  // only meaningful while their bit is set, so clearing is a bit operation.
+  void ClearPending(size_t set, size_t w) {
+    pending_mask_[set] &= ~(1u << (w - set * stride_));
+  }
+  void ClearValid(size_t set, size_t w) {
+    Tag(w) &= ~kValid;
+    valid_mask_[set] &= ~(1u << (w - set * stride_));
+  }
+
+  struct Aligned64Delete {
+    void operator()(uint64_t* p) const { ::operator delete[](p, std::align_val_t{64}); }
+  };
 
   CacheLevelConfig config_;
   size_t sets_;
-  std::vector<Way> ways_;
+  size_t stride_;         // 4 * ways rounded up to whole 64 B lines
+  size_t block_words_;    // sets_ * stride_
+  uint64_t set_mask_;     // sets_ - 1 when sets_ is a power of two, else 0
+  uint32_t ways_mask_;    // low config_.ways bits set
+  std::unique_ptr<uint64_t[], Aligned64Delete> blocks_;  // set-contiguous
+  std::vector<uint32_t> valid_mask_;    // per set: bit i = way i valid
+  std::vector<uint32_t> ready_mask_;    // per set: bit i = way i has a
+                                        // nonzero fill-ready time
+  std::vector<uint32_t> pending_mask_;  // per set: bit i = way i has a
+                                        // scheduled invalidation
   uint64_t tick_ = 0;
 };
 

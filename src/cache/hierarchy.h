@@ -50,6 +50,18 @@ class CacheHierarchy : public PrefetchSink {
 
   bool ProbeAny(Addr addr, Cycles now) const;
 
+  // Host-side hint that `addr` is about to be accessed: starts fetching the
+  // L2/L3 set blocks and the target DIMM's translation state. No simulated
+  // effect — callers that know their next address (trace replayers, benchmark
+  // loops) issue this one operation ahead so the host DRAM fetches overlap
+  // the current operation's simulation work.
+  void HostPrefetchHint(Addr addr) const {
+    const Addr line = CacheLineBase(addr);
+    l2_.PrefetchSet(line);
+    l3_->PrefetchSet(line);
+    mc_->PrefetchRead(line);
+  }
+
   // PrefetchSink: fills a line into L2 (+L3), or L1 for the DCU streamer.
   // Never charged to the thread clock.
   void PrefetchFill(Addr line_addr, Cycles now, bool into_l1) override;

@@ -4,6 +4,15 @@
 //
 // Pages materialize on first write; reads of untouched pages return zeros
 // without allocating (large cold regions stay cheap).
+//
+// Layout: every simulated load/store touches this store for its data, so the
+// lookup is engine-hot-path. Pages hang off a two-level radix per address
+// region (PM below kDramAddressBase, DRAM above, both dense from their base):
+// root vector -> 512-page leaf -> page, all array indexing. A one-entry
+// last-page cache short-circuits the common case — ReadU64/WriteU64 on the
+// page touched last is a compare and two array indexes, no hashing. The
+// cache is per-store state, so a BackingStore (like the System owning it) is
+// single-threaded; parallel sweeps build one System per worker.
 
 #ifndef SRC_COMMON_BACKING_STORE_H_
 #define SRC_COMMON_BACKING_STORE_H_
@@ -12,7 +21,7 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "src/common/types.h"
 
@@ -29,15 +38,60 @@ class BackingStore {
   // Zero-fills a range (drops whole pages where possible).
   void Zero(Addr addr, uint64_t len);
 
-  size_t allocated_pages() const { return pages_.size(); }
+  // Host-side hint: start fetching the data word at `addr` so a ReadU64 at
+  // the end of a simulated access finds it warm. No simulated effect.
+  void PrefetchRead(Addr addr) const;
+
+  size_t allocated_pages() const { return allocated_; }
+
+  // Mirrors imc/memory_controller.h's kDramAddressBase without the layering
+  // inversion of including it here; pinned by a static_assert in the .cc.
+  static constexpr Addr kDramRadixBase = 1ull << 46;
 
  private:
   using Page = std::array<uint8_t, kPageSize>;
 
+  // Two-level radix over the page numbers of one dense-from-zero region.
+  class Radix {
+   public:
+    Page* Find(uint64_t pageno) const;
+    // Returns the page, materializing (zero-filled) if needed; bumps
+    // `*allocated` on materialization.
+    Page& Ensure(uint64_t pageno, size_t* allocated);
+    // Frees the page if present; decrements `*allocated` on success.
+    void Drop(uint64_t pageno, size_t* allocated);
+
+   private:
+    static constexpr uint64_t kLeafBits = 9;  // 512 pages = 2 MiB per leaf
+    static constexpr uint64_t kLeafSize = 1ull << kLeafBits;
+
+    struct Leaf {
+      std::array<std::unique_ptr<Page>, kLeafSize> pages;
+    };
+
+    std::vector<std::unique_ptr<Leaf>> root_;
+  };
+
   const Page* FindPage(Addr addr) const;
   Page& EnsurePage(Addr addr);
+  void DropPage(Addr page_base);
 
-  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  Radix& RadixFor(Addr addr) { return addr < kDramRadixBase ? pm_ : dram_; }
+  const Radix& RadixFor(Addr addr) const { return addr < kDramRadixBase ? pm_ : dram_; }
+  static uint64_t PageNo(Addr addr) {
+    return (addr < kDramRadixBase ? addr : addr - kDramRadixBase) >> 12;
+  }
+
+  static constexpr Addr kNoPage = ~Addr{0};
+
+  Radix pm_;
+  Radix dram_;
+  size_t allocated_ = 0;
+
+  // Last-page cache (single-threaded; see header comment). Mutable so const
+  // reads can keep it warm — it caches lookup work, never data.
+  mutable Addr cached_base_ = kNoPage;
+  mutable Page* cached_page_ = nullptr;
 };
 
 }  // namespace pmemsim

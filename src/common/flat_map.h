@@ -1,0 +1,275 @@
+// Open-addressing flat hash map for the simulator's per-access hot paths.
+//
+// Every simulated load/store used to walk one or more std::unordered_map
+// lookups (write buffer, read buffer, AIT, DRAM pending-writes, backing
+// store), so the engine's wall-clock was dominated by hashing and node
+// pointer-chasing rather than model logic. FlatMap replaces those with a
+// single contiguous probe:
+//
+//  * power-of-two capacity, linear probing over a byte metadata array
+//    (1 control byte per slot: empty, or a 7-bit hash fragment — most
+//    non-matching slots are rejected without touching the key array);
+//  * tombstone-free erase by backward shift (Knuth 6.4 R), so probe chains
+//    never accumulate deleted markers and lookup cost stays flat over the
+//    long churn of a simulation;
+//  * grows at 3/4 load; Clear() keeps the allocation.
+//
+// Scope: keys must be integral (simulated addresses); values should be cheap
+// to move. Iteration order is a function of the hash, NOT insertion order —
+// any caller whose results depend on ordering (eviction policy scans,
+// write-back sequences) must keep iterating its own dense key vector, exactly
+// as the unordered_map-based code did. ForEach/EraseIf exist for
+// order-insensitive bookkeeping only (e.g. sweeping expired entries).
+
+#ifndef SRC_COMMON_FLAT_MAP_H_
+#define SRC_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace pmemsim {
+
+template <typename K, typename V>
+class FlatMap {
+  static_assert(std::is_integral_v<K>, "FlatMap keys are simulated addresses / integers");
+
+ public:
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return slots_.size(); }
+
+  // Drops every entry but keeps the allocation (hot structures clear between
+  // benchmark configurations and immediately refill to a similar size).
+  void Clear() {
+    if (size_ != 0) {
+      meta_.assign(meta_.size(), kEmpty);
+      size_ = 0;
+    }
+  }
+
+  // Pre-sizes so `n` entries fit without growing.
+  void Reserve(size_t n) {
+    size_t cap = kMinCapacity;
+    while (cap * 3 < n * 4) {
+      cap <<= 1;
+    }
+    if (cap > slots_.size()) {
+      Rehash(cap);
+    }
+  }
+
+  V* Find(K key) {
+    return const_cast<V*>(static_cast<const FlatMap*>(this)->Find(key));
+  }
+
+  const V* Find(K key) const {
+    if (size_ == 0) {
+      return nullptr;
+    }
+    const uint64_t hash = HashKey(key);
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    const uint8_t fragment = Fragment(hash);
+    while (meta_[i] != kEmpty) {
+      if (meta_[i] == fragment && slots_[i].key == key) {
+        return &slots_[i].value;
+      }
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  bool Contains(K key) const { return Find(key) != nullptr; }
+
+  // Host-side hint: start fetching the probe chain's home slot for `key`
+  // ahead of a Find/Insert that is about to walk it. No simulated effect.
+  void Prefetch(K key) const {
+    if (size_ == 0) {
+      return;
+    }
+    const size_t i = static_cast<size_t>(HashKey(key)) & (slots_.size() - 1);
+    __builtin_prefetch(&meta_[i]);
+    __builtin_prefetch(&slots_[i]);
+  }
+
+  // Returns the value for `key`, default-constructing it if absent.
+  V& operator[](K key) {
+    EnsureRoomForOne();
+    const uint64_t hash = HashKey(key);
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    const uint8_t fragment = Fragment(hash);
+    while (meta_[i] != kEmpty) {
+      if (meta_[i] == fragment && slots_[i].key == key) {
+        return slots_[i].value;
+      }
+      i = (i + 1) & mask;
+    }
+    meta_[i] = fragment;
+    slots_[i].key = key;
+    slots_[i].value = V{};
+    ++size_;
+    return slots_[i].value;
+  }
+
+  // Inserts key -> value. Returns false (leaving the map unchanged) if the
+  // key is already present.
+  bool Insert(K key, V value) {
+    EnsureRoomForOne();
+    const uint64_t hash = HashKey(key);
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    const uint8_t fragment = Fragment(hash);
+    while (meta_[i] != kEmpty) {
+      if (meta_[i] == fragment && slots_[i].key == key) {
+        return false;
+      }
+      i = (i + 1) & mask;
+    }
+    meta_[i] = fragment;
+    slots_[i].key = key;
+    slots_[i].value = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  // Removes the key. Returns false if it was absent.
+  bool Erase(K key) {
+    if (size_ == 0) {
+      return false;
+    }
+    const uint64_t hash = HashKey(key);
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(hash) & mask;
+    const uint8_t fragment = Fragment(hash);
+    while (meta_[i] != kEmpty) {
+      if (meta_[i] == fragment && slots_[i].key == key) {
+        EraseSlot(i);
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  // Visits every entry in unspecified order. `fn(key, value)`; the value
+  // reference is mutable on non-const maps.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (meta_[i] != kEmpty) {
+        fn(slots_[i].key, slots_[i].value);
+      }
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (meta_[i] != kEmpty) {
+        fn(slots_[i].key, slots_[i].value);
+      }
+    }
+  }
+
+  // Erases every entry for which `pred(key, value)` holds; returns the number
+  // erased. Visit order is unspecified, and an entry relocated by a wrapping
+  // backward shift into an already-visited slot is only seen on the next
+  // call — callers use this for idempotent sweeps (expired-entry cleanup),
+  // where a one-pass miss is re-collected later.
+  template <typename Pred>
+  size_t EraseIf(Pred&& pred) {
+    size_t erased = 0;
+    for (size_t i = 0; i < slots_.size();) {
+      if (meta_[i] != kEmpty && pred(slots_[i].key, slots_[i].value)) {
+        EraseSlot(i);
+        ++erased;  // re-examine slot i: the shift may have refilled it
+      } else {
+        ++i;
+      }
+    }
+    return erased;
+  }
+
+ private:
+  struct Slot {
+    K key;
+    V value;
+  };
+
+  static constexpr size_t kMinCapacity = 16;
+  static constexpr uint8_t kEmpty = 0;
+
+  static uint64_t HashKey(K key) { return Mix64(static_cast<uint64_t>(key)); }
+
+  // High hash bits as a non-zero control byte: cheap first-pass rejection.
+  static uint8_t Fragment(uint64_t hash) { return static_cast<uint8_t>((hash >> 57) | 0x80); }
+
+  void EnsureRoomForOne() {
+    if (slots_.empty()) {
+      Rehash(kMinCapacity);
+    } else if ((size_ + 1) * 4 > slots_.size() * 3) {
+      Rehash(slots_.size() * 2);
+    }
+  }
+
+  void Rehash(size_t new_capacity) {
+    PMEMSIM_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_meta = std::move(meta_);
+    slots_.assign(new_capacity, Slot{});
+    meta_.assign(new_capacity, kEmpty);
+    const size_t mask = new_capacity - 1;
+    for (size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_meta[i] == kEmpty) {
+        continue;
+      }
+      const uint64_t hash = HashKey(old_slots[i].key);
+      size_t j = static_cast<size_t>(hash) & mask;
+      while (meta_[j] != kEmpty) {
+        j = (j + 1) & mask;
+      }
+      meta_[j] = Fragment(hash);
+      slots_[j] = std::move(old_slots[i]);
+    }
+  }
+
+  // Backward-shift deletion: closes the probe chain through `hole` so no
+  // tombstone is needed. A successor slot moves into the hole iff its home
+  // position lies cyclically outside (hole, successor].
+  void EraseSlot(size_t hole) {
+    const size_t mask = slots_.size() - 1;
+    size_t i = hole;
+    size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (meta_[j] == kEmpty) {
+        break;
+      }
+      const size_t home = static_cast<size_t>(HashKey(slots_[j].key)) & mask;
+      if (((j - home) & mask) >= ((j - i) & mask)) {
+        slots_[i] = std::move(slots_[j]);
+        meta_[i] = meta_[j];
+        i = j;
+      }
+    }
+    meta_[i] = kEmpty;
+    --size_;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> meta_;  // kEmpty, or the slot's hash fragment
+  size_t size_ = 0;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_COMMON_FLAT_MAP_H_

@@ -52,6 +52,16 @@ class ThreadContext {
   // A load that does not train the prefetchers (AVX/streaming access path).
   uint64_t Load64NoPrefetch(Addr addr);
 
+  // Host-side hint that `addr` is the next access: warms the cache-model set
+  // blocks, the DIMM translation state, and the backing-store data behind it.
+  // No simulated effect (no clock, counters, or cache-state change) — callers
+  // that know their next address issue it one operation early so the host
+  // memory fetches overlap the current operation's simulation work.
+  void HostPrefetchHint(Addr addr) const {
+    backing_->PrefetchRead(addr);
+    hier_->HostPrefetchHint(addr);
+  }
+
   // Issues independent loads with full memory-level parallelism: the clock
   // advances to the latest completion rather than the sum (helper-thread
   // prefetch loops have no dependent chain across addresses).

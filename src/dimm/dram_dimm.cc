@@ -15,9 +15,8 @@ DimmReadResult DramDimm::Read(Addr addr, Cycles now, bool ordered) {
 
   DimmReadResult result;
   Cycles start = now;
-  auto it = pending_visible_.find(line);
-  if (it != pending_visible_.end()) {
-    Cycles visible = it->second;
+  if (const Cycles* pending = pending_visible_.Find(line)) {
+    Cycles visible = *pending;
     if (!ordered && visible > now) {
       visible =
           visible > config_.unordered_read_overlap ? visible - config_.unordered_read_overlap : 0;
@@ -28,8 +27,8 @@ DimmReadResult DramDimm::Read(Addr addr, Cycles now, bool ordered) {
       ++counters_->rap_stalled_loads;
       start = visible;
     }
-    if (it->second <= now) {
-      pending_visible_.erase(it);
+    if (*pending <= now) {
+      pending_visible_.Erase(line);
     }
   }
   result.complete_at = ports_.Schedule(start, config_.load_latency);
@@ -49,14 +48,12 @@ void DramDimm::MaybeSweep(Cycles now) {
   if (pending_visible_.size() < 65536) {
     return;
   }
-  for (auto it = pending_visible_.begin(); it != pending_visible_.end();) {
-    it = it->second <= now ? pending_visible_.erase(it) : std::next(it);
-  }
+  pending_visible_.EraseIf([now](Addr, Cycles visible) { return visible <= now; });
 }
 
 void DramDimm::Reset() {
   ports_.Reset();
-  pending_visible_.clear();
+  pending_visible_.Clear();
 }
 
 }  // namespace pmemsim

@@ -5,9 +5,8 @@
 #ifndef SRC_DIMM_DRAM_DIMM_H_
 #define SRC_DIMM_DRAM_DIMM_H_
 
-#include <unordered_map>
-
 #include "src/common/config.h"
+#include "src/common/flat_map.h"
 #include "src/dimm/dimm.h"
 #include "src/media/xpoint_media.h"
 
@@ -21,8 +20,8 @@ class DramDimm : public Dimm {
   DimmWriteResult Write(Addr line_addr, Cycles now) override;
   MemoryKind kind() const override { return MemoryKind::kDram; }
   Cycles PendingVisibleAt(Addr line_addr) const override {
-    auto it = pending_visible_.find(CacheLineBase(line_addr));
-    return it == pending_visible_.end() ? 0 : it->second;
+    const Cycles* visible = pending_visible_.Find(CacheLineBase(line_addr));
+    return visible == nullptr ? 0 : *visible;
   }
   Cycles SameLineStallUntil(Addr) const override { return 0; }  // DDR4 merges
   void Reset() override;
@@ -36,7 +35,7 @@ class DramDimm : public Dimm {
 
   // Lines with a write still propagating (read-after-persist on DRAM is mild
   // but measurable: Fig. 7 b/d). Swept lazily to stay bounded.
-  std::unordered_map<Addr, Cycles> pending_visible_;
+  FlatMap<Addr, Cycles> pending_visible_;
 };
 
 }  // namespace pmemsim

@@ -88,17 +88,15 @@ DimmReadResult OptaneDimm::Read(Addr addr, Cycles now, bool ordered) {
   }
 
   // 4. Media fetch of the whole XPLine, via the AIT, filling the read buffer.
+  //    The requested line is handed straight to the requester (consuming its
+  //    valid bit under exclusivity) without counting a buffer hit — the miss
+  //    was already recorded by the failed ConsumeLine in step 3.
   const Cycles ait_cost = ait_.Access(line);
   const Cycles media_done = media_.ReadXPLine(line, now + ait_cost);
-  read_buffer_.Fill(line);
+  read_buffer_.FillForDelivery(line);
   if (trace_track_ != 0) {
     TraceEmitter::Global().Instant(trace_track_, "read_buffer_fill", now);
   }
-  [[maybe_unused]] const bool consumed = read_buffer_.ConsumeLine(line);
-  PMEMSIM_DCHECK(consumed);
-  // The consume above is an artifact of delivery, not a buffer hit/miss event;
-  // rebalance the counters so a miss path counts exactly one miss.
-  --counters_->read_buffer_hits;
   result.complete_at = media_done + config_.buffer_hit_latency;
   return result;
 }
@@ -110,11 +108,11 @@ DimmWriteResult OptaneDimm::Write(Addr addr, Cycles now) {
   const Cycles visible_at = now + config_.write_visible_delay;
   writeback_scratch_.clear();
 
-  if (write_buffer_.ContainsXPLine(line)) {
-    write_buffer_.Write(line, now, visible_at, writeback_scratch_);
-  } else if (read_buffer_.ContainsXPLine(line)) {
-    // §3.3: a write to an XPLine resident in the read buffer updates it in
-    // place; the XPLine transitions to the write buffer's management.
+  // §3.3: a write to an XPLine resident in the read buffer (and not already
+  // write-buffered) updates it in place; the XPLine transitions to the write
+  // buffer's management. Probing the (often empty) read buffer first lets the
+  // common case fall through to Write() without a separate occupancy lookup.
+  if (read_buffer_.ContainsXPLine(line) && !write_buffer_.ContainsXPLine(line)) {
     read_buffer_.Remove(line);
     write_buffer_.InstallTransition(line, now, visible_at, writeback_scratch_);
   } else {

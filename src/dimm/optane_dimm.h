@@ -50,6 +50,11 @@ class OptaneDimm : public Dimm {
   }
   void Reset() override;
 
+  // Host-side hint: warm the AIT translation chain a media fetch for this
+  // line would walk. Issued at access start so the fetch overlaps the cache
+  // hierarchy walk. No simulated effect.
+  void PrefetchRead(Addr line_addr) const { ait_.Prefetch(line_addr); }
+
   // Test/introspection hooks.
   const ReadBuffer& read_buffer() const { return read_buffer_; }
   const WriteBuffer& write_buffer() const { return write_buffer_; }

@@ -63,6 +63,14 @@ class MemoryController {
     return addr >= kDramAddressBase ? MemoryKind::kDram : MemoryKind::kOptane;
   }
 
+  // Host-side hint: warm the target DIMM's translation state for a read that
+  // may miss the whole cache hierarchy. No simulated effect.
+  void PrefetchRead(Addr addr) const {
+    if (KindOf(addr) != MemoryKind::kDram) {
+      optane_dimms_[OptaneIndexFor(addr)]->PrefetchRead(addr);
+    }
+  }
+
   // Observes every persist-path write that reaches an Optane WPQ (DRAM writes
   // are not reported): `line` is the cacheline base, `issue` the cycle the
   // write left the core, `accepted_at` its ADR persist point, `drained_at`

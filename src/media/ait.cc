@@ -10,14 +10,28 @@ Ait::Ait(uint64_t coverage_bytes, Cycles miss_penalty, Counters* counters)
       counters_(counters) {
   PMEMSIM_CHECK(capacity_ > 0);
   PMEMSIM_CHECK(counters_ != nullptr);
+  nodes_.reserve(capacity_);
+}
+
+uint32_t* Ait::EnsureSlot(Addr page) {
+  const uint64_t pageno = page / kPageSize;
+  const uint64_t chunk = pageno >> kLeafBits;
+  if (chunk >= index_.size()) {
+    index_.resize(chunk + 1);
+  }
+  if (!index_[chunk]) {
+    index_[chunk] = std::make_unique<Leaf>();
+    index_[chunk]->slots.fill(kNil);
+  }
+  return &index_[chunk]->slots[pageno & (kLeafSize - 1)];
 }
 
 Cycles Ait::Access(Addr addr) {
   const Addr page = PageBase(addr);
-  auto it = map_.find(page);
-  if (it != map_.end()) {
+  if (const uint32_t* pos = FindSlot(page); pos != nullptr && *pos != kNil) {
     ++counters_->ait_hits;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    Unlink(*pos);
+    PushFront(*pos);
     return 0;
   }
   ++counters_->ait_misses;
@@ -25,14 +39,50 @@ Cycles Ait::Access(Addr addr) {
   return miss_penalty_;
 }
 
-void Ait::Touch(Addr page) {
-  if (map_.size() >= capacity_) {
-    const Addr victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
+void Ait::Unlink(uint32_t i) {
+  Node& n = nodes_[i];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else if (head_ == i) {
+    head_ = n.next;
   }
-  lru_.push_front(page);
-  map_[page] = lru_.begin();
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else if (tail_ == i) {
+    tail_ = n.prev;
+  }
+  n.prev = kNil;
+  n.next = kNil;
+}
+
+void Ait::PushFront(uint32_t i) {
+  Node& n = nodes_[i];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) {
+    nodes_[head_].prev = i;
+  }
+  head_ = i;
+  if (tail_ == kNil) {
+    tail_ = i;
+  }
+}
+
+void Ait::Touch(Addr page) {
+  uint32_t i;
+  if (nodes_.size() >= capacity_) {
+    // Recycle the least-recently-used node in place.
+    i = tail_;
+    PMEMSIM_DCHECK(i != kNil);
+    *EnsureSlot(nodes_[i].page) = kNil;
+    Unlink(i);
+  } else {
+    i = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[i].page = page;
+  PushFront(i);
+  *EnsureSlot(page) = i;
 }
 
 }  // namespace pmemsim

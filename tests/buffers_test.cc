@@ -71,6 +71,62 @@ TEST(ReadBufferTest, RemoveForTransition) {
   EXPECT_FALSE(buf.Remove(0));
 }
 
+TEST(ReadBufferTest, FreedSlotsRefillInFifoOrder) {
+  // Pins the fill sequence around §3.3 transitions: slots vacated by Remove
+  // are reused in the order they were freed (FIFO), before the eviction hand
+  // touches any live slot. Layout below: A,B,C,D land in slots 0..3.
+  Counters c;
+  ReadBuffer buf(KiB(1), &c);  // 4 XPLine slots
+  const Addr a = 0 * kXPLineSize, b = 1 * kXPLineSize, cc = 2 * kXPLineSize,
+             d = 3 * kXPLineSize, e = 4 * kXPLineSize, f = 5 * kXPLineSize,
+             g = 6 * kXPLineSize, h = 7 * kXPLineSize;
+  for (const Addr x : {a, b, cc, d}) {
+    buf.Fill(x);
+  }
+  ASSERT_TRUE(buf.Remove(b));   // slot 1 freed first
+  ASSERT_TRUE(buf.Remove(cc));  // slot 2 freed second
+  buf.Fill(e);                  // reuses slot 1 (freed first), evicts nothing
+  buf.Fill(f);                  // reuses slot 2, evicts nothing
+  EXPECT_TRUE(buf.Probe(a));
+  EXPECT_TRUE(buf.Probe(d));
+  EXPECT_TRUE(buf.Probe(e));
+  EXPECT_TRUE(buf.Probe(f));
+  // Free list exhausted: the FIFO hand resumes at slot 0 and walks by slot
+  // position. G evicts A (slot 0); H evicts E — which sits in slot 1 exactly
+  // because the free list replayed B's slot before C's. A LIFO free list
+  // would have put F there and this sequence pins the difference.
+  buf.Fill(g);
+  EXPECT_FALSE(buf.Probe(a));
+  buf.Fill(h);
+  EXPECT_FALSE(buf.Probe(e));
+  EXPECT_TRUE(buf.Probe(d));
+  EXPECT_TRUE(buf.Probe(f));
+  EXPECT_TRUE(buf.Probe(g));
+  EXPECT_TRUE(buf.Probe(h));
+}
+
+TEST(ReadBufferTest, FillForDeliveryMatchesFillPlusConsume) {
+  // FillForDelivery must leave the buffer in exactly the state of
+  // Fill + ConsumeLine, with only the counter bookkeeping differing —
+  // OptaneDimm::Read relies on this to skip the post-fill lookup.
+  Counters c1, c2;
+  ReadBuffer x(KiB(1), &c1);
+  ReadBuffer y(KiB(1), &c2);
+  const Addr addrs[] = {64, 3 * kXPLineSize + 128, 9 * kXPLineSize, 64, 5 * kXPLineSize + 192};
+  for (const Addr addr : addrs) {
+    x.FillForDelivery(addr);
+    y.Fill(addr);
+    ASSERT_TRUE(y.ConsumeLine(addr));
+    for (uint64_t xp = 0; xp < 12; ++xp) {
+      for (uint64_t cl = 0; cl < 4; ++cl) {
+        const Addr probe = xp * kXPLineSize + cl * kCacheLineSize;
+        EXPECT_EQ(x.Probe(probe), y.Probe(probe)) << "addr=" << addr << " probe=" << probe;
+      }
+    }
+  }
+  EXPECT_EQ(c1.read_buffer_hits, 0u);  // deliveries are not hits
+}
+
 // Property: for any WSS <= capacity, the strided CpX pattern yields exactly
 // one miss per XPLine per full round (RA = 4/CpX); for WSS > capacity, every
 // access misses (RA = 4) — the Fig. 2 law.

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
+#include <map>
 #include <set>
 
 #include "src/common/backing_store.h"
@@ -182,6 +186,177 @@ TEST(BackingStoreTest, ZeroRange) {
   bs.Zero(kPageSize, 8);  // partial page: cleared in place
   EXPECT_EQ(bs.ReadU64(kPageSize), 0u);
 }
+
+TEST(BackingStoreTest, ColdReadsNeverAllocate) {
+  BackingStore bs;
+  uint8_t out[256];
+  // Scattered cold reads across both radix regions (PM low, DRAM high) and
+  // page boundaries: all zeros, no page materializes.
+  const Addr probes[] = {0,
+                         kPageSize - 1,
+                         123 * kPageSize + 17,
+                         (1ull << 30) + 5,
+                         BackingStore::kDramRadixBase,
+                         BackingStore::kDramRadixBase + 77 * kPageSize + 100};
+  for (const Addr addr : probes) {
+    EXPECT_EQ(bs.ReadU64(addr), 0u) << addr;
+    bs.Read(addr, out, sizeof(out));
+    for (uint8_t b : out) {
+      ASSERT_EQ(b, 0u) << addr;
+    }
+  }
+  EXPECT_EQ(bs.allocated_pages(), 0u);
+}
+
+TEST(BackingStoreTest, DramRegionIsIndependent) {
+  // PM and DRAM addresses hang off separate radixes; same page offset in
+  // each region must not alias.
+  BackingStore bs;
+  const Addr pm = 5 * kPageSize + 8;
+  const Addr dram = BackingStore::kDramRadixBase + 5 * kPageSize + 8;
+  bs.WriteU64(pm, 0xAAAA);
+  bs.WriteU64(dram, 0xBBBB);
+  EXPECT_EQ(bs.ReadU64(pm), 0xAAAAu);
+  EXPECT_EQ(bs.ReadU64(dram), 0xBBBBu);
+  EXPECT_EQ(bs.allocated_pages(), 2u);
+  bs.Zero(pm - 8, kPageSize);
+  EXPECT_EQ(bs.ReadU64(pm), 0u);
+  EXPECT_EQ(bs.ReadU64(dram), 0xBBBBu);
+  EXPECT_EQ(bs.allocated_pages(), 1u);
+}
+
+TEST(BackingStoreTest, ZeroDropsWholePagesAndClearsEdges) {
+  BackingStore bs;
+  // Three consecutive pages with data at the edges of each.
+  for (int p = 0; p < 3; ++p) {
+    bs.WriteU64(static_cast<Addr>(p) * kPageSize, 0x11);
+    bs.WriteU64(static_cast<Addr>(p) * kPageSize + kPageSize - 8, 0x22);
+  }
+  ASSERT_EQ(bs.allocated_pages(), 3u);
+  // Zero from mid-page 0 through mid-page 2: page 1 is dropped whole, the
+  // partial edges are cleared in place, bytes outside the range survive.
+  bs.Zero(kPageSize / 2, 2 * kPageSize);
+  EXPECT_EQ(bs.allocated_pages(), 2u);  // page 1 gone
+  EXPECT_EQ(bs.ReadU64(0), 0x11u);                          // before the range
+  EXPECT_EQ(bs.ReadU64(kPageSize - 8), 0u);                 // page-0 tail cleared
+  EXPECT_EQ(bs.ReadU64(kPageSize), 0u);                     // dropped page reads zero
+  EXPECT_EQ(bs.ReadU64(2 * kPageSize), 0u);                 // page-2 head cleared
+  EXPECT_EQ(bs.ReadU64(2 * kPageSize + kPageSize - 8), 0x22u);  // after the range
+  // Zeroing never-written pages allocates nothing.
+  bs.Zero(100 * kPageSize + 64, 3 * kPageSize);
+  EXPECT_EQ(bs.allocated_pages(), 2u);
+}
+
+TEST(BackingStoreTest, AllocatedPagesStableAcrossChurn) {
+  BackingStore bs;
+  for (int round = 0; round < 3; ++round) {
+    for (Addr p = 0; p < 8; ++p) {
+      bs.WriteU64(p * kPageSize + 8 * p, 0xC0FFEE + p);
+    }
+    EXPECT_EQ(bs.allocated_pages(), 8u) << round;
+    bs.Zero(0, 8 * kPageSize);
+    EXPECT_EQ(bs.allocated_pages(), 0u) << round;
+  }
+  // Dropping then re-touching the last-page cache's page must re-materialize.
+  bs.WriteU64(kPageSize, 1);
+  bs.Zero(kPageSize, kPageSize);
+  EXPECT_EQ(bs.ReadU64(kPageSize), 0u);
+  bs.WriteU64(kPageSize, 2);
+  EXPECT_EQ(bs.ReadU64(kPageSize), 2u);
+  EXPECT_EQ(bs.allocated_pages(), 1u);
+}
+
+// Randomized mirror against a std::map-based reference store: same byte
+// contents AND the same materialized-page set after arbitrary interleavings
+// of Write/WriteU64/Read/ReadU64/Zero over both address regions.
+class BackingStoreRadixFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BackingStoreRadixFuzz, MatchesReferenceStore) {
+  BackingStore bs;
+  std::map<Addr, std::array<uint8_t, kPageSize>> ref;  // page base -> bytes
+  Rng rng(GetParam());
+  const Addr span = 6 * kPageSize;
+
+  auto ref_write = [&](Addr addr, const uint8_t* data, size_t len) {
+    for (size_t k = 0; k < len; ++k) {
+      const Addr a = addr + k;
+      auto [it, fresh] = ref.try_emplace(PageBase(a));
+      if (fresh) {
+        it->second.fill(0);
+      }
+      it->second[a - PageBase(a)] = data[k];
+    }
+  };
+  auto ref_read = [&](Addr a) -> uint8_t {
+    const auto it = ref.find(PageBase(a));
+    return it == ref.end() ? 0 : it->second[a - PageBase(a)];
+  };
+
+  for (int op = 0; op < 6000; ++op) {
+    // Half the traffic in PM, half in DRAM address space.
+    const Addr region = rng.NextBelow(2) == 0 ? 0 : BackingStore::kDramRadixBase;
+    const Addr addr = region + rng.NextBelow(span);
+    switch (rng.NextBelow(5)) {
+      case 0: {  // bulk write, possibly page-straddling
+        uint8_t data[300];
+        const size_t len = 1 + rng.NextBelow(sizeof(data));
+        for (size_t k = 0; k < len; ++k) {
+          data[k] = static_cast<uint8_t>(rng.Next());
+        }
+        bs.Write(addr, data, len);
+        ref_write(addr, data, len);
+        break;
+      }
+      case 1: {  // u64 write (the hot path)
+        const uint64_t v = rng.Next();
+        const Addr a = region + (rng.NextBelow(span) & ~7ull);
+        bs.WriteU64(a, v);
+        uint8_t bytes[8];
+        std::memcpy(bytes, &v, 8);
+        ref_write(a, bytes, 8);
+        break;
+      }
+      case 2: {  // zero a range; whole pages inside it vanish from ref too
+        const uint64_t len = 1 + rng.NextBelow(2 * kPageSize);
+        bs.Zero(addr, len);
+        for (Addr a = addr; a < addr + len;) {
+          const uint64_t in_page = a - PageBase(a);
+          const uint64_t chunk = std::min<uint64_t>(addr + len - a, kPageSize - in_page);
+          if (in_page == 0 && chunk == kPageSize) {
+            ref.erase(a);
+          } else if (const auto it = ref.find(PageBase(a)); it != ref.end()) {
+            std::memset(it->second.data() + in_page, 0, static_cast<size_t>(chunk));
+          }
+          a += chunk;
+        }
+        break;
+      }
+      case 3: {  // u64 read (the hot path)
+        const Addr a = region + (rng.NextBelow(span) & ~7ull);
+        uint64_t expected = 0;
+        uint8_t bytes[8];
+        for (int k = 0; k < 8; ++k) {
+          bytes[k] = ref_read(a + static_cast<Addr>(k));
+        }
+        std::memcpy(&expected, bytes, 8);
+        ASSERT_EQ(bs.ReadU64(a), expected) << "addr " << a;
+        break;
+      }
+      default: {  // bulk read
+        uint8_t out[300];
+        const size_t len = 1 + rng.NextBelow(sizeof(out));
+        bs.Read(addr, out, len);
+        for (size_t k = 0; k < len; ++k) {
+          ASSERT_EQ(out[k], ref_read(addr + k)) << "addr " << addr + k;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(bs.allocated_pages(), ref.size()) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackingStoreRadixFuzz, ::testing::Values(17u, 34u, 51u));
 
 TEST(ConfigTest, G1Preset) {
   const PlatformConfig p = G1Platform();

@@ -1,0 +1,194 @@
+// Tests for the open-addressing FlatMap that carries the engine's per-access
+// hot paths (write/read buffer indexes, AIT, DRAM pending-writes). The
+// backward-shift erase is the subtle part, so it gets targeted chain tests
+// plus a randomized mirror against std::unordered_map.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/flat_map.h"
+#include "src/common/random.h"
+#include "src/common/types.h"
+
+namespace pmemsim {
+namespace {
+
+TEST(FlatMapTest, EmptyFindsNothing) {
+  FlatMap<Addr, uint32_t> m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(0), nullptr);
+  EXPECT_FALSE(m.Contains(42));
+  EXPECT_FALSE(m.Erase(42));
+}
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<Addr, uint32_t> m;
+  EXPECT_TRUE(m.Insert(256, 7));
+  EXPECT_FALSE(m.Insert(256, 9));  // duplicate insert rejected, value kept
+  ASSERT_NE(m.Find(256), nullptr);
+  EXPECT_EQ(*m.Find(256), 7u);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.Erase(256));
+  EXPECT_EQ(m.Find(256), nullptr);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(FlatMapTest, BracketDefaultConstructsAndUpdates) {
+  FlatMap<Addr, uint64_t> m;
+  EXPECT_EQ(m[100], 0u);  // default-constructed
+  m[100] = 55;
+  m[100] += 1;
+  EXPECT_EQ(*m.Find(100), 56u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, GrowthPreservesEntries) {
+  FlatMap<Addr, uint32_t> m;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    m[i * kXPLineSize] = i;
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(m.Find(i * kXPLineSize), nullptr) << i;
+    EXPECT_EQ(*m.Find(i * kXPLineSize), i);
+  }
+}
+
+TEST(FlatMapTest, EraseClosesProbeChains) {
+  // Saturate well past several growths, then erase every other key; the
+  // survivors must all remain reachable (backward-shift must close every
+  // chain it cuts, including wrapped ones).
+  FlatMap<Addr, uint32_t> m;
+  const uint32_t n = 4096;
+  for (uint32_t i = 0; i < n; ++i) {
+    m[i * 64] = i;
+  }
+  for (uint32_t i = 0; i < n; i += 2) {
+    EXPECT_TRUE(m.Erase(i * 64));
+  }
+  EXPECT_EQ(m.size(), n / 2);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(m.Find(i * 64), nullptr) << i;
+    } else {
+      ASSERT_NE(m.Find(i * 64), nullptr) << i;
+      EXPECT_EQ(*m.Find(i * 64), i);
+    }
+  }
+}
+
+TEST(FlatMapTest, ClearKeepsEntriesOut) {
+  FlatMap<Addr, uint32_t> m;
+  for (uint32_t i = 0; i < 100; ++i) {
+    m[i] = i;
+  }
+  const size_t cap = m.capacity();
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), cap);  // allocation retained for refill
+  EXPECT_EQ(m.Find(5), nullptr);
+  m[5] = 50;
+  EXPECT_EQ(*m.Find(5), 50u);
+}
+
+TEST(FlatMapTest, ReservePreventsGrowth) {
+  FlatMap<Addr, uint32_t> m;
+  m.Reserve(1000);
+  const size_t cap = m.capacity();
+  EXPECT_GE(cap * 3, 1000u * 4);  // room for 1000 at 3/4 load
+  for (uint32_t i = 0; i < 1000; ++i) {
+    m[i] = i;
+  }
+  EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatMap<Addr, uint32_t> m;
+  for (uint32_t i = 0; i < 257; ++i) {
+    m[i * 4096] = i;
+  }
+  std::vector<bool> seen(257, false);
+  m.ForEach([&](Addr key, uint32_t value) {
+    EXPECT_EQ(key, static_cast<Addr>(value) * 4096);
+    EXPECT_FALSE(seen[value]);
+    seen[value] = true;
+  });
+  for (uint32_t i = 0; i < 257; ++i) {
+    EXPECT_TRUE(seen[i]) << i;
+  }
+}
+
+TEST(FlatMapTest, EraseIfSweepsMatchingEntries) {
+  FlatMap<Addr, uint64_t> m;
+  for (uint64_t i = 0; i < 500; ++i) {
+    m[i] = i;
+  }
+  // Idempotent sweep semantics: a wrapped backward shift may defer an entry
+  // to a later call, so sweep until a pass removes nothing.
+  size_t erased = 0;
+  while (true) {
+    const size_t pass = m.EraseIf([](Addr, uint64_t v) { return v % 2 == 0; });
+    erased += pass;
+    if (pass == 0) {
+      break;
+    }
+  }
+  EXPECT_EQ(erased, 250u);
+  EXPECT_EQ(m.size(), 250u);
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(m.Contains(i), i % 2 == 1) << i;
+  }
+}
+
+// Randomized mirror against std::unordered_map: same operation stream, same
+// observable contents, across heavy insert/erase churn (the long-simulation
+// usage pattern that tombstone-free deletion exists for).
+class FlatMapFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatMapFuzz, MatchesUnorderedMap) {
+  FlatMap<Addr, uint64_t> m;
+  std::unordered_map<Addr, uint64_t> ref;
+  Rng rng(GetParam());
+  for (int op = 0; op < 60000; ++op) {
+    // Small key space => constant collision/erase churn.
+    const Addr key = rng.NextBelow(512) * kCacheLineSize;
+    switch (rng.NextBelow(4)) {
+      case 0:
+      case 1:
+        m[key] = static_cast<uint64_t>(op);
+        ref[key] = static_cast<uint64_t>(op);
+        break;
+      case 2:
+        EXPECT_EQ(m.Erase(key), ref.erase(key) != 0);
+        break;
+      default: {
+        const uint64_t* found = m.Find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end()) << "key " << key;
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  // Full-content sweep at the end.
+  size_t visited = 0;
+  m.ForEach([&](Addr key, uint64_t value) {
+    const auto it = ref.find(key);
+    ASSERT_NE(it, ref.end()) << "phantom key " << key;
+    EXPECT_EQ(value, it->second);
+    ++visited;
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatMapFuzz, ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace pmemsim

@@ -257,5 +257,42 @@ TEST(Telemetry, ScopedCountersSumToGlobal) {
   EXPECT_EQ(system->counter_registry().Aggregate(), global);
 }
 
+// Determinism golden: identical runs must export byte-identical telemetry.
+// This is the contract the figure-regression CI gate (and the --jobs=N
+// determinism cmp) stands on; a hash-order or uninitialized-state leak in any
+// hot-path structure would show up here first.
+TEST(Determinism, Fig04TrafficIsByteIdenticalAcrossRuns) {
+  auto run_once = [](Generation gen) {
+    auto system = MakeSystem(gen, /*optane_dimm_count=*/1);
+    ThreadContext& ctx = system->CreateThread();
+    SetPrefetchers(ctx, false, false, false);
+    const PmRegion region = system->AllocatePm(KiB(24), kXPLineSize);
+    const uint64_t xplines = KiB(24) / kXPLineSize;
+    Rng rng(0xBEEF);
+    for (uint64_t i = 0; i < 20 * xplines; ++i) {
+      const uint64_t xp = rng.NextBelow(xplines);
+      const uint64_t cl = rng.NextBelow(kLinesPerXPLine);
+      ctx.NtStore64(region.base + xp * kXPLineSize + cl * kCacheLineSize, i);
+      if (i % 7 == 0) {
+        ctx.Sfence();
+        (void)ctx.Load64(region.base + xp * kXPLineSize);
+      }
+    }
+    ctx.Sfence();
+    struct Out {
+      std::string json;
+      Cycles clock;
+    };
+    return Out{system->counter_registry().ToJson(), ctx.clock()};
+  };
+  for (const Generation gen : {Generation::kG1, Generation::kG2}) {
+    const auto a = run_once(gen);
+    const auto b = run_once(gen);
+    ASSERT_FALSE(a.json.empty());
+    EXPECT_EQ(a.json, b.json) << "gen=" << (gen == Generation::kG1 ? "G1" : "G2");
+    EXPECT_EQ(a.clock, b.clock);
+  }
+}
+
 }  // namespace
 }  // namespace pmemsim
