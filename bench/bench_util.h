@@ -1,9 +1,12 @@
 // Shared helpers for the figure-regeneration benches: tiny flag parsing, CSV
 // emission, and the structured-telemetry flags every bench accepts:
 //
-//   --stats_json=<path>  write the bench's rows as machine-readable JSON
-//                        (consumed by scripts/check_figures.py in CI)
-//   --trace_out=<path>   emit a chrome://tracing event file for the run
+//   --stats_json=<path>    write the bench's rows as machine-readable JSON
+//                          (consumed by scripts/check_figures.py in CI)
+//   --trace_out=<path>     emit a chrome://tracing event file for the run
+//   --samples_json=<path>  write the interval sampler's time series (benches
+//                          that run a Sampler; validated by
+//                          scripts/check_samples.py in CI)
 //
 // Every bench prints a header comment naming the paper figure, then CSV rows
 // matching the figure's axes; the same rows go into the JSON report.
@@ -168,7 +171,9 @@ class BenchReport {
   // the repo root); pass --stats_json= (empty) to suppress it.
   BenchReport(const Flags& flags, const std::string& bench_name,
               const std::string& default_stats_path = "")
-      : bench_name_(bench_name), stats_path_(flags.Get("stats_json", default_stats_path)) {
+      : bench_name_(bench_name),
+        stats_path_(flags.Get("stats_json", default_stats_path)),
+        samples_path_(flags.Get("samples_json", "")) {
     const std::string trace_path = flags.Get("trace_out", "");
     if (!trace_path.empty()) {
       pmemsim::TraceEmitter::Global().Enable(trace_path);
@@ -195,6 +200,20 @@ class BenchReport {
     counters_.emplace_back(label, counters);
   }
 
+  // True when the user asked for the interval-sampler time series; benches
+  // use this to decide whether to attach a Sampler to their run.
+  bool WantsSamples() const { return !samples_path_.empty(); }
+
+  // Supplies the sampler's serialized time series (Sampler::ToJson), written
+  // to the --samples_json path by Finish().
+  void SetSamplesJson(std::string samples_json) { samples_json_ = std::move(samples_json); }
+
+  // Embeds `raw_json` — one complete JSON value — as a top-level section of
+  // the stats report (e.g. "attribution" for AttributionCollector::ToJson).
+  void AddSection(const std::string& key, std::string raw_json) {
+    sections_.emplace_back(key, std::move(raw_json));
+  }
+
   // Writes the JSON report and/or trace if requested. Returns a process exit
   // code: 0 on success (or nothing to write), 1 on I/O failure.
   int Finish() {
@@ -205,6 +224,17 @@ class BenchReport {
         rc = 1;
       }
       trace_enabled_ = false;
+    }
+    if (!samples_path_.empty()) {
+      if (samples_json_.empty()) {
+        std::fprintf(stderr,
+                     "error: --samples_json requested but this bench did not "
+                     "produce a sample series\n");
+        rc = 1;
+      } else if (!WriteFile(samples_path_, samples_json_)) {
+        rc = 1;
+      }
+      samples_path_.clear();
     }
     if (stats_path_.empty()) {
       return rc;
@@ -241,17 +271,12 @@ class BenchReport {
       }
       w.EndObject();
     }
+    for (const auto& [key, raw] : sections_) {
+      w.Key(key).Raw(raw);
+    }
     w.EndObject();
 
-    std::FILE* f = std::fopen(stats_path_.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot open %s\n", stats_path_.c_str());
-      return 1;
-    }
-    const std::string& text = w.str();
-    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-    if (std::fclose(f) != 0 || !ok) {
-      std::fprintf(stderr, "error: short write to %s\n", stats_path_.c_str());
+    if (!WriteFile(stats_path_, w.str())) {
       return 1;
     }
     stats_path_.clear();
@@ -259,16 +284,34 @@ class BenchReport {
   }
 
  private:
+  static bool WriteFile(const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+
   std::string bench_name_;
   std::string stats_path_;
+  std::string samples_path_;
+  std::string samples_json_;
   bool trace_enabled_ = false;
   std::vector<Row> rows_;
   std::vector<std::pair<std::string, pmemsim::Counters>> counters_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 inline const char* kTelemetryFlagsHelp =
-    "  --stats_json=<path>  write rows as JSON (for scripts/check_figures.py)\n"
-    "  --trace_out=<path>   write a chrome://tracing event file\n";
+    "  --stats_json=<path>    write rows as JSON (for scripts/check_figures.py)\n"
+    "  --trace_out=<path>     write a chrome://tracing event file\n"
+    "  --samples_json=<path>  write the interval-sampler time series as JSON\n";
 
 }  // namespace pmemsim_bench
 

@@ -83,6 +83,7 @@ HierAccessResult CacheHierarchy::AccessInternal(Addr addr, Cycles now, bool is_s
   const McReadResult mr = mc_->Read(line, now, node_, ordered);
   result.complete_at = mr.complete_at;
   result.stalled_for = mr.stalled_for;
+  result.mem = mr.stages;
   result.hit_level = 0;
   FillInto(*l3_, 3, line, now, /*dirty=*/false, /*prefetched=*/false);
   FillInto(l2_, 2, line, now, /*dirty=*/false, /*prefetched=*/false);

@@ -18,6 +18,9 @@ struct HierAccessResult {
   Cycles complete_at = 0;
   uint8_t hit_level = 0;   // 1..3 = cache level, 0 = memory
   Cycles stalled_for = 0;  // read-after-persist component
+  // Memory-side latency attribution; populated only on full misses
+  // (hit_level == 0), where the fields sum to the memory access span.
+  MemStageBreakdown mem;
 };
 
 struct FlushResult {

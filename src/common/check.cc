@@ -1,7 +1,9 @@
 #include "src/common/check.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 
 namespace pmemsim {
 
@@ -9,10 +11,32 @@ namespace {
 // Per-thread capture depth: sweep-runner workers enable capture around each
 // point; everything else keeps the abort-on-failure contract.
 thread_local int g_capture_depth = 0;
+// Process-wide unwind hook (atomic: Enable may race sweep workers failing).
+std::atomic<void (*)()> g_unwind_hook{nullptr};
+
+void RunUnwindHook() {
+  if (void (*hook)() = g_unwind_hook.load(std::memory_order_acquire)) {
+    hook();
+  }
+}
 }  // namespace
 
-ScopedCheckCapture::ScopedCheckCapture() { ++g_capture_depth; }
-ScopedCheckCapture::~ScopedCheckCapture() { --g_capture_depth; }
+ScopedCheckCapture::ScopedCheckCapture() : uncaught_(std::uncaught_exceptions()) {
+  ++g_capture_depth;
+}
+
+ScopedCheckCapture::~ScopedCheckCapture() {
+  --g_capture_depth;
+  // Unwinding from a failure inside the scope: give buffered debug sinks
+  // (the trace emitter) a chance to persist before the catch discards state.
+  if (std::uncaught_exceptions() > uncaught_) {
+    RunUnwindHook();
+  }
+}
+
+void SetCaptureUnwindHook(void (*hook)()) {
+  g_unwind_hook.store(hook, std::memory_order_release);
+}
 
 namespace internal {
 
@@ -27,6 +51,7 @@ void CheckFailed(const char* file, int line, const char* cond, const char* msg) 
   if (g_capture_depth > 0) {
     throw CheckFailure(buf);
   }
+  RunUnwindHook();  // the process is going down: last chance to flush
   std::abort();
 }
 

@@ -32,7 +32,21 @@ class ScopedCheckCapture {
   ~ScopedCheckCapture();
   ScopedCheckCapture(const ScopedCheckCapture&) = delete;
   ScopedCheckCapture& operator=(const ScopedCheckCapture&) = delete;
+
+ private:
+  // Uncaught-exception count at construction: a higher count at destruction
+  // means this scope is unwinding from a failure (see SetCaptureUnwindHook).
+  int uncaught_ = 0;
 };
+
+// Registers a process-wide hook (nullptr clears) invoked whenever invariant
+// failure tears execution down: when a ScopedCheckCapture unwinds because an
+// exception is propagating through it, and just before a non-captured CHECK
+// failure aborts. Debug sinks holding buffered state use it to get that state
+// onto disk before it is lost — the trace emitter flushes its event buffer so
+// a failed sweep point's trace survives the failure-isolation catch (and a
+// hard abort). Hooks must be safe to call multiple times.
+void SetCaptureUnwindHook(void (*hook)());
 
 namespace internal {
 // Prints the failure, then throws CheckFailure (capture active) or aborts.

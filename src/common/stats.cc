@@ -130,6 +130,9 @@ void Histogram::Reset() {
 }
 
 std::string Histogram::Summary() const {
+  if (count_ == 0) {
+    return "n=0 (empty)";
+  }
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "n=%llu mean=%.1f p50=%llu p90=%llu p99=%llu min=%llu max=%llu",
@@ -145,6 +148,19 @@ std::string Histogram::Summary() const {
 void Histogram::ToJson(JsonWriter& w) const {
   w.BeginObject();
   w.Key("count").Value(count_);
+  if (count_ == 0) {
+    // An empty histogram has no summary statistics: nulls, not zeros, so a
+    // consumer cannot mistake "never sampled" for "measured zero latency".
+    w.Key("mean").Null();
+    w.Key("min").Null();
+    w.Key("max").Null();
+    w.Key("p50").Null();
+    w.Key("p90").Null();
+    w.Key("p99").Null();
+    w.Key("p999").Null();
+    w.EndObject();
+    return;
+  }
   w.Key("mean").Value(mean());
   w.Key("min").Value(Min());
   w.Key("max").Value(Max());

@@ -51,7 +51,9 @@ class Histogram {
 
   uint64_t count() const { return count_; }
   double mean() const;
-  // p in [0, 100].
+  // p in [0, 100]. Returns 0 on an empty histogram — callers that must
+  // distinguish "no samples" from "0-cycle latency" check count() first
+  // (ToJson emits nulls for exactly this reason).
   uint64_t Percentile(double p) const;
   uint64_t Min() const { return count_ ? min_ : 0; }
   uint64_t Max() const { return count_ ? max_ : 0; }
@@ -61,6 +63,7 @@ class Histogram {
   std::string Summary() const;
 
   // Count/mean/min/max plus the standard percentile ladder (p50..p999).
+  // An empty histogram serializes as count:0 with null statistics.
   void ToJson(JsonWriter& w) const;
   std::string ToJson() const;
 

@@ -36,6 +36,7 @@ ThreadContext& System::CreateThread(NodeId node) {
   threads_.push_back(std::make_unique<ThreadContext>(config_, &backing_, mc_.get(), l3_.get(),
                                                      scope, node, thread_seed_));
   threads_.back()->SetPersistObserver(persist_observer_);
+  threads_.back()->SetAttribution(attribution_);
   return *threads_.back();
 }
 
@@ -44,6 +45,7 @@ ThreadContext& System::CreateSmtSibling(ThreadContext& sibling) {
   threads_.push_back(
       std::make_unique<ThreadContext>(config_, &backing_, mc_.get(), scope, &sibling));
   threads_.back()->SetPersistObserver(persist_observer_);
+  threads_.back()->SetAttribution(attribution_);
   return *threads_.back();
 }
 
@@ -52,6 +54,23 @@ void System::SetPersistObserver(PersistObserver* observer) {
   for (auto& t : threads_) {
     t->SetPersistObserver(observer);
   }
+}
+
+void System::SetAttribution(AttributionCollector* collector) {
+  attribution_ = collector;
+  for (auto& t : threads_) {
+    t->SetAttribution(collector);
+  }
+}
+
+SampleGauges System::ReadGauges(Cycles now) {
+  SampleGauges g;
+  for (size_t i = 0; i < mc_->optane_dimm_count(); ++i) {
+    g.wpq_occupancy += static_cast<double>(mc_->optane_wpq(i).OccupancyAt(now));
+    g.read_buffer_entries += mc_->optane_dimm(i).read_buffer().occupied_entries();
+    g.write_buffer_entries += mc_->optane_dimm(i).write_buffer().occupied_entries();
+  }
+  return g;
 }
 
 void System::ResetMicroarchState() {

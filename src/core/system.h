@@ -18,6 +18,7 @@
 #include "src/imc/memory_controller.h"
 #include "src/trace/counters.h"
 #include "src/trace/registry.h"
+#include "src/trace/sampler.h"
 
 namespace pmemsim {
 
@@ -74,6 +75,14 @@ class System {
   // crash-consistency subsystem's PersistTracker.
   void SetPersistObserver(PersistObserver* observer);
 
+  // Installs (or clears, with nullptr) the latency-attribution collector on
+  // every existing thread and every thread created afterwards (--breakdown).
+  void SetAttribution(AttributionCollector* collector);
+
+  // Instantaneous occupancy across the machine's Optane DIMMs and WPQs — the
+  // gauge source for interval sampling (Sampler::SetGaugeSource).
+  SampleGauges ReadGauges(Cycles now);
+
  private:
   PlatformConfig config_;
   CounterRegistry registry_;
@@ -87,6 +96,7 @@ class System {
   Addr dram_next_ = kDramAddressBase;
   uint64_t thread_seed_ = 0xA11CE;
   PersistObserver* persist_observer_ = nullptr;
+  AttributionCollector* attribution_ = nullptr;
 };
 
 }  // namespace pmemsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/trace/sampler.h"
 
 namespace pmemsim {
 namespace {
@@ -78,7 +79,7 @@ class JobHeap {
 
 }  // namespace
 
-Cycles Scheduler::Run(std::vector<SimJob>& jobs) {
+Cycles Scheduler::Run(std::vector<SimJob>& jobs, Sampler* sampler) {
   if (jobs.empty()) {
     return 0;
   }
@@ -94,6 +95,12 @@ Cycles Scheduler::Run(std::vector<SimJob>& jobs) {
     // finishes.
     while (true) {
       const Cycles before = job.ctx->clock();
+      // `before` is the global minimum clock (this job is the heap top), the
+      // only monotone "now": sample boundaries close before any event that
+      // can still be generated at a later cycle.
+      if (sampler != nullptr) {
+        sampler->AdvanceTo(before);
+      }
       const StepResult r = job.step();
       if (r == StepResult::kDone) {
         heap.PopTop();

@@ -21,6 +21,8 @@
 
 namespace pmemsim {
 
+class Sampler;
+
 enum class StepResult {
   kProgress,
   kDone,
@@ -34,7 +36,13 @@ struct SimJob {
 class Scheduler {
  public:
   // Runs all jobs to completion. Returns the max final clock across jobs.
-  static Cycles Run(std::vector<SimJob>& jobs);
+  //
+  // When `sampler` is non-null, its AdvanceTo is called with the global
+  // minimum job clock before every step — the only monotone notion of "now"
+  // under interleaving — so interval samples observe events in simulated-time
+  // order. The caller still owns Sampler::Finalize (warm-up phases may run
+  // before the sampled one).
+  static Cycles Run(std::vector<SimJob>& jobs, Sampler* sampler = nullptr);
 };
 
 }  // namespace pmemsim

@@ -43,6 +43,45 @@ Cycles ThreadContext::ScaleCore(Cycles c) const {
   return smt_scale_ == 1.0 ? c : static_cast<Cycles>(static_cast<double>(c) * smt_scale_);
 }
 
+void ThreadContext::RecordMemAccess(AttributionCollector::Op op, Cycles end_to_end,
+                                    const HierAccessResult& r) {
+  AttributionCollector::StageDurations stages;
+  switch (r.hit_level) {
+    case 1:
+      stages.v[AttributionCollector::kL1Hit] = end_to_end;
+      break;
+    case 2:
+      stages.v[AttributionCollector::kL2Hit] = end_to_end;
+      break;
+    case 3:
+      stages.v[AttributionCollector::kL3Hit] = end_to_end;
+      break;
+    default:
+      // Full miss: the memory side reported where the span went; the fields
+      // sum exactly to end_to_end, so nothing lands in the core remainder.
+      stages.v[AttributionCollector::kImcTransit] = r.mem.imc_transit;
+      stages.v[AttributionCollector::kRapStall] = r.mem.rap_stall;
+      stages.v[AttributionCollector::kReadBuffer] = r.mem.buffer;
+      stages.v[AttributionCollector::kAitLookup] = r.mem.ait;
+      stages.v[AttributionCollector::kMediaRead] = r.mem.media;
+      stages.v[AttributionCollector::kDram] = r.mem.dram;
+      break;
+  }
+  attribution_->RecordAccess(op, end_to_end, stages);
+}
+
+void ThreadContext::RecordPersistOp(AttributionCollector::Op op, Cycles t0, Cycles wpq_wait,
+                                    Cycles accepted_at) {
+  AttributionCollector::StageDurations stages;
+  stages.v[AttributionCollector::kWpqWait] = wpq_wait;
+  attribution_->RecordAccess(op, clock_ - t0, stages);
+  // The acceptance delay itself is asynchronous — it surfaces at the next
+  // fence — so it is tracked outside the conservation identity.
+  if (accepted_at > t0) {
+    attribution_->RecordAsyncAccept(accepted_at - t0);
+  }
+}
+
 uint64_t ThreadContext::LoadInternal(Addr addr, bool train) {
   // Out-of-order early execution: an unordered load targeting a just-flushed
   // line can issue before the flush's invalidation retires and hit the cache.
@@ -53,6 +92,11 @@ uint64_t ThreadContext::LoadInternal(Addr addr, bool train) {
         const Cycles latency = ScaleCore(hier_->l1().hit_latency());
         last_access_ = {1, latency, 0};
         clock_ += latency;
+        if (attribution_ != nullptr) {
+          HierAccessResult early;
+          early.hit_level = 1;
+          RecordMemAccess(AttributionCollector::kLoad, latency, early);
+        }
         return backing_->ReadU64(addr);
       }
     }
@@ -64,6 +108,9 @@ uint64_t ThreadContext::LoadInternal(Addr addr, bool train) {
   }
   last_access_ = {r.hit_level, latency, r.stalled_for};
   clock_ += latency;
+  if (attribution_ != nullptr) {
+    RecordMemAccess(AttributionCollector::kLoad, latency, r);
+  }
   return backing_->ReadU64(addr);
 }
 
@@ -85,6 +132,7 @@ uint64_t ThreadContext::Load64NoPrefetch(Addr addr) { return LoadInternal(addr, 
 void ThreadContext::LoadLine(Addr addr) { (void)LoadInternal(addr, /*train=*/true); }
 
 void ThreadContext::StoreTimed(Addr addr) {
+  const Cycles t0 = clock_;
   const HierAccessResult r = hier_->Store(addr, clock_);
   Cycles latency;
   if (r.hit_level >= 1) {
@@ -96,6 +144,26 @@ void ThreadContext::StoreTimed(Addr addr) {
   }
   last_access_ = {r.hit_level, latency, r.stalled_for};
   clock_ += latency + ScaleCore(cpu_.store_issue_cost);
+  if (attribution_ != nullptr) {
+    AttributionCollector::StageDurations stages;
+    switch (r.hit_level) {
+      case 1:
+        stages.v[AttributionCollector::kL1Hit] = latency;
+        break;
+      case 2:
+        stages.v[AttributionCollector::kL2Hit] = latency;
+        break;
+      case 3:
+        stages.v[AttributionCollector::kL3Hit] = latency;
+        break;
+      default:
+        // Posted miss: the RFO's memory latency is off the critical path, so
+        // the pipeline cost stays in core (the background traffic is visible
+        // in the bandwidth counters, not here).
+        break;
+    }
+    attribution_->RecordAccess(AttributionCollector::kStore, clock_ - t0, stages);
+  }
 }
 
 void ThreadContext::Store64(Addr addr, uint64_t value) {
@@ -160,13 +228,24 @@ void ThreadContext::Clwb(Addr addr) {
     // stores are durable once globally visible, so clwb degenerates to a
     // cheap no-op and programs simply stop flushing.
     clock_ += 1;
+    if (attribution_ != nullptr) {
+      attribution_->RecordAccess(AttributionCollector::kFlush, 1, {});
+    }
     return;
   }
+  const Cycles t0 = clock_;
   const FlushResult r = hier_->Clwb(addr, clock_);
   clock_ += std::max<Cycles>(r.cost, cpu_.flush_issue_cost);
   NoteRecentFlush(CacheLineBase(addr));
+  const Cycles pre_track = clock_;
   if (r.wrote) {
     TrackPersist(CacheLineBase(addr), r.accepted_at, /*is_flush=*/true);
+  }
+  if (attribution_ != nullptr) {
+    // Any clock advance inside TrackPersist is store-buffer back-pressure:
+    // waiting on the oldest outstanding persist's WPQ acceptance.
+    RecordPersistOp(AttributionCollector::kFlush, t0, clock_ - pre_track,
+                    r.wrote ? r.accepted_at : 0);
   }
 }
 
@@ -176,13 +255,22 @@ void ThreadContext::Clflushopt(Addr addr) {
     // flush (including its invalidation) buys nothing and retires as a
     // cheap no-op.
     clock_ += 1;
+    if (attribution_ != nullptr) {
+      attribution_->RecordAccess(AttributionCollector::kFlush, 1, {});
+    }
     return;
   }
+  const Cycles t0 = clock_;
   const FlushResult r = hier_->Clflushopt(addr, clock_);
   clock_ += std::max<Cycles>(r.cost, cpu_.flush_issue_cost);
   NoteRecentFlush(CacheLineBase(addr));
+  const Cycles pre_track = clock_;
   if (r.wrote) {
     TrackPersist(CacheLineBase(addr), r.accepted_at, /*is_flush=*/true);
+  }
+  if (attribution_ != nullptr) {
+    RecordPersistOp(AttributionCollector::kFlush, t0, clock_ - pre_track,
+                    r.wrote ? r.accepted_at : 0);
   }
 }
 
@@ -193,33 +281,49 @@ void ThreadContext::NtStoreLine(Addr addr, const void* data64) {
   if (data64 != nullptr) {
     backing_->Write(line, data64, kCacheLineSize);
   }
+  const Cycles t0 = clock_;
   hier_->InvalidateAll(line);
   const McWriteResult w = mc_->Write(line, clock_, node_);
   clock_ += cpu_.nt_store_issue_cost;
+  const Cycles pre_track = clock_;
   TrackPersist(line, w.accepted_at, /*is_flush=*/false);
+  if (attribution_ != nullptr) {
+    RecordPersistOp(AttributionCollector::kNtStore, t0, clock_ - pre_track, w.accepted_at);
+  }
 }
 
 void ThreadContext::NtStore64(Addr addr, uint64_t value) {
   // Timing is line-granular (write-combining buffers merge within the line).
   const Addr line = CacheLineBase(addr);
   backing_->WriteU64(addr, value);
+  const Cycles t0 = clock_;
   hier_->InvalidateAll(line);
   const McWriteResult w = mc_->Write(line, clock_, node_);
   clock_ += cpu_.nt_store_issue_cost;
+  const Cycles pre_track = clock_;
   TrackPersist(line, w.accepted_at, /*is_flush=*/false);
+  if (attribution_ != nullptr) {
+    RecordPersistOp(AttributionCollector::kNtStore, t0, clock_ - pre_track, w.accepted_at);
+  }
 }
 
 void ThreadContext::NtWrite(Addr addr, const void* data, size_t len) {
   backing_->Write(addr, data, len);
   for (Addr line = CacheLineBase(addr); line < addr + len; line += kCacheLineSize) {
+    const Cycles t0 = clock_;
     hier_->InvalidateAll(line);
     const McWriteResult w = mc_->Write(line, clock_, node_);
     clock_ += cpu_.nt_store_issue_cost;
+    const Cycles pre_track = clock_;
     TrackPersist(line, w.accepted_at, /*is_flush=*/false);
+    if (attribution_ != nullptr) {
+      RecordPersistOp(AttributionCollector::kNtStore, t0, clock_ - pre_track, w.accepted_at);
+    }
   }
 }
 
 void ThreadContext::FenceCommon(bool is_mfence) {
+  const Cycles t0 = clock_;
   Cycles wait_until = clock_;
   for (const Outstanding& o : outstanding_) {
     wait_until = std::max(wait_until, o.accepted_at);
@@ -235,6 +339,13 @@ void ThreadContext::FenceCommon(bool is_mfence) {
     recent_flushes_.clear();  // younger loads are ordered after the flushes
   }
   loads_ordered_ = is_mfence;
+  if (attribution_ != nullptr) {
+    // The wait for outstanding WPQ acceptances is where the asynchronous
+    // persist delays become synchronous: the fence's wpq_wait stage.
+    AttributionCollector::StageDurations stages;
+    stages.v[AttributionCollector::kWpqWait] = wait_until - t0;
+    attribution_->RecordAccess(AttributionCollector::kFence, clock_ - t0, stages);
+  }
   if (observer_ != nullptr) {
     observer_->OnFence(clock_);
   }

@@ -19,6 +19,7 @@
 #include "src/common/types.h"
 #include "src/cpu/persist_observer.h"
 #include "src/imc/memory_controller.h"
+#include "src/trace/attribution.h"
 #include "src/trace/counters.h"
 
 namespace pmemsim {
@@ -107,6 +108,12 @@ class ThreadContext {
   // crash-consistency subsystem's PersistTracker; at most one at a time.
   void SetPersistObserver(PersistObserver* observer) { observer_ = observer; }
 
+  // Installs (or clears, with nullptr) the per-access latency-attribution
+  // collector (the benches' --breakdown flag). Every timed operation then
+  // records its end-to-end latency and stage decomposition; with no collector
+  // the only hot-path cost is one pointer test per operation.
+  void SetAttribution(AttributionCollector* collector) { attribution_ = collector; }
+
   // Test helper: drop private cache state and pending persist tracking.
   void ResetMicroarchState();
 
@@ -124,6 +131,9 @@ class ThreadContext {
   Cycles ScaleCore(Cycles c) const;
   void StoreTimed(Addr addr);
   void NoteRecentFlush(Addr line);
+  // Attribution recording (called only with attribution_ != nullptr).
+  void RecordMemAccess(AttributionCollector::Op op, Cycles end_to_end, const HierAccessResult& r);
+  void RecordPersistOp(AttributionCollector::Op op, Cycles t0, Cycles wpq_wait, Cycles accepted_at);
 
   CpuConfig cpu_;
   bool eadr_ = false;  // caches are persistent: flushes are unnecessary
@@ -138,6 +148,7 @@ class ThreadContext {
   LastAccess last_access_;
 
   PersistObserver* observer_ = nullptr;
+  AttributionCollector* attribution_ = nullptr;
   std::deque<Outstanding> outstanding_;
   bool loads_ordered_ = false;  // true after mfence, false after sfence
   // Lines flushed by the most recent clwb/clflushopt ops whose cache-side

@@ -5,6 +5,7 @@
 #define SRC_DIMM_DIMM_H_
 
 #include "src/common/types.h"
+#include "src/trace/attribution.h"
 #include "src/trace/counters.h"
 
 namespace pmemsim {
@@ -12,6 +13,10 @@ namespace pmemsim {
 struct DimmReadResult {
   Cycles complete_at = 0;   // when the data is available at the iMC
   Cycles stalled_for = 0;   // portion spent waiting on an in-flight persist
+  // Latency attribution: populated fields sum exactly to complete_at - now
+  // (the span the DIMM charged this read). Plain field writes of values the
+  // timing code already computed; consumed only when --breakdown is on.
+  MemStageBreakdown stages;
 };
 
 struct DimmWriteResult {

@@ -32,6 +32,8 @@ DimmReadResult DramDimm::Read(Addr addr, Cycles now, bool ordered) {
     }
   }
   result.complete_at = ports_.Schedule(start, config_.load_latency);
+  result.stages.rap_stall = result.stalled_for;
+  result.stages.dram = result.complete_at - start;
   return result;
 }
 

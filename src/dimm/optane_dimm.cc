@@ -65,6 +65,8 @@ DimmReadResult OptaneDimm::Read(Addr addr, Cycles now, bool ordered) {
       start = visible;
     }
     result.complete_at = start + config_.buffer_hit_latency;
+    result.stages.rap_stall = result.stalled_for;
+    result.stages.buffer = config_.buffer_hit_latency;
     return result;
   }
 
@@ -78,12 +80,16 @@ DimmReadResult OptaneDimm::Read(Addr addr, Cycles now, bool ordered) {
     ++counters_->rmw_media_reads;
     write_buffer_.AbsorbFill(line);
     result.complete_at = media_done + config_.buffer_hit_latency;
+    result.stages.ait = ait_cost;
+    result.stages.media = media_done - (now + ait_cost);
+    result.stages.buffer = config_.buffer_hit_latency;
     return result;
   }
 
   // 3. On-DIMM read buffer (exclusive: the hit consumes the line).
   if (read_buffer_.ConsumeLine(line)) {
     result.complete_at = now + config_.buffer_hit_latency;
+    result.stages.buffer = config_.buffer_hit_latency;
     return result;
   }
 
@@ -98,6 +104,9 @@ DimmReadResult OptaneDimm::Read(Addr addr, Cycles now, bool ordered) {
     TraceEmitter::Global().Instant(trace_track_, "read_buffer_fill", now);
   }
   result.complete_at = media_done + config_.buffer_hit_latency;
+  result.stages.ait = ait_cost;
+  result.stages.media = media_done - (now + ait_cost);
+  result.stages.buffer = config_.buffer_hit_latency;
   return result;
 }
 

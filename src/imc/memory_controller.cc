@@ -59,7 +59,14 @@ McReadResult MemoryController::Read(Addr addr, Cycles now, NodeId requester, boo
   } else {
     r = optane_dimms_[OptaneIndexFor(addr)]->Read(addr, issue, ordered);
   }
-  return {r.complete_at + hop, r.stalled_for};
+  McReadResult result;
+  result.complete_at = r.complete_at + hop;
+  result.stalled_for = r.stalled_for;
+  result.stages = r.stages;
+  // The iMC's own share: overhead + both hop crossings (the DIMM's stages
+  // already sum to its span, so the whole result sums to complete_at - now).
+  result.stages.imc_transit = 2 * hop + config_.read_overhead;
+  return result;
 }
 
 McWriteResult MemoryController::Write(Addr addr, Cycles now, NodeId requester) {

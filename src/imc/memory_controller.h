@@ -29,6 +29,9 @@ inline constexpr Addr kDramAddressBase = 1ull << 46;
 struct McReadResult {
   Cycles complete_at = 0;
   Cycles stalled_for = 0;  // read-after-persist component
+  // DIMM-reported stage latencies plus the iMC's own imc_transit share; the
+  // populated fields sum exactly to complete_at - now.
+  MemStageBreakdown stages;
 };
 
 struct McWriteResult {

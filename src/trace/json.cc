@@ -115,6 +115,13 @@ JsonWriter& JsonWriter::Value(bool v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  PMEMSIM_CHECK_MSG(!json.empty(), "Raw() requires a complete JSON value");
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
 JsonWriter& JsonWriter::Null() {
   BeforeValue();
   out_ += "null";

@@ -39,6 +39,11 @@ class JsonWriter {
   JsonWriter& Value(double v);
   JsonWriter& Value(bool v);
   JsonWriter& Null();
+  // Splices `json` — assumed to be one complete, valid JSON value (typically
+  // another writer's str()) — in value position. Lets reports embed sections
+  // serialized by their owners (sampler arrays, attribution objects) without
+  // re-walking them through this writer.
+  JsonWriter& Raw(const std::string& json);
 
   bool complete() const { return depth_ == 0 && started_; }
   const std::string& str() const { return out_; }

@@ -1,0 +1,98 @@
+#include "src/trace/sampler.h"
+
+#include "src/common/check.h"
+#include "src/trace/json.h"
+
+namespace pmemsim {
+
+Sampler::Sampler(const Counters* counters, Cycles interval_cycles)
+    : counters_(counters), interval_(interval_cycles), delta_(counters) {
+  PMEMSIM_CHECK(counters != nullptr);
+  PMEMSIM_CHECK_MSG(interval_cycles > 0, "sample interval must be positive");
+  next_boundary_ = interval_;
+}
+
+void Sampler::Emit(Cycles t_end, bool partial) {
+  if (samples_.size() >= kMaxSamples) {
+    ++dropped_;
+    // The delta still rebases so later samples (if the cap is ever raised)
+    // and SumOfDeltas stay consistent with what was kept: dropped intervals
+    // are simply missing from the partition, which the owner can detect via
+    // dropped_samples().
+    delta_.Rebase();
+    last_boundary_ = t_end;
+    ++index_;
+    return;
+  }
+  Sample s;
+  s.index = index_++;
+  s.t_begin = last_boundary_;
+  s.t_end = t_end;
+  s.partial = partial;
+  s.delta = delta_.Delta();
+  delta_.Rebase();
+  if (gauge_fn_) {
+    s.gauges = gauge_fn_(t_end);
+  }
+  samples_.push_back(s);
+  if (on_sample_) {
+    on_sample_(samples_.back());
+  }
+  last_boundary_ = t_end;
+}
+
+void Sampler::AdvanceTo(Cycles now) {
+  while (now >= next_boundary_) {
+    Emit(next_boundary_, /*partial=*/false);
+    next_boundary_ += interval_;
+  }
+}
+
+void Sampler::Finalize(Cycles end) {
+  PMEMSIM_CHECK_MSG(!finalized_, "Sampler::Finalize called twice");
+  AdvanceTo(end);
+  // Close the open interval if it holds any time or residual counter deltas
+  // (events can land after the last AdvanceTo observation).
+  const Counters residual = delta_.Delta();
+  const Counters zero;
+  if (end > last_boundary_ || residual != zero) {
+    Emit(end > last_boundary_ ? end : last_boundary_, /*partial=*/true);
+  }
+  finalized_ = true;
+}
+
+Counters Sampler::SumOfDeltas() const {
+  Counters sum;
+  for (const Sample& s : samples_) {
+    sum += s.delta;
+  }
+  return sum;
+}
+
+void Sampler::ToJson(JsonWriter& w) const {
+  w.BeginArray();
+  for (const Sample& s : samples_) {
+    w.BeginObject();
+    w.Key("index").Value(s.index);
+    w.Key("t_begin").Value(static_cast<uint64_t>(s.t_begin));
+    w.Key("t_end").Value(static_cast<uint64_t>(s.t_end));
+    w.Key("partial").Value(s.partial);
+    w.Key("delta");
+    s.delta.ToJson(w);
+    w.Key("gauges").BeginObject();
+    w.Key("wpq_occupancy").Value(s.gauges.wpq_occupancy);
+    w.Key("read_buffer_entries").Value(s.gauges.read_buffer_entries);
+    w.Key("write_buffer_entries").Value(s.gauges.write_buffer_entries);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+std::string Sampler::ToJson() const {
+  JsonWriter w;
+  ToJson(w);
+  return w.str();
+}
+
+}  // namespace pmemsim

@@ -2,9 +2,23 @@
 
 #include <cstdio>
 
+#include "src/common/check.h"
 #include "src/trace/json.h"
 
 namespace pmemsim {
+
+namespace {
+// Capture-unwind hook: when a sweep point CHECK-fails under failure isolation
+// (or a hard CHECK aborts the process), flush whatever events were buffered
+// so the partial trace reaches disk instead of dying with the run. A later
+// successful Flush/Disable simply rewrites the file.
+void FlushTraceOnUnwind() {
+  TraceEmitter& trace = TraceEmitter::Global();
+  if (trace.enabled()) {
+    trace.Flush();
+  }
+}
+}  // namespace
 
 TraceEmitter& TraceEmitter::Global() {
   static TraceEmitter instance;
@@ -12,6 +26,8 @@ TraceEmitter& TraceEmitter::Global() {
 }
 
 void TraceEmitter::Enable(const std::string& path) {
+  // Installed for the process lifetime; the hook no-ops while disabled.
+  SetCaptureUnwindHook(&FlushTraceOnUnwind);
   std::lock_guard<std::mutex> lock(mu_);
   path_ = path;
   enabled_.store(true, std::memory_order_relaxed);

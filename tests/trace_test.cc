@@ -4,12 +4,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/common/stats.h"
 #include "src/core/platform.h"
+#include "src/cpu/scheduler.h"
 #include "src/trace/counters.h"
 #include "src/trace/json.h"
 #include "src/trace/registry.h"
+#include "src/trace/sampler.h"
 #include "src/trace/trace_events.h"
 
 namespace pmemsim {
@@ -128,6 +135,31 @@ TEST(Serialization, HistogramRoundTrip) {
   EXPECT_EQ(v.Find("max")->AsUint(), 1000u);
   EXPECT_EQ(v.Find("p50")->AsUint(), h.Percentile(50));
   EXPECT_EQ(v.Find("p999")->AsUint(), h.Percentile(99.9));
+}
+
+TEST(Serialization, EmptyHistogramIsExplicitNotZero) {
+  // A store-free --breakdown run leaves whole stage histograms empty; the
+  // empty case must be distinguishable from "measured zero latency".
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0u);  // documented fallback; callers check count()
+  EXPECT_EQ(h.Summary(), "n=0 (empty)");
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(h.ToJson(), &v, &error)) << error;
+  EXPECT_EQ(v.Find("count")->AsUint(), 0u);
+  for (const char* key : {"mean", "min", "max", "p50", "p90", "p99", "p999"}) {
+    ASSERT_NE(v.Find(key), nullptr) << key;
+    EXPECT_EQ(v.Find(key)->type, JsonValue::Type::kNull) << key;
+  }
+
+  // One sample flips every statistic to concrete values.
+  h.Add(7);
+  ASSERT_TRUE(JsonValue::Parse(h.ToJson(), &v));
+  EXPECT_EQ(v.Find("count")->AsUint(), 1u);
+  EXPECT_EQ(v.Find("p50")->AsUint(), 7u);
+  EXPECT_EQ(v.Find("max")->AsUint(), 7u);
 }
 
 // --- registry scoping and aggregation ---
@@ -325,6 +357,154 @@ TEST(TraceEvents, EmitsValidChromeTraceJson) {
   EXPECT_TRUE(saw_counter);
   EXPECT_TRUE(saw_instant);
   std::remove(path.c_str());
+}
+
+// --- interval sampler ---
+
+TEST(Sampler, DeltasPartitionTheRunExactly) {
+  auto system = MakeG1System(1);
+  ThreadContext& ctx = system->CreateThread();
+  const PmRegion region = system->AllocatePm(KiB(128), kXPLineSize);
+  // Sampler and reference delta snapshot the same pre-run counter state.
+  Sampler sampler(&system->counters(), /*interval_cycles=*/10000);
+  sampler.SetGaugeSource(
+      [&system](Cycles now) { return system->ReadGauges(now); });
+  CounterDelta global(&system->counters());
+
+  for (uint64_t i = 0; i < 500; ++i) {
+    const Addr a = region.At((i * kCacheLineSize) % region.size);
+    ctx.Store64(a, i);
+    ctx.Clwb(a);
+    ctx.Sfence();
+    sampler.AdvanceTo(ctx.clock());
+  }
+  sampler.Finalize(ctx.clock());
+
+  // The attribution contract: the per-interval series is a partition of the
+  // run, so the field-wise sum of sample deltas IS the global counter delta.
+  EXPECT_EQ(sampler.SumOfDeltas(), global.Delta());
+  EXPECT_EQ(sampler.SumOfDeltas().demand_stores, 500u);
+  EXPECT_EQ(sampler.dropped_samples(), 0u);
+
+  // The samples tile [0, end] contiguously; the final one may be partial.
+  ASSERT_GE(sampler.samples().size(), 2u);
+  Cycles prev = 0;
+  for (const Sample& s : sampler.samples()) {
+    EXPECT_EQ(s.t_begin, prev);
+    EXPECT_GE(s.t_end, s.t_begin);
+    prev = s.t_end;
+  }
+  EXPECT_EQ(prev, ctx.clock());
+  for (size_t i = 0; i + 1 < sampler.samples().size(); ++i) {
+    EXPECT_FALSE(sampler.samples()[i].partial) << i;
+  }
+}
+
+TEST(Sampler, IdleIntervalsEmitZeroDeltas) {
+  // ipmwatch prints idle seconds too: a quiet stretch of simulated time must
+  // produce zero-delta samples, not a gap in the series.
+  Counters c;
+  Sampler sampler(&c, /*interval_cycles=*/100);
+  c.demand_loads = 5;
+  sampler.AdvanceTo(350);  // boundaries at 100, 200, 300
+  ASSERT_EQ(sampler.samples().size(), 3u);
+  EXPECT_EQ(sampler.samples()[0].delta.demand_loads, 5u);
+  const Counters zero;
+  EXPECT_EQ(sampler.samples()[1].delta, zero);
+  EXPECT_EQ(sampler.samples()[2].delta, zero);
+  sampler.Finalize(350);  // closes [300, 350) as a partial sample
+  ASSERT_EQ(sampler.samples().size(), 4u);
+  EXPECT_TRUE(sampler.samples()[3].partial);
+  EXPECT_EQ(sampler.samples()[3].t_end, 350u);
+}
+
+TEST(Sampler, BoundaryExactFinalizeAddsNoEmptySample) {
+  Counters c;
+  Sampler sampler(&c, /*interval_cycles=*/100);
+  c.demand_loads = 2;
+  sampler.AdvanceTo(200);
+  ASSERT_EQ(sampler.samples().size(), 2u);
+  sampler.Finalize(200);  // already closed at the boundary: nothing to add
+  EXPECT_EQ(sampler.samples().size(), 2u);
+}
+
+TEST(Sampler, FinalizeCapturesResidualDeltasAfterLastBoundary) {
+  Counters c;
+  Sampler sampler(&c, /*interval_cycles=*/100);
+  sampler.AdvanceTo(100);
+  c.imc_write_bytes = 64;  // lands after the last observation
+  sampler.Finalize(100);
+  ASSERT_EQ(sampler.samples().size(), 2u);
+  EXPECT_TRUE(sampler.samples()[1].partial);
+  EXPECT_EQ(sampler.samples()[1].delta.imc_write_bytes, 64u);
+  EXPECT_EQ(sampler.SumOfDeltas().imc_write_bytes, 64u);
+}
+
+namespace sampler_determinism {
+
+// One scheduler-driven sampled run: fresh System, fixed workload, fixed
+// interval. Returns the serialized sample series.
+std::string SampledSeriesJson() {
+  auto system = MakeG1System(1);
+  ThreadContext& ctx = system->CreateThread();
+  const PmRegion region = system->AllocatePm(KiB(128), kXPLineSize);
+  Sampler sampler(&system->counters(), /*interval_cycles=*/20000);
+  sampler.SetGaugeSource(
+      [&system](Cycles now) { return system->ReadGauges(now); });
+  uint64_t i = 0;
+  std::vector<SimJob> jobs;
+  jobs.push_back({&ctx, [&]() {
+                    const Addr a = region.At((i * kCacheLineSize) % region.size);
+                    ctx.Store64(a, i);
+                    ctx.Clwb(a);
+                    ctx.Sfence();
+                    return ++i < 400 ? StepResult::kProgress : StepResult::kDone;
+                  }});
+  Scheduler::Run(jobs, &sampler);
+  sampler.Finalize(ctx.clock());
+  return sampler.ToJson();
+}
+
+// Runs the sampled workload as 4 sweep points under the given --jobs level;
+// returns each point's series in submission order.
+std::vector<std::string> RunSampledSweep(const char* jobs_arg) {
+  const char* argv[] = {"trace_test", jobs_arg};
+  pmemsim_bench::Flags flags(2, const_cast<char**>(argv));
+  pmemsim_bench::BenchReport report(flags, "sampler_determinism_test");
+  pmemsim_bench::SweepRunner runner(flags);
+  auto out = std::make_shared<std::vector<std::string>>(4);
+  for (int p = 0; p < 4; ++p) {
+    runner.Add("point" + std::to_string(p),
+               [p, out](pmemsim_bench::SweepPoint&) { (*out)[p] = SampledSeriesJson(); });
+  }
+  EXPECT_EQ(runner.Run(report), 0);
+  return *out;
+}
+
+}  // namespace sampler_determinism
+
+TEST(Sampler, SeriesByteIdenticalAcrossRunsAndJobs) {
+  using sampler_determinism::RunSampledSweep;
+  const std::vector<std::string> serial = RunSampledSweep("--jobs=1");
+  const std::vector<std::string> parallel = RunSampledSweep("--jobs=4");
+  ASSERT_EQ(serial.size(), 4u);
+  for (size_t p = 0; p < serial.size(); ++p) {
+    EXPECT_FALSE(serial[p].empty()) << p;
+    // Worker-thread interleaving must not leak into the sampled series.
+    EXPECT_EQ(serial[p], parallel[p]) << "point " << p;
+  }
+  // Two identical serial runs are byte-identical too.
+  EXPECT_EQ(serial, RunSampledSweep("--jobs=1"));
+
+  // The series parses and covers multiple intervals.
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(serial[0], &v, &error)) << error;
+  ASSERT_EQ(v.type, JsonValue::Type::kArray);
+  ASSERT_GE(v.array.size(), 3u);
+  EXPECT_EQ(v.array[0].Find("t_begin")->AsUint(), 0u);
+  ASSERT_NE(v.array[0].Find("delta"), nullptr);
+  ASSERT_NE(v.array[0].Find("gauges")->Find("wpq_occupancy"), nullptr);
 }
 
 }  // namespace
