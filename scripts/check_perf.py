@@ -22,12 +22,30 @@ import sys
 
 
 def load_rows(path):
-    with open(path) as f:
-        doc = json.load(f)
+    """Strict row loader: exits 2 on unreadable/invalid files or malformed rows.
+
+    The perf floor must not be dodgeable by a missing stats file or a renamed
+    workload/metric key, so every schema problem is a hard error rather than
+    an empty comparison that "passes".
+    """
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path} is not valid JSON: {e}")
     rows = doc.get("rows", [])
     if not rows:
         sys.exit(f"error: {path} has no rows")
-    return {row["workload"]: row for row in rows}
+    out = {}
+    for i, row in enumerate(rows):
+        if "workload" not in row:
+            sys.exit(f"error: {path} row {i} has no 'workload' key")
+        if "sim_mops_per_sec" not in row:
+            sys.exit(f"error: {path} row {i} ({row['workload']}) has no 'sim_mops_per_sec' key")
+        out[row["workload"]] = row
+    return out
 
 
 def main():
@@ -66,6 +84,13 @@ def main():
             )
         if status == "FAIL":
             failures.append(workload)
+
+    # A workload present in the current run but absent from the baseline is
+    # ungated — a rename would otherwise slip the floor. Require a baseline
+    # refresh instead of silently skipping it.
+    for workload in sorted(set(current) - set(baseline)):
+        failures.append(f"{workload}: not in baseline (renamed? refresh BENCH_hotpath.json)")
+        print(f"FAIL {workload}: present in current run but not in baseline")
 
     if failures:
         print(f"{len(failures)} workload(s) regressed past the floor", file=sys.stderr)

@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/common/random.h"
+#include "src/trace/recorder.h"
 
 namespace pmemsim {
 
@@ -37,6 +38,11 @@ ThreadContext& System::CreateThread(NodeId node) {
                                                      scope, node, thread_seed_));
   threads_.back()->SetPersistObserver(persist_observer_);
   threads_.back()->SetAttribution(attribution_);
+  if (trace_recorder_ != nullptr) {
+    const uint32_t tid = static_cast<uint32_t>(threads_.size() - 1);
+    trace_recorder_->DeclareThread(tid, node);
+    threads_.back()->SetTraceRecorder(trace_recorder_, tid);
+  }
   return *threads_.back();
 }
 
@@ -46,6 +52,11 @@ ThreadContext& System::CreateSmtSibling(ThreadContext& sibling) {
       std::make_unique<ThreadContext>(config_, &backing_, mc_.get(), scope, &sibling));
   threads_.back()->SetPersistObserver(persist_observer_);
   threads_.back()->SetAttribution(attribution_);
+  if (trace_recorder_ != nullptr) {
+    const uint32_t tid = static_cast<uint32_t>(threads_.size() - 1);
+    trace_recorder_->DeclareThread(tid, sibling.node());
+    threads_.back()->SetTraceRecorder(trace_recorder_, tid);
+  }
   return *threads_.back();
 }
 
@@ -60,6 +71,16 @@ void System::SetAttribution(AttributionCollector* collector) {
   attribution_ = collector;
   for (auto& t : threads_) {
     t->SetAttribution(collector);
+  }
+}
+
+void System::SetTraceRecorder(TraceRecorder* recorder) {
+  trace_recorder_ = recorder;
+  for (uint32_t tid = 0; tid < threads_.size(); ++tid) {
+    if (recorder != nullptr) {
+      recorder->DeclareThread(tid, threads_[tid]->node());
+    }
+    threads_[tid]->SetTraceRecorder(recorder, tid);
   }
 }
 

@@ -79,6 +79,12 @@ class System {
   // every existing thread and every thread created afterwards (--breakdown).
   void SetAttribution(AttributionCollector* collector);
 
+  // Installs (or clears, with nullptr) the trace recorder on every existing
+  // thread and every thread created afterwards. Trace thread ids follow
+  // creation order, and each thread is declared to the recorder's thread
+  // table together with its NUMA node so replay recreates the same topology.
+  void SetTraceRecorder(TraceRecorder* recorder);
+
   // Instantaneous occupancy across the machine's Optane DIMMs and WPQs — the
   // gauge source for interval sampling (Sampler::SetGaugeSource).
   SampleGauges ReadGauges(Cycles now);
@@ -97,6 +103,7 @@ class System {
   uint64_t thread_seed_ = 0xA11CE;
   PersistObserver* persist_observer_ = nullptr;
   AttributionCollector* attribution_ = nullptr;
+  TraceRecorder* trace_recorder_ = nullptr;
 };
 
 }  // namespace pmemsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/trace/recorder.h"
 
 namespace pmemsim {
 
@@ -123,13 +124,43 @@ void ThreadContext::LoadMulti(const Addr* addrs, size_t count) {
     latest = std::max(latest, clock_);
   }
   clock_ = latest;
+  if (recorder_ != nullptr) {
+    recorder_->RecordMulti(trace_tid_, addrs, count, clock_);
+  }
 }
 
-uint64_t ThreadContext::Load64(Addr addr) { return LoadInternal(addr, /*train=*/true); }
+uint64_t ThreadContext::Load64(Addr addr) {
+  const uint64_t v = LoadInternal(addr, /*train=*/true);
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kLoad64, addr, 0, clock_);
+  }
+  return v;
+}
 
-uint64_t ThreadContext::Load64NoPrefetch(Addr addr) { return LoadInternal(addr, /*train=*/false); }
+uint64_t ThreadContext::Load64NoPrefetch(Addr addr) {
+  const uint64_t v = LoadInternal(addr, /*train=*/false);
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kLoadNoPrefetch, addr, 0, clock_);
+  }
+  return v;
+}
 
-void ThreadContext::LoadLine(Addr addr) { (void)LoadInternal(addr, /*train=*/true); }
+void ThreadContext::LoadLine(Addr addr) {
+  (void)LoadInternal(addr, /*train=*/true);
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kLoadLine, addr, 0, clock_);
+  }
+}
+
+void ThreadContext::RecordCompute(Cycles c) {
+  recorder_->Record(trace_tid_, TraceOp::kCompute, 0, c, clock_);
+}
+
+void ThreadContext::TraceMarker(uint32_t id) {
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kMarker, 0, id, clock_);
+  }
+}
 
 void ThreadContext::StoreTimed(Addr addr) {
   const Cycles t0 = clock_;
@@ -172,9 +203,17 @@ void ThreadContext::Store64(Addr addr, uint64_t value) {
   if (observer_ != nullptr) {
     observer_->OnStore(addr, sizeof(value), clock_);
   }
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kStore64, addr, 0, clock_);
+  }
 }
 
-void ThreadContext::StoreLine(Addr addr) { StoreTimed(addr); }
+void ThreadContext::StoreLine(Addr addr) {
+  StoreTimed(addr);
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kStoreLine, addr, 0, clock_);
+  }
+}
 
 void ThreadContext::Read(Addr addr, void* out, size_t len) {
   // Touch each covered cacheline once for timing, then copy the bytes.
@@ -182,6 +221,9 @@ void ThreadContext::Read(Addr addr, void* out, size_t len) {
     (void)LoadInternal(line, /*train=*/true);
   }
   backing_->Read(addr, out, len);
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kRead, addr, len, clock_);
+  }
 }
 
 void ThreadContext::Write(Addr addr, const void* data, size_t len) {
@@ -191,6 +233,9 @@ void ThreadContext::Write(Addr addr, const void* data, size_t len) {
   backing_->Write(addr, data, len);
   if (observer_ != nullptr) {
     observer_->OnStore(addr, len, clock_);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kWrite, addr, len, clock_);
   }
 }
 
@@ -231,6 +276,9 @@ void ThreadContext::Clwb(Addr addr) {
     if (attribution_ != nullptr) {
       attribution_->RecordAccess(AttributionCollector::kFlush, 1, {});
     }
+    if (recorder_ != nullptr) {
+      recorder_->Record(trace_tid_, TraceOp::kClwb, addr, 0, clock_);
+    }
     return;
   }
   const Cycles t0 = clock_;
@@ -247,6 +295,9 @@ void ThreadContext::Clwb(Addr addr) {
     RecordPersistOp(AttributionCollector::kFlush, t0, clock_ - pre_track,
                     r.wrote ? r.accepted_at : 0);
   }
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kClwb, addr, 0, clock_);
+  }
 }
 
 void ThreadContext::Clflushopt(Addr addr) {
@@ -257,6 +308,9 @@ void ThreadContext::Clflushopt(Addr addr) {
     clock_ += 1;
     if (attribution_ != nullptr) {
       attribution_->RecordAccess(AttributionCollector::kFlush, 1, {});
+    }
+    if (recorder_ != nullptr) {
+      recorder_->Record(trace_tid_, TraceOp::kClflushopt, addr, 0, clock_);
     }
     return;
   }
@@ -271,6 +325,9 @@ void ThreadContext::Clflushopt(Addr addr) {
   if (attribution_ != nullptr) {
     RecordPersistOp(AttributionCollector::kFlush, t0, clock_ - pre_track,
                     r.wrote ? r.accepted_at : 0);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kClflushopt, addr, 0, clock_);
   }
 }
 
@@ -290,6 +347,9 @@ void ThreadContext::NtStoreLine(Addr addr, const void* data64) {
   if (attribution_ != nullptr) {
     RecordPersistOp(AttributionCollector::kNtStore, t0, clock_ - pre_track, w.accepted_at);
   }
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kNtStoreLine, addr, 0, clock_);
+  }
 }
 
 void ThreadContext::NtStore64(Addr addr, uint64_t value) {
@@ -305,6 +365,9 @@ void ThreadContext::NtStore64(Addr addr, uint64_t value) {
   if (attribution_ != nullptr) {
     RecordPersistOp(AttributionCollector::kNtStore, t0, clock_ - pre_track, w.accepted_at);
   }
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kNtStore64, addr, 0, clock_);
+  }
 }
 
 void ThreadContext::NtWrite(Addr addr, const void* data, size_t len) {
@@ -319,6 +382,9 @@ void ThreadContext::NtWrite(Addr addr, const void* data, size_t len) {
     if (attribution_ != nullptr) {
       RecordPersistOp(AttributionCollector::kNtStore, t0, clock_ - pre_track, w.accepted_at);
     }
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kNtWrite, addr, len, clock_);
   }
 }
 
@@ -349,6 +415,9 @@ void ThreadContext::FenceCommon(bool is_mfence) {
   if (observer_ != nullptr) {
     observer_->OnFence(clock_);
   }
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, is_mfence ? TraceOp::kMfence : TraceOp::kSfence, 0, 0, clock_);
+  }
 }
 
 void ThreadContext::Sfence() { FenceCommon(/*is_mfence=*/false); }
@@ -368,6 +437,9 @@ void ThreadContext::StreamCopyXPLine(Addr pm_xpline, Addr dram_buffer) {
   }
   backing_->Read(base, buf, kXPLineSize);
   backing_->Write(dram_buffer, buf, kXPLineSize);
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kStreamCopy, pm_xpline, dram_buffer, clock_);
+  }
 }
 
 void ThreadContext::ResetMicroarchState() {

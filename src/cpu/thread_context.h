@@ -24,6 +24,8 @@
 
 namespace pmemsim {
 
+class TraceRecorder;
+
 class ThreadContext {
  public:
   ThreadContext(const PlatformConfig& config, BackingStore* backing, MemoryController* mc,
@@ -38,7 +40,12 @@ class ThreadContext {
   // --- clock ---
   Cycles clock() const { return clock_; }
   void AdvanceTo(Cycles t);
-  void AddCompute(Cycles c) { clock_ += ScaleCore(c); }
+  void AddCompute(Cycles c) {
+    clock_ += ScaleCore(c);
+    if (recorder_ != nullptr) {
+      RecordCompute(c);
+    }
+  }
 
   // --- demand accesses (timed + data) ---
   uint64_t Load64(Addr addr);
@@ -114,6 +121,20 @@ class ThreadContext {
   // the only hot-path cost is one pointer test per operation.
   void SetAttribution(AttributionCollector* collector) { attribution_ = collector; }
 
+  // Installs (or clears, with nullptr) the trace recorder; `tid` is this
+  // thread's id in the trace's thread table (System::SetTraceRecorder assigns
+  // creation order). Every public timed operation then appends one record;
+  // with no recorder the only hot-path cost is one pointer test per op.
+  void SetTraceRecorder(TraceRecorder* recorder, uint32_t tid) {
+    recorder_ = recorder;
+    trace_tid_ = tid;
+  }
+
+  // Emits a phase-boundary marker into the trace (no clock or counter effect;
+  // a no-op without a recorder). The replayer fires its on_marker callback at
+  // the same stream position, so phase-delimited metrics reproduce exactly.
+  void TraceMarker(uint32_t id);
+
   // Test helper: drop private cache state and pending persist tracking.
   void ResetMicroarchState();
 
@@ -134,6 +155,8 @@ class ThreadContext {
   // Attribution recording (called only with attribution_ != nullptr).
   void RecordMemAccess(AttributionCollector::Op op, Cycles end_to_end, const HierAccessResult& r);
   void RecordPersistOp(AttributionCollector::Op op, Cycles t0, Cycles wpq_wait, Cycles accepted_at);
+  // Trace recording for AddCompute (called only with recorder_ != nullptr).
+  void RecordCompute(Cycles c);
 
   CpuConfig cpu_;
   bool eadr_ = false;  // caches are persistent: flushes are unnecessary
@@ -149,6 +172,8 @@ class ThreadContext {
 
   PersistObserver* observer_ = nullptr;
   AttributionCollector* attribution_ = nullptr;
+  TraceRecorder* recorder_ = nullptr;
+  uint32_t trace_tid_ = 0;
   std::deque<Outstanding> outstanding_;
   bool loads_ordered_ = false;  // true after mfence, false after sfence
   // Lines flushed by the most recent clwb/clflushopt ops whose cache-side

@@ -1,0 +1,535 @@
+// pmemsim_trace: record, replay, and inspect .pmtrace operation traces.
+//
+//   pmemsim_trace record --scenario=<name> --out=<file.pmtrace> [...]
+//   pmemsim_trace replay --in=<file.pmtrace> [--stats_json=<path>] [--jobs=N]
+//   pmemsim_trace info   --in=<file.pmtrace>
+//
+// Scenarios (one sweep point = one trace segment = one System run):
+//   fig04              random partial nt-stores vs WSS (the Figure 4 loop)
+//   log_store          persistent log append with rotating commit counters
+//   circular_writes    Raft-style circular log rewrites
+//   cacheline_versions per-cacheline version stamping
+//
+// The determinism contract: `replay` of a recorded file reproduces the
+// recording run's --stats_json byte-for-byte, at any --jobs level on either
+// side. Both paths build their stats rows through the same EmitRow code from
+// the same inputs (segment metadata + counter snapshots at markers + final
+// counters + end clock), and the replayer verifies every op's clock against
+// the recorded stream, so a divergence fails loudly rather than producing
+// subtly different rows.
+//
+// Exit codes: 0 success, 1 replay divergence or point failure, 2 usage error
+// or unreadable/invalid/mismatched trace file.
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
+#include "src/common/random.h"
+#include "src/core/platform.h"
+#include "src/cpu/scheduler.h"
+#include "src/trace/recorder.h"
+#include "src/trace/replayer.h"
+#include "src/workload/log_patterns.h"
+
+namespace {
+
+using namespace pmemsim;
+
+using Meta = std::vector<std::pair<std::string, std::string>>;
+
+uint64_t MetaU64(const TraceSegment& seg, const std::string& key) {
+  const std::string* v = seg.FindMeta(key);
+  if (v == nullptr) {
+    throw std::runtime_error("segment '" + seg.label + "' missing metadata key '" + key + "'");
+  }
+  return std::strtoull(v->c_str(), nullptr, 10);
+}
+
+std::string MetaStr(const TraceSegment& seg, const std::string& key) {
+  const std::string* v = seg.FindMeta(key);
+  return v == nullptr ? std::string() : *v;
+}
+
+// Counter snapshots gathered identically by the record and replay paths.
+struct Snapshots {
+  std::vector<Counters> at_marker;
+  Counters final_counters;
+  Cycles end_clock = 0;
+  uint64_t records = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Scenario execution (record side). Each scenario reads its parameters from
+// the segment metadata — the single source of truth shared with replay.
+// ---------------------------------------------------------------------------
+
+using MarkFn = std::function<void(ThreadContext&, uint32_t)>;
+
+// The Figure 4 measurement loop: random partial nt-stores over a working set,
+// warm-up then a marker then the measured phase (bench/fig04_write_buffer_hit
+// keeps the same constants; the marker makes the phase split replayable).
+Cycles RunFig04(System& system, const TraceSegment& seg, const MarkFn& mark) {
+  const uint64_t wss_bytes = KiB(MetaU64(seg, "wss_kb"));
+  ThreadContext& ctx = system.CreateThread();
+  SetPrefetchers(ctx, false, false, false);
+
+  const PmRegion region = system.AllocatePm(wss_bytes, kXPLineSize);
+  const uint64_t xplines = wss_bytes / kXPLineSize;
+  Rng rng(0xBEEF + wss_bytes);
+  auto run_writes = [&](uint64_t writes) {
+    for (uint64_t i = 0; i < writes; ++i) {
+      const uint64_t xp = rng.NextBelow(xplines);
+      const uint64_t cl = rng.NextBelow(kLinesPerXPLine);
+      ctx.NtStore64(region.base + xp * kXPLineSize + cl * kCacheLineSize, i);
+    }
+    ctx.Sfence();
+  };
+
+  run_writes(4 * xplines + 512);
+  mark(ctx, 0);
+  run_writes(16 * xplines + 2048);
+  return ctx.clock();
+}
+
+LogPatternOptions OptionsFromMeta(const TraceSegment& seg) {
+  LogPatternOptions opts;
+  opts.ops = MetaU64(seg, "ops");
+  opts.seed = MetaU64(seg, "seed");
+  const std::string scenario = MetaStr(seg, "scenario");
+  if (scenario == "log_store") {
+    opts.value_bytes = MetaU64(seg, "value_bytes");
+    opts.counter_slots = MetaU64(seg, "counter_slots");
+  } else if (scenario == "circular_writes") {
+    opts.write_bytes = MetaU64(seg, "write_bytes");
+    opts.num_buffers = MetaU64(seg, "num_buffers");
+  } else if (scenario == "cacheline_versions") {
+    opts.buffer_bytes = KiB(MetaU64(seg, "buffer_kb"));
+  }
+  return opts;
+}
+
+// Multi-threaded workload run: one private workload instance per thread
+// (disjoint regions from the bump allocator), interleaved one operation at a
+// time by the clock-ordered Scheduler.
+Cycles RunLogPattern(System& system, const TraceSegment& seg, const MarkFn& mark) {
+  const std::string scenario = MetaStr(seg, "scenario");
+  const uint64_t threads = MetaU64(seg, "threads");
+  const LogPatternOptions opts = OptionsFromMeta(seg);
+
+  std::vector<std::unique_ptr<LogPatternWorkload>> workloads;
+  std::vector<ThreadContext*> ctxs;
+  for (uint64_t t = 0; t < threads; ++t) {
+    auto w = LogPatternWorkload::Create(scenario, opts);
+    if (w == nullptr) {
+      throw std::runtime_error("unknown workload scenario '" + scenario + "'");
+    }
+    w->Setup(system);
+    workloads.push_back(std::move(w));
+    ctxs.push_back(&system.CreateThread());
+  }
+
+  mark(*ctxs[0], 0);
+  if (threads == 1) {
+    workloads[0]->Run(*ctxs[0]);
+  } else {
+    std::vector<SimJob> jobs;
+    for (uint64_t t = 0; t < threads; ++t) {
+      LogPatternWorkload* w = workloads[t].get();
+      ThreadContext* ctx = ctxs[t];
+      uint64_t i = 0;
+      jobs.push_back({ctx, [w, ctx, i]() mutable {
+                        w->RunOne(*ctx, i);
+                        return ++i < w->ops() ? StepResult::kProgress : StepResult::kDone;
+                      }});
+    }
+    Scheduler::Run(jobs);
+  }
+
+  Cycles end = 0;
+  for (const ThreadContext* ctx : ctxs) {
+    end = std::max(end, ctx->clock());
+  }
+  return end;
+}
+
+Cycles RunScenarioPoint(System& system, const TraceSegment& seg, const MarkFn& mark) {
+  const std::string scenario = MetaStr(seg, "scenario");
+  if (scenario == "fig04") {
+    return RunFig04(system, seg, mark);
+  }
+  return RunLogPattern(system, seg, mark);
+}
+
+// ---------------------------------------------------------------------------
+// Stats emission — shared verbatim by record and replay.
+// ---------------------------------------------------------------------------
+
+const char* CsvHeader(const std::string& scenario) {
+  if (scenario == "fig04") {
+    return "scenario,wss_kb,hit_ratio,records,end_clock\n";
+  }
+  if (scenario == "log_store") {
+    return "scenario,counter_slots,threads,ops,write_amplification,buffer_hit_ratio,records,"
+           "end_clock\n";
+  }
+  if (scenario == "circular_writes") {
+    return "scenario,write_bytes,num_buffers,write_amplification,buffer_hit_ratio,records,"
+           "end_clock\n";
+  }
+  return "scenario,buffer_kb,write_amplification,buffer_hit_ratio,records,end_clock\n";
+}
+
+void EmitRow(pmemsim_bench::SweepPoint& point, const TraceSegment& seg, const Snapshots& snaps) {
+  const std::string scenario = MetaStr(seg, "scenario");
+  if (scenario == "fig04") {
+    if (snaps.at_marker.empty()) {
+      throw std::runtime_error("fig04 segment carries no phase marker");
+    }
+    const uint64_t wss_kb = MetaU64(seg, "wss_kb");
+    const double ratio = (snaps.final_counters - snaps.at_marker[0]).WriteBufferHitRatio();
+    point.Printf("fig04,%" PRIu64 ",%.3f,%" PRIu64 ",%" PRIu64 "\n", wss_kb, ratio, snaps.records,
+                 static_cast<uint64_t>(snaps.end_clock));
+    point.AddRow()
+        .Set("scenario", "fig04")
+        .Set("wss_kb", wss_kb)
+        .Set("hit_ratio", ratio)
+        .Set("records", snaps.records)
+        .Set("end_clock", static_cast<uint64_t>(snaps.end_clock));
+    return;
+  }
+  const double wa = snaps.final_counters.WriteAmplification();
+  const double hit = snaps.final_counters.WriteBufferHitRatio();
+  if (scenario == "log_store") {
+    const uint64_t slots = MetaU64(seg, "counter_slots");
+    const uint64_t threads = MetaU64(seg, "threads");
+    const uint64_t ops = MetaU64(seg, "ops");
+    point.Printf("log_store,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%.3f,%.3f,%" PRIu64 ",%" PRIu64
+                 "\n",
+                 slots, threads, ops, wa, hit, snaps.records,
+                 static_cast<uint64_t>(snaps.end_clock));
+    point.AddRow()
+        .Set("scenario", "log_store")
+        .Set("counter_slots", slots)
+        .Set("threads", threads)
+        .Set("ops", ops)
+        .Set("write_amplification", wa)
+        .Set("buffer_hit_ratio", hit)
+        .Set("records", snaps.records)
+        .Set("end_clock", static_cast<uint64_t>(snaps.end_clock));
+  } else if (scenario == "circular_writes") {
+    const uint64_t write_bytes = MetaU64(seg, "write_bytes");
+    const uint64_t num_buffers = MetaU64(seg, "num_buffers");
+    point.Printf("circular_writes,%" PRIu64 ",%" PRIu64 ",%.3f,%.3f,%" PRIu64 ",%" PRIu64 "\n",
+                 write_bytes, num_buffers, wa, hit, snaps.records,
+                 static_cast<uint64_t>(snaps.end_clock));
+    point.AddRow()
+        .Set("scenario", "circular_writes")
+        .Set("write_bytes", write_bytes)
+        .Set("num_buffers", num_buffers)
+        .Set("write_amplification", wa)
+        .Set("buffer_hit_ratio", hit)
+        .Set("records", snaps.records)
+        .Set("end_clock", static_cast<uint64_t>(snaps.end_clock));
+  } else if (scenario == "cacheline_versions") {
+    const uint64_t buffer_kb = MetaU64(seg, "buffer_kb");
+    point.Printf("cacheline_versions,%" PRIu64 ",%.3f,%.3f,%" PRIu64 ",%" PRIu64 "\n", buffer_kb,
+                 wa, hit, snaps.records, static_cast<uint64_t>(snaps.end_clock));
+    point.AddRow()
+        .Set("scenario", "cacheline_versions")
+        .Set("buffer_kb", buffer_kb)
+        .Set("write_amplification", wa)
+        .Set("buffer_hit_ratio", hit)
+        .Set("records", snaps.records)
+        .Set("end_clock", static_cast<uint64_t>(snaps.end_clock));
+  } else {
+    throw std::runtime_error("unknown scenario '" + scenario + "' in segment metadata");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Point-spec construction (record side).
+// ---------------------------------------------------------------------------
+
+struct PointSpec {
+  std::string label;
+  Meta meta;
+};
+
+std::vector<PointSpec> BuildPoints(const std::string& scenario, const pmemsim_bench::Flags& flags) {
+  std::vector<PointSpec> points;
+  const uint64_t seed = flags.GetU64("seed", 1);
+  auto u64s = [](uint64_t v) { return std::to_string(v); };
+  if (scenario == "fig04") {
+    const uint64_t max_kb = flags.GetU64("max_kb", 8);
+    for (uint64_t kb = 2; kb <= max_kb; ++kb) {
+      points.push_back({"fig04/" + u64s(kb) + "kb",
+                        {{"scenario", "fig04"}, {"wss_kb", u64s(kb)}, {"prefetchers", "off"}}});
+    }
+  } else if (scenario == "log_store") {
+    const uint64_t ops = flags.GetU64("ops", 400);
+    const uint64_t threads = flags.GetU64("threads", 2);
+    const uint64_t value_bytes = flags.GetU64("value_bytes", 128);
+    for (const uint64_t slots : {uint64_t{1}, uint64_t{2}, uint64_t{8}}) {
+      points.push_back({"log_store/slots" + u64s(slots),
+                        {{"scenario", "log_store"},
+                         {"counter_slots", u64s(slots)},
+                         {"threads", u64s(threads)},
+                         {"ops", u64s(ops)},
+                         {"value_bytes", u64s(value_bytes)},
+                         {"seed", u64s(seed)}}});
+    }
+  } else if (scenario == "circular_writes") {
+    const uint64_t ops = flags.GetU64("ops", 300);
+    const uint64_t num_buffers = flags.GetU64("buffers", 16);
+    for (const uint64_t wb : {uint64_t{64}, uint64_t{256}, uint64_t{1024}}) {
+      points.push_back({"circular_writes/" + u64s(wb) + "b",
+                        {{"scenario", "circular_writes"},
+                         {"write_bytes", u64s(wb)},
+                         {"num_buffers", u64s(num_buffers)},
+                         {"threads", "1"},
+                         {"ops", u64s(ops)},
+                         {"seed", u64s(seed)}}});
+    }
+  } else if (scenario == "cacheline_versions") {
+    const uint64_t ops = flags.GetU64("ops", 40);
+    for (const uint64_t kb : {uint64_t{4}, uint64_t{16}}) {
+      points.push_back({"cacheline_versions/" + u64s(kb) + "kb",
+                        {{"scenario", "cacheline_versions"},
+                         {"buffer_kb", u64s(kb)},
+                         {"threads", "1"},
+                         {"ops", u64s(ops)},
+                         {"seed", u64s(seed)}}});
+    }
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------------
+
+void PrintUsage() {
+  std::printf(
+      "usage: pmemsim_trace <record|replay|info> [flags]\n"
+      "  record --scenario=fig04|log_store|circular_writes|cacheline_versions\n"
+      "         --out=<file.pmtrace> [--platform=g1|g2|g2-eadr] [--dimms=1]\n"
+      "         [--max_kb=8] [--ops=N] [--threads=N] [--value_bytes=128]\n"
+      "         [--buffers=16] [--seed=1] [--jobs=N]\n"
+      "  replay --in=<file.pmtrace> [--jobs=N]\n"
+      "  info   --in=<file.pmtrace>\n%s",
+      pmemsim_bench::kTelemetryFlagsHelp);
+}
+
+int RunRecord(pmemsim_bench::Flags& flags) {
+  const std::string scenario = flags.Get("scenario", "");
+  const std::string out_path = flags.Get("out", "");
+  const std::string platform_name = flags.Get("platform", "g1");
+  const uint32_t dimms = static_cast<uint32_t>(flags.GetU64("dimms", 1));
+  const auto config = PlatformByName(platform_name);
+  if (config == std::nullopt) {
+    pmemsim_bench::Flags::BadValue("platform", platform_name, "g1, g2, or g2-eadr");
+  }
+  const std::vector<PointSpec> points = BuildPoints(scenario, flags);
+  if (points.empty()) {
+    pmemsim_bench::Flags::BadValue("scenario", scenario,
+                                   "fig04, log_store, circular_writes, or cacheline_versions");
+  }
+  if (out_path.empty()) {
+    std::fprintf(stderr, "error: record requires --out=<file.pmtrace>\n");
+    return 2;
+  }
+
+  pmemsim_bench::BenchReport report(flags, "pmemsim_trace");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
+
+  TraceFile file;
+  file.header.fingerprint = PlatformFingerprint(*config, dimms);
+  file.header.platform_name = platform_name;
+  file.header.generation = config->generation;
+  file.header.eadr = config->eadr_enabled;
+  file.header.dimm_count = dimms;
+  file.header.scenario = scenario;
+  file.segments.resize(points.size());
+
+  // Header text is subcommand-neutral so record and replay stdout (and the
+  // stats reports) are comparable byte-for-byte.
+  std::printf("# pmemsim_trace — scenario %s on %s\n", scenario.c_str(), platform_name.c_str());
+  std::printf("%s", CsvHeader(scenario));
+  for (size_t i = 0; i < points.size(); ++i) {
+    // Each point owns segment slot `i`: the trace file layout is submission
+    // order, byte-identical at any --jobs, exactly like the stats rows.
+    runner.Add(points[i].label, [&, i](pmemsim_bench::SweepPoint& point) {
+      TraceSegment spec;  // carries label+meta into the shared scenario code
+      spec.label = points[i].label;
+      spec.meta = points[i].meta;
+
+      System system(*config, dimms);
+      TraceRecorder recorder;
+      system.SetTraceRecorder(&recorder);
+
+      Snapshots snaps;
+      const Cycles end = RunScenarioPoint(system, spec, [&](ThreadContext& ctx, uint32_t id) {
+        ctx.TraceMarker(id);
+        snaps.at_marker.push_back(system.counters());
+      });
+      snaps.final_counters = system.counters();
+      snaps.end_clock = end;
+      snaps.records = recorder.record_count();
+
+      file.segments[i] = recorder.Take(points[i].label, points[i].meta);
+      EmitRow(point, spec, snaps);
+    });
+  }
+  const int failed = runner.Run(report);
+  if (failed != 0) {
+    std::fprintf(stderr, "error: %d point(s) failed; trace not written\n", failed);
+    report.Finish();
+    return 1;
+  }
+
+  std::string error;
+  if (!file.WriteTo(out_path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s: %zu segment(s), %" PRIu64 " records\n", out_path.c_str(),
+               file.segments.size(), file.TotalRecords());
+  return report.Finish();
+}
+
+// Loads --in and validates its header against the current build's platform
+// presets. Exits 2 directly on any file-level problem.
+TraceFile LoadOrDie(pmemsim_bench::Flags& flags, PlatformConfig* config_out) {
+  const std::string in_path = flags.Get("in", "");
+  if (in_path.empty()) {
+    std::fprintf(stderr, "error: --in=<file.pmtrace> is required\n");
+    std::exit(2);
+  }
+  TraceFile file;
+  std::string error;
+  if (!TraceFile::Load(in_path, &file, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", in_path.c_str(), error.c_str());
+    std::exit(2);
+  }
+  const auto config = PlatformByName(file.header.platform_name);
+  if (config == std::nullopt) {
+    std::fprintf(stderr, "error: %s: unknown platform '%s' in header\n", in_path.c_str(),
+                 file.header.platform_name.c_str());
+    std::exit(2);
+  }
+  const uint64_t fp = PlatformFingerprint(*config, file.header.dimm_count);
+  if (fp != file.header.fingerprint) {
+    std::fprintf(stderr,
+                 "error: %s: platform fingerprint mismatch (file %016" PRIx64 ", this build "
+                 "%016" PRIx64 ") — the timing model changed since recording\n",
+                 in_path.c_str(), file.header.fingerprint, fp);
+    std::exit(2);
+  }
+  if (config_out != nullptr) {
+    *config_out = *config;
+  }
+  return file;
+}
+
+int RunReplay(pmemsim_bench::Flags& flags) {
+  PlatformConfig config;
+  const TraceFile file = LoadOrDie(flags, &config);
+
+  pmemsim_bench::BenchReport report(flags, "pmemsim_trace");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
+
+  std::printf("# pmemsim_trace — scenario %s on %s\n", file.header.scenario.c_str(),
+              file.header.platform_name.c_str());
+  std::printf("%s", CsvHeader(file.header.scenario));
+  for (const TraceSegment& seg : file.segments) {
+    runner.Add(seg.label, [&](pmemsim_bench::SweepPoint& point) {
+      System system(config, file.header.dimm_count);
+      Snapshots snaps;
+      ReplayOptions opts;
+      opts.on_marker = [&](uint32_t, uint32_t) { snaps.at_marker.push_back(system.counters()); };
+      if (MetaStr(seg, "prefetchers") == "off") {
+        opts.on_thread_created = [](ThreadContext& ctx, uint32_t) {
+          SetPrefetchers(ctx, false, false, false);
+        };
+      }
+      const ReplayResult res = ReplaySegment(seg, system, opts);
+      if (!res.ok) {
+        throw std::runtime_error(res.error);
+      }
+      snaps.final_counters = system.counters();
+      snaps.end_clock = res.end_clock;
+      snaps.records = res.records_applied;
+      EmitRow(point, seg, snaps);
+    });
+  }
+  return runner.Finish(report);
+}
+
+int RunInfo(pmemsim_bench::Flags& flags) {
+  const TraceFile file = LoadOrDie(flags, nullptr);
+  flags.RejectUnknown();
+
+  const TraceFileHeader& h = file.header;
+  std::printf("format_version: %u\n", h.version);
+  std::printf("platform: %s (gen %s%s), %u dimm(s)\n", h.platform_name.c_str(),
+              h.generation == Generation::kG1 ? "G1" : "G2", h.eadr ? ", eADR" : "",
+              h.dimm_count);
+  std::printf("fingerprint: %016" PRIx64 "\n", h.fingerprint);
+  std::printf("scenario: %s\n", h.scenario.c_str());
+  std::printf("segments: %zu, total records: %" PRIu64 "\n", file.segments.size(),
+              file.TotalRecords());
+  for (const TraceSegment& seg : file.segments) {
+    uint64_t op_histo[static_cast<size_t>(TraceOp::kOpCount)] = {};
+    for (const TraceRecord& rec : seg.records) {
+      ++op_histo[static_cast<size_t>(rec.op)];
+    }
+    std::printf("  segment '%s': %zu thread(s), %zu records\n", seg.label.c_str(),
+                seg.thread_nodes.size(), seg.records.size());
+    for (const auto& [key, value] : seg.meta) {
+      std::printf("    meta %s=%s\n", key.c_str(), value.c_str());
+    }
+    for (size_t op = 0; op < static_cast<size_t>(TraceOp::kOpCount); ++op) {
+      if (op_histo[op] != 0) {
+        std::printf("    op %-16s %" PRIu64 "\n", TraceOpName(static_cast<TraceOp>(op)),
+                    op_histo[op]);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string(argv[1]) == "--help") {
+    PrintUsage();
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string cmd = argv[1];
+  pmemsim_bench::Flags flags(argc - 1, argv + 1);
+  if (flags.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+  if (cmd == "record") {
+    return RunRecord(flags);
+  }
+  if (cmd == "replay") {
+    return RunReplay(flags);
+  }
+  if (cmd == "info") {
+    return RunInfo(flags);
+  }
+  std::fprintf(stderr, "error: unknown subcommand '%s' (record|replay|info)\n", cmd.c_str());
+  PrintUsage();
+  return 2;
+}
