@@ -13,6 +13,7 @@
 // shares (RAP + WPQ), and the media/AIT traffic the ops generated — enough to
 // see *where* simulated time and wall time go when the trajectory moves.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -180,16 +181,20 @@ int main(int argc, char** argv) {
   pmemsim_bench::Flags flags(argc, argv);
   if (flags.Has("help")) {
     std::printf(
-        "usage: perf_hotpath [--quick] [--ops_scale=<pct>] [--workload=<name>]\n"
+        "usage: perf_hotpath [--quick] [--ops_scale=<pct>] [--workload=<name>] [--reps=<n>]\n"
         "  --quick          1/16 of the default op counts (the CI perf-smoke mode)\n"
         "  --ops_scale=N    scale default op counts to N%% (overrides --quick)\n"
         "  --workload=name  run only one of: seq_load rand_load chase ntstore cceh_mixed\n"
+        "  --reps=N         repetitions per workload (default 5), interleaved\n"
+        "                   round-robin so ambient host load drifts across all\n"
+        "                   workloads equally; reported throughput is the median\n"
         "  --stats_json defaults to BENCH_hotpath.json (pass --stats_json= to disable)\n%s",
         pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
   }
   const bool quick = flags.Has("quick");
   const uint64_t ops_scale = flags.GetU64("ops_scale", quick ? 100 / 16 : 100);
+  const uint64_t reps = std::max<uint64_t>(1, flags.GetU64("reps", 5));
   const std::string only = flags.Get("workload", "");
   pmemsim_bench::BenchReport report(flags, "perf_hotpath", "BENCH_hotpath.json");
   flags.RejectUnknown();
@@ -217,27 +222,61 @@ int main(int argc, char** argv) {
   pmemsim_bench::PrintHeader("perf_hotpath", "simulated-ops-per-wall-second engine throughput");
   std::printf("workload,ops,wall_ms,sim_mops_per_sec,cycles_per_op\n");
   int rc = 0;
-  for (const Spec& spec : specs) {
-    if (!only.empty() && only != spec.name) {
+
+  // Interleaved repetitions: run rep 0 of every workload, then rep 1, and so
+  // on, so a host-load drift over the run biases every workload's sample set
+  // the same way instead of landing wholly on the last workloads. Reported
+  // wall time (and thus throughput) is the per-workload median; everything
+  // simulated must be bit-identical across reps and is checked below.
+  std::vector<std::vector<WorkloadResult>> samples(specs.size());
+  for (uint64_t rep = 0; rep < reps; ++rep) {
+    for (size_t si = 0; si < specs.size(); ++si) {
+      if (!only.empty() && only != specs[si].name) {
+        continue;
+      }
+      const uint64_t ops = std::max<uint64_t>(1, specs[si].default_ops * ops_scale / 100);
+      samples[si].push_back(specs[si].fn(ops));
+    }
+  }
+
+  for (size_t si = 0; si < specs.size(); ++si) {
+    const Spec& spec = specs[si];
+    if (samples[si].empty()) {
       continue;
     }
-    const uint64_t ops = std::max<uint64_t>(1, spec.default_ops * ops_scale / 100);
-    const WorkloadResult r = spec.fn(ops);
-    if (r.wall_sec <= 0.0 || r.ops == 0) {
+    const WorkloadResult& r = samples[si].front();
+    bool bad = r.ops == 0;
+    std::vector<double> walls;
+    for (const WorkloadResult& s : samples[si]) {
+      bad |= s.wall_sec <= 0.0;
+      if (s.sim_cycles != r.sim_cycles) {
+        std::fprintf(stderr, "error: workload %s is nondeterministic across reps (%llu vs %llu)\n",
+                     spec.name, static_cast<unsigned long long>(s.sim_cycles),
+                     static_cast<unsigned long long>(r.sim_cycles));
+        bad = true;
+      }
+      walls.push_back(s.wall_sec);
+    }
+    if (bad) {
       std::fprintf(stderr, "error: workload %s measured nothing\n", spec.name);
       rc = 1;
       continue;
     }
-    const double mops = static_cast<double>(r.ops) / r.wall_sec / 1e6;
+    std::sort(walls.begin(), walls.end());
+    const double wall_sec = walls.size() % 2 == 1
+                                ? walls[walls.size() / 2]
+                                : 0.5 * (walls[walls.size() / 2 - 1] + walls[walls.size() / 2]);
+    const double mops = static_cast<double>(r.ops) / wall_sec / 1e6;
     const double cycles_per_op =
         static_cast<double>(r.sim_cycles) / static_cast<double>(r.ops);
     std::printf("%s,%llu,%.1f,%.3f,%.1f\n", spec.name, static_cast<unsigned long long>(r.ops),
-                r.wall_sec * 1e3, mops, cycles_per_op);
+                wall_sec * 1e3, mops, cycles_per_op);
     const double sim_cycles = static_cast<double>(r.sim_cycles);
     report.AddRow()
         .Set("workload", spec.name)
         .Set("ops", r.ops)
-        .Set("wall_ms", r.wall_sec * 1e3)
+        .Set("reps", reps)
+        .Set("wall_ms", wall_sec * 1e3)
         .Set("sim_mops_per_sec", mops)
         .Set("sim_cycles", r.sim_cycles)
         .Set("cycles_per_op", cycles_per_op)

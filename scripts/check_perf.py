@@ -5,15 +5,21 @@ Compares a fresh perf_hotpath stats export against the checked-in
 BENCH_hotpath.json and fails when any workload's simulated-ops/sec falls
 below `1 / --max_regression` of its baseline (default: a 2x slowdown).
 
-The bar is deliberately loose: CI runners are noisy shared machines and the
+The gate also ratchets upward: a measurement *exceeding* the baseline by more
+than --max_improvement (default 4x) fails too. A real optimization that large
+should land with a refreshed BENCH_hotpath.json so the regression floor rises
+with it — otherwise the stale baseline quietly grants all future changes that
+much headroom before the floor can trip.
+
+The bars are deliberately loose: CI runners are noisy shared machines and the
 committed baseline comes from a different host, so this gate only catches
 catastrophic regressions (an accidental O(n) scan on a hot path, a debug
-build slipping into the perf job), not percent-level drift. Tighten
---max_regression locally for real A/B work.
+build slipping into the perf job) and wildly stale baselines, not
+percent-level drift. Tighten the margins locally for real A/B work.
 
 Usage:
     check_perf.py --baseline BENCH_hotpath.json --current /tmp/hotpath.json \
-        [--max_regression 2.0] [--report]
+        [--max_regression 2.0] [--max_improvement 4.0] [--report]
 """
 
 import argparse
@@ -58,6 +64,13 @@ def main():
         default=2.0,
         help="fail when baseline/current throughput exceeds this ratio (default 2.0)",
     )
+    parser.add_argument(
+        "--max_improvement",
+        type=float,
+        default=4.0,
+        help="fail when current/baseline throughput exceeds this ratio without a "
+        "baseline refresh (default 4.0); 0 disables the ratchet",
+    )
     parser.add_argument("--report", action="store_true", help="print every comparison")
     args = parser.parse_args()
 
@@ -83,6 +96,14 @@ def main():
                 f"(slowdown {ratio:.2f}x, limit {args.max_regression:.2f}x)"
             )
         if status == "FAIL":
+            failures.append(workload)
+            continue
+        if args.max_improvement > 0 and cur / base > args.max_improvement:
+            print(
+                f"FAIL {workload}: {cur:.3f} Mops/s is {cur / base:.2f}x the baseline "
+                f"{base:.3f} (ratchet limit {args.max_improvement:.2f}x) — "
+                "refresh BENCH_hotpath.json so the floor rises with the gain"
+            )
             failures.append(workload)
 
     # A workload present in the current run but absent from the baseline is

@@ -110,7 +110,9 @@ void ReadBuffer::LruPushFront(uint32_t i) {
   }
 }
 
-void ReadBuffer::Fill(Addr addr) {
+void ReadBuffer::Fill(Addr addr) { (void)FillSlot(addr); }
+
+uint32_t ReadBuffer::FillSlot(Addr addr) {
   const Addr xpline = XPLineBase(addr);
   if (const uint32_t* pos = map_.Find(xpline)) {
     // Refetch of an XPLine still occupying a slot: refresh in place.
@@ -119,7 +121,7 @@ void ReadBuffer::Fill(Addr addr) {
       LruUnlink(*pos);
       LruPushFront(*pos);
     }
-    return;
+    return *pos;
   }
   const size_t victim = PickVictim();
   Slot& slot = slots_[victim];
@@ -136,14 +138,13 @@ void ReadBuffer::Fill(Addr addr) {
     LruPushFront(static_cast<uint32_t>(victim));
   }
   map_[xpline] = static_cast<uint32_t>(victim);
+  return static_cast<uint32_t>(victim);
 }
 
 void ReadBuffer::FillForDelivery(Addr line_addr) {
-  Fill(line_addr);
-  const uint32_t* pos = map_.Find(XPLineBase(line_addr));
-  PMEMSIM_DCHECK(pos != nullptr);
+  const uint32_t filled = FillSlot(line_addr);
   if (exclusive_) {
-    Slot& slot = slots_[*pos];
+    Slot& slot = slots_[filled];
     const uint8_t bit = static_cast<uint8_t>(1u << LineIndexInXPLine(line_addr));
     PMEMSIM_DCHECK(slot.valid_mask & bit);
     slot.valid_mask = static_cast<uint8_t>(slot.valid_mask & ~bit);

@@ -67,11 +67,19 @@ class ReadBuffer {
 
   void Clear();
 
+  // Host-side hint: warm the index bucket a lookup of `addr` will probe.
+  // No simulated effect.
+  void PrefetchLookup(Addr addr) const { map_.Prefetch(XPLineBase(addr)); }
+
   size_t capacity_entries() const { return static_cast<size_t>(slots_.size()); }
   size_t occupied_entries() const { return map_.size(); }
 
  private:
   static constexpr uint32_t kNil = ~uint32_t{0};
+
+  // Fill() body; returns the slot the XPLine landed in so FillForDelivery can
+  // clear the delivered line's valid bit without a second index lookup.
+  uint32_t FillSlot(Addr addr);
 
   struct Slot {
     Addr xpline = 0;

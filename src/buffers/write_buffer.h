@@ -68,6 +68,41 @@ class WriteBuffer {
   // True if the XPLine occupies an entry (dirty or clean).
   bool ContainsXPLine(Addr addr) const;
 
+  // Everything the DIMM read path asks of the buffer, answered by a single
+  // index probe: HoldsLine, VisibleAt and ContainsXPLine for one cacheline.
+  // Semantically identical to calling the three methods back to back.
+  struct ReadSnoopResult {
+    bool holds_line = false;       // valid data for this cacheline
+    bool contains_xpline = false;  // the XPLine occupies an entry
+    Cycles visible_at = 0;         // apply time; meaningful only if holds_line
+  };
+  ReadSnoopResult ReadSnoop(Addr line_addr) const {
+    ReadSnoopResult s;
+    if (keys_.empty()) {
+      return s;  // read-mostly phases: skip the hash probe entirely
+    }
+    const uint32_t* pos = index_.Find(XPLineBase(line_addr));
+    if (pos == nullptr) {
+      return s;
+    }
+    s.contains_xpline = true;
+    const Entry& e = entries_[*pos];
+    const uint64_t idx = LineIndexInXPLine(line_addr);
+    if ((e.valid_mask >> idx) & 1u) {
+      s.holds_line = true;
+      s.visible_at = e.visible_at[idx];
+    }
+    return s;
+  }
+
+  // True when the periodic write-back clock is due: lets the owner skip the
+  // Tick call (and its scratch-vector handling) on the overwhelmingly common
+  // not-due reads. Tick itself re-checks, so the gate is purely an early-out.
+  bool TickDue(Cycles now) const {
+    return config_.periodic_full_writeback &&
+           now >= last_periodic_tick_ + config_.full_writeback_period;
+  }
+
   // Time at which the most recent write to this cacheline becomes readable;
   // 0 if the line is not resident (or already visible). Reads to the line
   // must stall until this time (read-after-persist, paper §3.5).
@@ -88,6 +123,10 @@ class WriteBuffer {
   void DrainAll(std::vector<WritebackRequest>& writebacks);
 
   void Clear();
+
+  // Host-side hint: warm the index bucket a lookup of `addr` will probe.
+  // No simulated effect.
+  void PrefetchLookup(Addr addr) const { index_.Prefetch(XPLineBase(addr)); }
 
   size_t occupied_entries() const { return keys_.size(); }
   size_t capacity_entries() const { return capacity_entries_; }

@@ -43,6 +43,18 @@ SetAssocCache::SetAssocCache(const CacheLevelConfig& config) : config_(config) {
   sets_ = static_cast<size_t>(config.size_bytes / (kCacheLineSize * config.ways));
   PMEMSIM_CHECK(sets_ > 0);
   set_mask_ = (sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0;
+  if (set_mask_ != 0) {
+    mod_mul_ = 0;
+  } else {
+    // ceil(2^64 / sets_): sets_ does not divide 2^64 here (not a power of
+    // two), so floor((2^64 - 1) / sets_) + 1 is the ceiling. The multiply-
+    // shift modulo in SetIndex is exact while the line number stays below
+    // 2^64/sets_ - sets_; line numbers are bounded by the DRAM address space
+    // top (~2^47 / 64 = 2^41), so cap the non-pow2 set count well under
+    // 2^64 / 2^41 = 2^23 to keep a wide safety margin.
+    PMEMSIM_CHECK(sets_ < (size_t{1} << 20));
+    mod_mul_ = ~uint64_t{0} / sets_ + 1;
+  }
   stride_ = (4 * config.ways + 7) & ~size_t{7};  // whole 64 B lines per set
   ways_mask_ = config.ways == 32 ? ~0u : (1u << config.ways) - 1u;
   block_words_ = sets_ * stride_;
@@ -53,138 +65,6 @@ SetAssocCache::SetAssocCache(const CacheLevelConfig& config) : config_(config) {
   valid_mask_.assign(sets_, 0);
   ready_mask_.assign(sets_, 0);
   pending_mask_.assign(sets_, 0);
-}
-
-size_t SetAssocCache::FindWay(Addr line_addr, Cycles now, size_t* set_out) {
-  const Addr line = CacheLineBase(line_addr);
-  const size_t set = SetIndex(line);
-  *set_out = set;
-  const size_t base = set * stride_;
-  const uint32_t pending = pending_mask_[set];
-  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
-    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
-    if (TagMatches(Tag(base + i), line)) {
-      if ((pending & (1u << i)) != 0 && now >= PendingAt(base + i)) {
-        ClearValid(set, base + i);  // the scheduled invalidation has taken effect
-        return kNone;
-      }
-      return base + i;
-    }
-  }
-  return kNone;
-}
-
-size_t SetAssocCache::FindWayConst(Addr line_addr, Cycles now) const {
-  const Addr line = CacheLineBase(line_addr);
-  const size_t set = SetIndex(line);
-  const size_t base = set * stride_;
-  const uint32_t pending = pending_mask_[set];
-  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
-    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
-    if (TagMatches(Tag(base + i), line)) {
-      if ((pending & (1u << i)) != 0 && now >= PendingAt(base + i)) {
-        return kNone;
-      }
-      return base + i;
-    }
-  }
-  return kNone;
-}
-
-bool SetAssocCache::Access(Addr line_addr, Cycles now, bool mark_dirty, bool* was_prefetched,
-                           Cycles* available_at) {
-  size_t set;
-  const size_t w = FindWay(line_addr, now, &set);
-  if (w == kNone) {
-    if (was_prefetched != nullptr) {
-      *was_prefetched = false;
-    }
-    return false;
-  }
-  const uint32_t bit = 1u << (w - set * stride_);
-  Lru(w) = ++tick_;
-  if (mark_dirty) {
-    Tag(w) |= kDirty;
-    // A new store supersedes any scheduled clwb invalidation.
-    pending_mask_[set] &= ~bit;
-  }
-  if (was_prefetched != nullptr) {
-    *was_prefetched = (Tag(w) & kPrefetched) != 0;
-  }
-  if (available_at != nullptr) {
-    *available_at = (ready_mask_[set] & bit) != 0 && ReadyAt(w) > now ? ReadyAt(w) : now;
-  }
-  Tag(w) &= ~kPrefetched;
-  ready_mask_[set] &= ~bit;  // data is (or becomes) demand-visible now
-  return true;
-}
-
-bool SetAssocCache::Probe(Addr line_addr, Cycles now) const {
-  return FindWayConst(line_addr, now) != kNone;
-}
-
-EvictedLine SetAssocCache::Insert(Addr line_addr, Cycles now, bool dirty, bool prefetched,
-                                  Cycles ready_at) {
-  const Addr line = CacheLineBase(line_addr);
-  const size_t set = SetIndex(line);
-  const size_t base = set * stride_;
-
-  // Already present: refresh in place.
-  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
-    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
-    Addr& t = Tag(base + i);
-    if (TagMatches(t, line)) {
-      Lru(base + i) = ++tick_;
-      if (dirty) {
-        t |= kDirty;
-      }
-      if (!prefetched) {
-        t &= ~kPrefetched;
-      }
-      pending_mask_[set] &= ~(1u << i);
-      return {};
-    }
-  }
-
-  // Pick the first invalid-or-expired way in way order (expired pending
-  // invalidations count as invalid and are dropped, not evicted), else the
-  // LRU way.
-  uint32_t free = ~valid_mask_[set] & ways_mask_;
-  for (uint32_t m = pending_mask_[set] & valid_mask_[set]; m != 0; m &= m - 1) {
-    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
-    if (now >= PendingAt(base + i)) {
-      free |= 1u << i;
-    }
-  }
-  size_t victim;
-  if (free != 0) {
-    victim = base + static_cast<uint32_t>(std::countr_zero(free));
-    ClearValid(set, victim);
-  } else {
-    victim = base;
-    for (uint32_t i = 1; i < config_.ways; ++i) {
-      if (Lru(base + i) < Lru(victim)) {
-        victim = base + i;
-      }
-    }
-  }
-
-  EvictedLine evicted;
-  if ((Tag(victim) & kValid) != 0) {
-    evicted = {Tag(victim) & kTagMask, true, (Tag(victim) & kDirty) != 0};
-  }
-  const uint32_t bit = 1u << (victim - base);
-  Tag(victim) = line | kValid | (dirty ? kDirty : 0) | (prefetched ? kPrefetched : 0);
-  valid_mask_[set] |= bit;
-  pending_mask_[set] &= ~bit;
-  if (ready_at != 0) {
-    ReadyAt(victim) = ready_at;
-    ready_mask_[set] |= bit;
-  } else {
-    ready_mask_[set] &= ~bit;
-  }
-  Lru(victim) = ++tick_;
-  return evicted;
 }
 
 SetAssocCache::InvalidateResult SetAssocCache::Invalidate(Addr line_addr) {

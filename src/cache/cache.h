@@ -22,6 +22,7 @@
 #ifndef SRC_CACHE_CACHE_H_
 #define SRC_CACHE_CACHE_H_
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <new>
@@ -116,8 +117,19 @@ class SetAssocCache {
     const uint64_t n = line_addr / kCacheLineSize;
     // Real set counts are usually powers of two; skip the hardware divide
     // when they are (it sits on every probe's address path otherwise).
-    return set_mask_ != 0 ? static_cast<size_t>(n & set_mask_)
-                          : static_cast<size_t>(n % sets_);
+    if (set_mask_ != 0) {
+      return static_cast<size_t>(n & set_mask_);
+    }
+    // Non-pow2 (the G1/G2 L3s): division-free multiply-shift modulo.
+    // With M = ceil(2^64 / d) precomputed, r = mulhi((M * n) mod 2^64, d)
+    // equals n % d exactly while n < 2^64/d - d (proof sketch: write
+    // n = q*d + r; then M*n mod 2^64 = q*e + M*r where e = M*d - 2^64 < d,
+    // and mulhi of that by d is r + floor((q*e + r*e)/2^64)*... = r because
+    // q*e + M*r stays below 2^64 under the bound). The constructor enforces
+    // the bound for every address the simulator can produce.
+    using U128 = unsigned __int128;
+    const uint64_t frac = mod_mul_ * n;  // (M * n) mod 2^64
+    return static_cast<size_t>(static_cast<uint64_t>((static_cast<U128>(frac) * sets_) >> 64));
   }
 
   // A set's state is one contiguous 64 B-aligned block of stride_ words —
@@ -159,6 +171,7 @@ class SetAssocCache {
   size_t stride_;         // 4 * ways rounded up to whole 64 B lines
   size_t block_words_;    // sets_ * stride_
   uint64_t set_mask_;     // sets_ - 1 when sets_ is a power of two, else 0
+  uint64_t mod_mul_;      // ceil(2^64 / sets_) when set_mask_ == 0, else 0
   uint32_t ways_mask_;    // low config_.ways bits set
   std::unique_ptr<uint64_t[], Aligned64Delete> blocks_;  // set-contiguous
   std::vector<uint32_t> valid_mask_;    // per set: bit i = way i valid
@@ -168,6 +181,144 @@ class SetAssocCache {
                                         // scheduled invalidation
   uint64_t tick_ = 0;
 };
+
+// Inline definitions for the four members on the per-access hot path
+// (probe, touch, fill). They are called several times per simulated load —
+// once per level — from other translation units; defining them here lets
+// those call sites fold the set-index math and mask loads together instead
+// of paying an opaque cross-TU call per level.
+
+inline size_t SetAssocCache::FindWay(Addr line_addr, Cycles now, size_t* set_out) {
+  const Addr line = CacheLineBase(line_addr);
+  const size_t set = SetIndex(line);
+  *set_out = set;
+  const size_t base = set * stride_;
+  const uint32_t pending = pending_mask_[set];
+  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    if (TagMatches(Tag(base + i), line)) {
+      if ((pending & (1u << i)) != 0 && now >= PendingAt(base + i)) {
+        ClearValid(set, base + i);  // the scheduled invalidation has taken effect
+        return kNone;
+      }
+      return base + i;
+    }
+  }
+  return kNone;
+}
+
+inline size_t SetAssocCache::FindWayConst(Addr line_addr, Cycles now) const {
+  const Addr line = CacheLineBase(line_addr);
+  const size_t set = SetIndex(line);
+  const size_t base = set * stride_;
+  const uint32_t pending = pending_mask_[set];
+  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    if (TagMatches(Tag(base + i), line)) {
+      if ((pending & (1u << i)) != 0 && now >= PendingAt(base + i)) {
+        return kNone;
+      }
+      return base + i;
+    }
+  }
+  return kNone;
+}
+
+inline bool SetAssocCache::Access(Addr line_addr, Cycles now, bool mark_dirty,
+                                  bool* was_prefetched, Cycles* available_at) {
+  size_t set;
+  const size_t w = FindWay(line_addr, now, &set);
+  if (w == kNone) {
+    if (was_prefetched != nullptr) {
+      *was_prefetched = false;
+    }
+    return false;
+  }
+  const uint32_t bit = 1u << (w - set * stride_);
+  Lru(w) = ++tick_;
+  if (mark_dirty) {
+    Tag(w) |= kDirty;
+    // A new store supersedes any scheduled clwb invalidation.
+    pending_mask_[set] &= ~bit;
+  }
+  if (was_prefetched != nullptr) {
+    *was_prefetched = (Tag(w) & kPrefetched) != 0;
+  }
+  if (available_at != nullptr) {
+    *available_at = (ready_mask_[set] & bit) != 0 && ReadyAt(w) > now ? ReadyAt(w) : now;
+  }
+  Tag(w) &= ~kPrefetched;
+  ready_mask_[set] &= ~bit;  // data is (or becomes) demand-visible now
+  return true;
+}
+
+inline bool SetAssocCache::Probe(Addr line_addr, Cycles now) const {
+  return FindWayConst(line_addr, now) != kNone;
+}
+
+inline EvictedLine SetAssocCache::Insert(Addr line_addr, Cycles now, bool dirty, bool prefetched,
+                                         Cycles ready_at) {
+  const Addr line = CacheLineBase(line_addr);
+  const size_t set = SetIndex(line);
+  const size_t base = set * stride_;
+
+  // Already present: refresh in place.
+  for (uint32_t m = valid_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    Addr& t = Tag(base + i);
+    if (TagMatches(t, line)) {
+      Lru(base + i) = ++tick_;
+      if (dirty) {
+        t |= kDirty;
+      }
+      if (!prefetched) {
+        t &= ~kPrefetched;
+      }
+      pending_mask_[set] &= ~(1u << i);
+      return {};
+    }
+  }
+
+  // Pick the first invalid-or-expired way in way order (expired pending
+  // invalidations count as invalid and are dropped, not evicted), else the
+  // LRU way.
+  uint32_t free = ~valid_mask_[set] & ways_mask_;
+  for (uint32_t m = pending_mask_[set] & valid_mask_[set]; m != 0; m &= m - 1) {
+    const uint32_t i = static_cast<uint32_t>(std::countr_zero(m));
+    if (now >= PendingAt(base + i)) {
+      free |= 1u << i;
+    }
+  }
+  size_t victim;
+  if (free != 0) {
+    victim = base + static_cast<uint32_t>(std::countr_zero(free));
+    ClearValid(set, victim);
+  } else {
+    victim = base;
+    for (uint32_t i = 1; i < config_.ways; ++i) {
+      if (Lru(base + i) < Lru(victim)) {
+        victim = base + i;
+      }
+    }
+  }
+
+  EvictedLine evicted;
+  if ((Tag(victim) & kValid) != 0) {
+    evicted = {Tag(victim) & kTagMask, true, (Tag(victim) & kDirty) != 0};
+  }
+  const uint32_t bit = 1u << (victim - base);
+  Tag(victim) = line | kValid | (dirty ? kDirty : 0) | (prefetched ? kPrefetched : 0);
+  valid_mask_[set] |= bit;
+  pending_mask_[set] &= ~bit;
+  if (ready_at != 0) {
+    ReadyAt(victim) = ready_at;
+    ready_mask_[set] |= bit;
+  } else {
+    ready_mask_[set] &= ~bit;
+  }
+  Lru(victim) = ++tick_;
+  return evicted;
+}
 
 }  // namespace pmemsim
 

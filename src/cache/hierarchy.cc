@@ -20,20 +20,20 @@ CacheHierarchy::CacheHierarchy(const CacheConfig& config, SetAssocCache* shared_
   PMEMSIM_CHECK(counters != nullptr);
 }
 
-HierAccessResult CacheHierarchy::Load(Addr addr, Cycles now, bool ordered, bool train) {
+void CacheHierarchy::Load(Addr addr, Cycles now, bool ordered, bool train,
+                          HierAccessResult* out) {
   ++counters_->demand_loads;
-  return AccessInternal(addr, now, /*is_store=*/false, ordered, train);
+  AccessInternal(addr, now, /*is_store=*/false, ordered, train, out);
 }
 
-HierAccessResult CacheHierarchy::Store(Addr addr, Cycles now) {
+void CacheHierarchy::Store(Addr addr, Cycles now, HierAccessResult* out) {
   ++counters_->demand_stores;
-  return AccessInternal(addr, now, /*is_store=*/true, /*ordered=*/false, /*train=*/true);
+  AccessInternal(addr, now, /*is_store=*/true, /*ordered=*/false, /*train=*/true, out);
 }
 
-HierAccessResult CacheHierarchy::AccessInternal(Addr addr, Cycles now, bool is_store,
-                                                bool ordered, bool train) {
+void CacheHierarchy::AccessInternal(Addr addr, Cycles now, bool is_store, bool ordered,
+                                    bool train, HierAccessResult* out) {
   const Addr line = CacheLineBase(addr);
-  HierAccessResult result;
   PrefetchEngine::DemandInfo info;
   info.line = line;
   info.now = now;
@@ -44,54 +44,62 @@ HierAccessResult CacheHierarchy::AccessInternal(Addr addr, Cycles now, bool is_s
     ++counters_->l1_hits;
     info.l1_hit = true;
     info.first_touch_prefetched = ft;
-    result.complete_at = avail + l1_.hit_latency();
-    result.hit_level = 1;
+    out->complete_at = avail + l1_.hit_latency();
+    out->hit_level = 1;
     if (train) {
-      engine_.OnDemandAccess(info);
+      TrainEngine(info);
     }
-    return result;
+    return;
+  }
+
+  // L1 missed: the rest of the walk may touch the L3 set block, the DIMM
+  // translation cache, and the on-DIMM buffer indexes — all cold in the host
+  // caches for the big-working-set shapes. Start those fetches now so they
+  // proceed in parallel with the L2/L3 probes (one round of concurrent host
+  // misses instead of a serial dependence chain), unless an explicit hint
+  // already warmed this line one operation ago. No simulated effect.
+  if (line != last_hint_line_) {
+    l3_->PrefetchSet(line);
+    mc_->PrefetchRead(line);
   }
 
   if (l2_.Access(line, now, /*mark_dirty=*/false, &ft, &avail)) {
     ++counters_->l2_hits;
     info.l2_hit = true;
     info.first_touch_prefetched = ft;
-    result.complete_at = avail + l2_.hit_latency();
-    result.hit_level = 2;
+    out->complete_at = avail + l2_.hit_latency();
+    out->hit_level = 2;
     FillInto(l1_, 1, line, now, is_store, /*prefetched=*/false);
     if (train) {
-      engine_.OnDemandAccess(info);
+      TrainEngine(info);
     }
-    return result;
+    return;
   }
 
   if (l3_->Access(line, now, /*mark_dirty=*/false, &ft, &avail)) {
     ++counters_->l3_hits;
     info.first_touch_prefetched = ft;
-    result.complete_at = avail + l3_->hit_latency();
-    result.hit_level = 3;
+    out->complete_at = avail + l3_->hit_latency();
+    out->hit_level = 3;
     FillInto(l2_, 2, line, now, /*dirty=*/false, /*prefetched=*/false);
     FillInto(l1_, 1, line, now, is_store, /*prefetched=*/false);
     if (train) {
-      engine_.OnDemandAccess(info);
+      TrainEngine(info);
     }
-    return result;
+    return;
   }
 
   // Full miss: fetch from memory. Stores are RFOs and then dirty the line.
+  // The iMC and DIMM write their latency shares straight into `out`.
   ++counters_->cache_misses;
-  const McReadResult mr = mc_->Read(line, now, node_, ordered);
-  result.complete_at = mr.complete_at;
-  result.stalled_for = mr.stalled_for;
-  result.mem = mr.stages;
-  result.hit_level = 0;
+  mc_->ReadInto(line, now, node_, ordered, out);
+  out->hit_level = 0;
   FillInto(*l3_, 3, line, now, /*dirty=*/false, /*prefetched=*/false);
   FillInto(l2_, 2, line, now, /*dirty=*/false, /*prefetched=*/false);
   FillInto(l1_, 1, line, now, is_store, /*prefetched=*/false);
   if (train) {
-    engine_.OnDemandAccess(info);
+    TrainEngine(info);
   }
-  return result;
 }
 
 void CacheHierarchy::FillInto(SetAssocCache& level, int level_idx, Addr line, Cycles now,

@@ -7,6 +7,7 @@
 
 #include "src/cache/cache.h"
 #include "src/cache/prefetcher.h"
+#include "src/common/access_record.h"
 #include "src/common/config.h"
 #include "src/common/types.h"
 #include "src/imc/memory_controller.h"
@@ -14,14 +15,9 @@
 
 namespace pmemsim {
 
-struct HierAccessResult {
-  Cycles complete_at = 0;
-  uint8_t hit_level = 0;   // 1..3 = cache level, 0 = memory
-  Cycles stalled_for = 0;  // read-after-persist component
-  // Memory-side latency attribution; populated only on full misses
-  // (hit_level == 0), where the fields sum to the memory access span.
-  MemStageBreakdown mem;
-};
+// The hierarchy's access result is the shared in-place record every memory
+// layer writes into (see src/common/access_record.h for the field list).
+using HierAccessResult = AccessRecord;
 
 struct FlushResult {
   bool wrote = false;      // a write-back entered the WPQ
@@ -36,8 +32,20 @@ class CacheHierarchy : public PrefetchSink {
 
   // Demand cacheline load/store (store = RFO + dirty mark, write-allocate).
   // `train` = false suppresses prefetcher training (AVX streaming path).
-  HierAccessResult Load(Addr addr, Cycles now, bool ordered, bool train = true);
-  HierAccessResult Store(Addr addr, Cycles now);
+  // The in-place forms write into `out`, which must arrive value-initialized
+  // (arena-allocated records are); the value forms wrap them.
+  void Load(Addr addr, Cycles now, bool ordered, bool train, HierAccessResult* out);
+  void Store(Addr addr, Cycles now, HierAccessResult* out);
+  HierAccessResult Load(Addr addr, Cycles now, bool ordered, bool train = true) {
+    HierAccessResult r;
+    Load(addr, now, ordered, train, &r);
+    return r;
+  }
+  HierAccessResult Store(Addr addr, Cycles now) {
+    HierAccessResult r;
+    Store(addr, now, &r);
+    return r;
+  }
 
   // clwb: writes back a dirty copy; G1 schedules invalidation after the
   // dispatch window, G2 retains the line clean.
@@ -63,6 +71,7 @@ class CacheHierarchy : public PrefetchSink {
     l2_.PrefetchSet(line);
     l3_->PrefetchSet(line);
     mc_->PrefetchRead(line);
+    last_hint_line_ = line;
   }
 
   // PrefetchSink: fills a line into L2 (+L3), or L1 for the DCU streamer.
@@ -78,7 +87,17 @@ class CacheHierarchy : public PrefetchSink {
   void ClearPrivate();
 
  private:
-  HierAccessResult AccessInternal(Addr addr, Cycles now, bool is_store, bool ordered, bool train);
+  void AccessInternal(Addr addr, Cycles now, bool is_store, bool ordered, bool train,
+                      HierAccessResult* out);
+  // Trains the prefetch engine on a demand access; with every prefetcher
+  // disabled it collapses to the one state change that path performs.
+  void TrainEngine(const PrefetchEngine::DemandInfo& info) {
+    if (engine_.any_enabled()) {
+      engine_.OnDemandAccess(info);
+    } else {
+      engine_.NoteDemandOnly(info.line);
+    }
+  }
   // Inserts into a level, cascading dirty evictions downward.
   void FillInto(SetAssocCache& level, int level_idx, Addr line, Cycles now, bool dirty,
                 bool prefetched, Cycles ready_at = 0);
@@ -92,6 +111,10 @@ class CacheHierarchy : public PrefetchSink {
   NodeId node_;
   PrefetchEngine engine_;
   bool in_prefetch_fill_ = false;  // prefetch fills must not re-trigger training
+  // Last line already warmed by an explicit HostPrefetchHint: the miss-path
+  // fan-out skips re-issuing those fetches. Host-only state (mutable so the
+  // const hint entry point can record it); never read by timing code.
+  mutable Addr last_hint_line_ = ~Addr{0};
 };
 
 }  // namespace pmemsim

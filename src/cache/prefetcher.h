@@ -51,6 +51,12 @@ class PrefetchEngine {
 
   void OnDemandAccess(const DemandInfo& info);
 
+  // Training fast path for the all-prefetchers-disabled configuration: with
+  // every prefetcher off, the only state OnDemandAccess changes is the DCU
+  // detector's last demand line — record exactly that (`line` must already be
+  // cacheline-aligned) without building a DemandInfo or making a call.
+  void NoteDemandOnly(Addr line) { last_demand_line_ = line; }
+
   void SetEnabled(bool adjacent, bool dcu, bool stream);
   bool any_enabled() const { return adjacent_enabled_ || dcu_enabled_ || stream_enabled_; }
 

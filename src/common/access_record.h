@@ -1,0 +1,53 @@
+// Shared per-access result record and the per-thread arena that owns them.
+//
+// One demand access produces exactly one AccessRecord. Instead of each layer
+// (DIMM, iMC, cache hierarchy) returning its own result struct and the caller
+// merging fields, every layer writes its share into the same record in place:
+// the DIMM fills complete_at / stalled_for / mem stages, the iMC adds its
+// transit share, the hierarchy sets hit_level. Records are arena-allocated
+// per thread from a fixed power-of-two ring reused in issue order, so the hot
+// path never touches the heap and the newest record stays addressable for
+// introspection until kRecords further operations have issued.
+
+#ifndef SRC_COMMON_ACCESS_RECORD_H_
+#define SRC_COMMON_ACCESS_RECORD_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/trace/attribution.h"
+
+namespace pmemsim {
+
+struct AccessRecord {
+  Cycles complete_at = 0;
+  uint8_t hit_level = 0;   // 1..3 = cache level, 0 = memory
+  Cycles stalled_for = 0;  // read-after-persist component
+  // Memory-side latency attribution; populated only on full misses
+  // (hit_level == 0), where the fields sum to the memory access span.
+  MemStageBreakdown mem;
+};
+
+// Fixed per-thread ring of records. Alloc() hands out a value-initialized
+// record; entries recycle oldest-first.
+class AccessArena {
+ public:
+  static constexpr size_t kRecords = 64;
+  static_assert((kRecords & (kRecords - 1)) == 0, "ring index masking needs a power of two");
+
+  AccessRecord* Alloc() {
+    AccessRecord* r = &ring_[next_++ & (kRecords - 1)];
+    *r = AccessRecord{};
+    return r;
+  }
+
+ private:
+  std::array<AccessRecord, kRecords> ring_{};
+  size_t next_ = 0;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_COMMON_ACCESS_RECORD_H_

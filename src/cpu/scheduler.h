@@ -10,6 +10,10 @@
 // return kDone. A step that is logically blocked (e.g. a helper thread capped
 // at its prefetch depth) should AdvanceTo() just past the clock of whatever it
 // waits for and return kProgress.
+//
+// Run() advances the minimum-clock job in batches: while the top job runs,
+// every other job is parked, so the runner-up heap key is constant and is
+// computed once per batch rather than once per step (see DESIGN.md §9).
 
 #ifndef SRC_CPU_SCHEDULER_H_
 #define SRC_CPU_SCHEDULER_H_

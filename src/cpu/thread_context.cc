@@ -20,6 +20,7 @@ ThreadContext::ThreadContext(const PlatformConfig& config, BackingStore* backing
       hier_(&own_hierarchy_) {
   PMEMSIM_CHECK(backing != nullptr);
   PMEMSIM_CHECK(mc != nullptr);
+  BindPlatformDispatch();
 }
 
 ThreadContext::ThreadContext(const PlatformConfig& config, BackingStore* backing,
@@ -36,6 +37,15 @@ ThreadContext::ThreadContext(const PlatformConfig& config, BackingStore* backing
   PMEMSIM_CHECK(backing != nullptr);
   PMEMSIM_CHECK(mc != nullptr);
   clock_ = sibling->clock_;
+  BindPlatformDispatch();
+}
+
+void ThreadContext::BindPlatformDispatch() {
+  // Resolve the per-platform flush paths once: eADR presets retire flushes as
+  // cheap no-ops, ADR presets run the real write-back machinery.
+  clwb_impl_ = eadr_ ? &ThreadContext::ClwbEadr : &ThreadContext::ClwbAdr;
+  clflushopt_impl_ = eadr_ ? &ThreadContext::ClflushoptEadr : &ThreadContext::ClflushoptAdr;
+  outstanding_.Init(cpu_.store_buffer_depth);
 }
 
 void ThreadContext::AdvanceTo(Cycles t) { clock_ = std::max(clock_, t); }
@@ -84,12 +94,20 @@ void ThreadContext::RecordPersistOp(AttributionCollector::Op op, Cycles t0, Cycl
 }
 
 uint64_t ThreadContext::LoadInternal(Addr addr, bool train) {
+  // Every load ends with backing_->ReadU64(addr), so start the host fetch of
+  // that page first: it overlaps the whole simulated walk. No simulated
+  // effect (dependent-chase shapes cannot hint their next address early, so
+  // this entry-point overlap is all the host parallelism they get). Skipped
+  // when an explicit hint already warmed the line one operation ago.
+  if (CacheLineBase(addr) != hint_line_) {
+    backing_->PrefetchRead(addr);
+  }
   // Out-of-order early execution: an unordered load targeting a just-flushed
   // line can issue before the flush's invalidation retires and hit the cache.
-  if (!loads_ordered_) {
+  if (!loads_ordered_ && recent_flush_count_ != 0) {
     const Addr line = CacheLineBase(addr);
-    for (const Addr f : recent_flushes_) {
-      if (f == line && hier_->ProbeAny(line, /*now=*/0)) {
+    for (uint32_t i = 0; i < recent_flush_count_; ++i) {
+      if (recent_flushes_[i] == line && hier_->ProbeAny(line, /*now=*/0)) {
         const Cycles latency = ScaleCore(hier_->l1().hit_latency());
         last_access_ = {1, latency, 0};
         clock_ += latency;
@@ -102,7 +120,8 @@ uint64_t ThreadContext::LoadInternal(Addr addr, bool train) {
       }
     }
   }
-  const HierAccessResult r = hier_->Load(addr, clock_, loads_ordered_, train);
+  HierAccessResult& r = *arena_.Alloc();
+  hier_->Load(addr, clock_, loads_ordered_, train, &r);
   Cycles latency = r.complete_at - clock_;
   if (r.hit_level >= 1) {
     latency = ScaleCore(latency);  // core-local: subject to SMT sharing
@@ -164,7 +183,8 @@ void ThreadContext::TraceMarker(uint32_t id) {
 
 void ThreadContext::StoreTimed(Addr addr) {
   const Cycles t0 = clock_;
-  const HierAccessResult r = hier_->Store(addr, clock_);
+  HierAccessResult& r = *arena_.Alloc();
+  hier_->Store(addr, clock_, &r);
   Cycles latency;
   if (r.hit_level >= 1) {
     latency = ScaleCore(r.complete_at - clock_);
@@ -256,31 +276,47 @@ void ThreadContext::DrainRetired() {
 }
 
 void ThreadContext::NoteRecentFlush(Addr line) {
-  for (const Addr f : recent_flushes_) {
-    if (f == line) {
+  for (uint32_t i = 0; i < recent_flush_count_; ++i) {
+    if (recent_flushes_[i] == line) {
       return;
     }
   }
-  recent_flushes_.push_back(line);
-  while (recent_flushes_.size() > 2) {
-    recent_flushes_.pop_front();
+  if (recent_flush_count_ < recent_flushes_.size()) {
+    recent_flushes_[recent_flush_count_++] = line;
+  } else {
+    // Keep the two newest lines, oldest first.
+    recent_flushes_[0] = recent_flushes_[1];
+    recent_flushes_[1] = line;
   }
 }
 
-void ThreadContext::Clwb(Addr addr) {
-  if (eadr_) {
-    // eADR (paper §6): the CPU caches are inside the persistence domain —
-    // stores are durable once globally visible, so clwb degenerates to a
-    // cheap no-op and programs simply stop flushing.
-    clock_ += 1;
-    if (attribution_ != nullptr) {
-      attribution_->RecordAccess(AttributionCollector::kFlush, 1, {});
-    }
-    if (recorder_ != nullptr) {
-      recorder_->Record(trace_tid_, TraceOp::kClwb, addr, 0, clock_);
-    }
-    return;
+void ThreadContext::ClwbEadr(Addr addr) {
+  // eADR (paper §6): the CPU caches are inside the persistence domain —
+  // stores are durable once globally visible, so clwb degenerates to a
+  // cheap no-op and programs simply stop flushing.
+  clock_ += 1;
+  if (attribution_ != nullptr) {
+    attribution_->RecordAccess(AttributionCollector::kFlush, 1, {});
   }
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kClwb, addr, 0, clock_);
+  }
+}
+
+void ThreadContext::ClflushoptEadr(Addr addr) {
+  // Same as Clwb under eADR: the caches are already persistent, so the
+  // flush (including its invalidation) buys nothing and retires as a
+  // cheap no-op.
+  clock_ += 1;
+  if (attribution_ != nullptr) {
+    attribution_->RecordAccess(AttributionCollector::kFlush, 1, {});
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Record(trace_tid_, TraceOp::kClflushopt, addr, 0, clock_);
+  }
+}
+
+void ThreadContext::ClwbAdr(Addr addr) {
   const Cycles t0 = clock_;
   const FlushResult r = hier_->Clwb(addr, clock_);
   clock_ += std::max<Cycles>(r.cost, cpu_.flush_issue_cost);
@@ -300,20 +336,7 @@ void ThreadContext::Clwb(Addr addr) {
   }
 }
 
-void ThreadContext::Clflushopt(Addr addr) {
-  if (eadr_) {
-    // Same as Clwb under eADR: the caches are already persistent, so the
-    // flush (including its invalidation) buys nothing and retires as a
-    // cheap no-op.
-    clock_ += 1;
-    if (attribution_ != nullptr) {
-      attribution_->RecordAccess(AttributionCollector::kFlush, 1, {});
-    }
-    if (recorder_ != nullptr) {
-      recorder_->Record(trace_tid_, TraceOp::kClflushopt, addr, 0, clock_);
-    }
-    return;
-  }
+void ThreadContext::ClflushoptAdr(Addr addr) {
   const Cycles t0 = clock_;
   const FlushResult r = hier_->Clflushopt(addr, clock_);
   clock_ += std::max<Cycles>(r.cost, cpu_.flush_issue_cost);
@@ -391,7 +414,8 @@ void ThreadContext::NtWrite(Addr addr, const void* data, size_t len) {
 void ThreadContext::FenceCommon(bool is_mfence) {
   const Cycles t0 = clock_;
   Cycles wait_until = clock_;
-  for (const Outstanding& o : outstanding_) {
+  for (size_t i = 0; i < outstanding_.size(); ++i) {
+    const Outstanding& o = outstanding_.at(i);
     wait_until = std::max(wait_until, o.accepted_at);
     if (is_mfence && o.is_flush) {
       // mfence orders younger loads after the flush's effects: any scheduled
@@ -402,7 +426,7 @@ void ThreadContext::FenceCommon(bool is_mfence) {
   clock_ = wait_until + cpu_.fence_cost;
   outstanding_.clear();
   if (is_mfence) {
-    recent_flushes_.clear();  // younger loads are ordered after the flushes
+    recent_flush_count_ = 0;  // younger loads are ordered after the flushes
   }
   loads_ordered_ = is_mfence;
   if (attribution_ != nullptr) {
@@ -445,7 +469,7 @@ void ThreadContext::StreamCopyXPLine(Addr pm_xpline, Addr dram_buffer) {
 void ThreadContext::ResetMicroarchState() {
   hier_->ClearPrivate();
   outstanding_.clear();
-  recent_flushes_.clear();
+  recent_flush_count_ = 0;
   loads_ordered_ = false;
 }
 

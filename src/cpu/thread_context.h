@@ -10,10 +10,12 @@
 #ifndef SRC_CPU_THREAD_CONTEXT_H_
 #define SRC_CPU_THREAD_CONTEXT_H_
 
+#include <array>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "src/cache/hierarchy.h"
+#include "src/common/access_record.h"
 #include "src/common/backing_store.h"
 #include "src/common/config.h"
 #include "src/common/types.h"
@@ -68,6 +70,7 @@ class ThreadContext {
   void HostPrefetchHint(Addr addr) const {
     backing_->PrefetchRead(addr);
     hier_->HostPrefetchHint(addr);
+    hint_line_ = CacheLineBase(addr);
   }
 
   // Issues independent loads with full memory-level parallelism: the clock
@@ -82,8 +85,12 @@ class ThreadContext {
   double smt_scale() const { return smt_scale_; }
 
   // --- persistence ops ---
-  void Clwb(Addr addr);
-  void Clflushopt(Addr addr);
+  // Both flushes dispatch through a member-function pointer bound once at
+  // construction: the eADR presets route to a no-op retire (caches are in the
+  // persistence domain), ADR platforms to the real write-back path — no
+  // per-call branch on the platform flag.
+  void Clwb(Addr addr) { (this->*clwb_impl_)(addr); }
+  void Clflushopt(Addr addr) { (this->*clflushopt_impl_)(addr); }
   // Non-temporal 64 B store: bypasses (and snoop-invalidates) the caches,
   // heads straight for the WPQ.
   void NtStoreLine(Addr addr, const void* data64);
@@ -145,9 +152,55 @@ class ThreadContext {
     bool is_flush = false;  // clwb/clflushopt (has a scheduled invalidation)
   };
 
+  // Fixed-capacity power-of-two ring of outstanding persists. Occupancy is
+  // bounded by the store-buffer depth (TrackPersist retires the oldest entry
+  // before exceeding it), so the ring never reallocates after Init.
+  class OutstandingRing {
+   public:
+    void Init(size_t capacity) {
+      size_t cap = 1;
+      while (cap < capacity) {
+        cap <<= 1;
+      }
+      buf_.assign(cap, Outstanding{});
+      mask_ = cap - 1;
+      clear();
+    }
+    bool empty() const { return size_ == 0; }
+    size_t size() const { return size_; }
+    const Outstanding& front() const { return buf_[head_ & mask_]; }
+    const Outstanding& at(size_t i) const { return buf_[(head_ + i) & mask_]; }
+    void pop_front() {
+      ++head_;
+      --size_;
+    }
+    void push_back(const Outstanding& o) {
+      buf_[(head_ + size_) & mask_] = o;
+      ++size_;
+    }
+    void clear() {
+      head_ = 0;
+      size_ = 0;
+    }
+
+   private:
+    std::vector<Outstanding> buf_;
+    size_t mask_ = 0;
+    size_t head_ = 0;
+    size_t size_ = 0;
+  };
+
   void TrackPersist(Addr line, Cycles accepted_at, bool is_flush);
   void DrainRetired();
   uint64_t LoadInternal(Addr addr, bool train);
+  // Binds the flush member-function pointers and sizes the persist ring
+  // (shared tail of both constructors).
+  void BindPlatformDispatch();
+  // Flush-dispatch targets (see Clwb/Clflushopt above).
+  void ClwbAdr(Addr addr);
+  void ClflushoptAdr(Addr addr);
+  void ClwbEadr(Addr addr);
+  void ClflushoptEadr(Addr addr);
   void FenceCommon(bool is_mfence);
   Cycles ScaleCore(Cycles c) const;
   void StoreTimed(Addr addr);
@@ -174,13 +227,24 @@ class ThreadContext {
   AttributionCollector* attribution_ = nullptr;
   TraceRecorder* recorder_ = nullptr;
   uint32_t trace_tid_ = 0;
-  std::deque<Outstanding> outstanding_;
+  OutstandingRing outstanding_;
   bool loads_ordered_ = false;  // true after mfence, false after sfence
   // Lines flushed by the most recent clwb/clflushopt ops whose cache-side
   // invalidation has not architecturally retired for younger unordered loads
   // (the out-of-order window that keeps sfence RAP low at distance <= 1).
-  std::deque<Addr> recent_flushes_;
+  // At most the two newest such lines matter, so a two-slot array suffices.
+  std::array<Addr, 2> recent_flushes_{};
+  uint32_t recent_flush_count_ = 0;
   double smt_scale_ = 1.0;
+  // Per-thread arena for access-result records: every timed load/store
+  // allocates its record here and the memory layers fill it in place.
+  AccessArena arena_;
+  using FlushFn = void (ThreadContext::*)(Addr);
+  FlushFn clwb_impl_ = nullptr;        // bound in the constructors
+  FlushFn clflushopt_impl_ = nullptr;  // bound in the constructors
+  // Last line warmed by HostPrefetchHint; the load entry point skips its
+  // backing-data prefetch for it. Host-only state, never read by timing code.
+  mutable Addr hint_line_ = ~Addr{0};
 };
 
 }  // namespace pmemsim

@@ -9,11 +9,10 @@ DramDimm::DramDimm(const DramConfig& config, Counters* counters)
   PMEMSIM_CHECK(counters_ != nullptr);
 }
 
-DimmReadResult DramDimm::Read(Addr addr, Cycles now, bool ordered) {
+void DramDimm::ReadInto(Addr addr, Cycles now, bool ordered, AccessRecord* out) {
   const Addr line = CacheLineBase(addr);
   counters_->dram_read_bytes += kCacheLineSize;
 
-  DimmReadResult result;
   Cycles start = now;
   if (const Cycles* pending = pending_visible_.Find(line)) {
     Cycles visible = *pending;
@@ -22,8 +21,8 @@ DimmReadResult DramDimm::Read(Addr addr, Cycles now, bool ordered) {
           visible > config_.unordered_read_overlap ? visible - config_.unordered_read_overlap : 0;
     }
     if (visible > now) {
-      result.stalled_for = visible - now;
-      counters_->rap_stall_cycles += result.stalled_for;
+      out->stalled_for = visible - now;
+      counters_->rap_stall_cycles += out->stalled_for;
       ++counters_->rap_stalled_loads;
       start = visible;
     }
@@ -31,9 +30,18 @@ DimmReadResult DramDimm::Read(Addr addr, Cycles now, bool ordered) {
       pending_visible_.Erase(line);
     }
   }
-  result.complete_at = ports_.Schedule(start, config_.load_latency);
-  result.stages.rap_stall = result.stalled_for;
-  result.stages.dram = result.complete_at - start;
+  out->complete_at = ports_.Schedule(start, config_.load_latency);
+  out->mem.rap_stall = out->stalled_for;
+  out->mem.dram = out->complete_at - start;
+}
+
+DimmReadResult DramDimm::Read(Addr addr, Cycles now, bool ordered) {
+  AccessRecord rec;
+  ReadInto(addr, now, ordered, &rec);
+  DimmReadResult result;
+  result.complete_at = rec.complete_at;
+  result.stalled_for = rec.stalled_for;
+  result.stages = rec.mem;
   return result;
 }
 

@@ -5,6 +5,7 @@
 #ifndef SRC_DIMM_DRAM_DIMM_H_
 #define SRC_DIMM_DRAM_DIMM_H_
 
+#include "src/common/access_record.h"
 #include "src/common/config.h"
 #include "src/common/flat_map.h"
 #include "src/dimm/dimm.h"
@@ -15,6 +16,10 @@ namespace pmemsim {
 class DramDimm : public Dimm {
  public:
   DramDimm(const DramConfig& config, Counters* counters);
+
+  // In-place read: fills complete_at / stalled_for / mem of `out` (which must
+  // arrive value-initialized). The virtual Read() wraps this.
+  void ReadInto(Addr line_addr, Cycles now, bool ordered, AccessRecord* out);
 
   DimmReadResult Read(Addr line_addr, Cycles now, bool ordered) override;
   DimmWriteResult Write(Addr line_addr, Cycles now) override;

@@ -8,7 +8,9 @@
 namespace pmemsim {
 
 OptaneDimm::OptaneDimm(const OptaneDimmConfig& config, Counters* counters, uint64_t rng_seed)
-    : config_(config),
+    : read_impl_(config.periodic_full_writeback ? &OptaneDimm::ReadImpl<true>
+                                                : &OptaneDimm::ReadImpl<false>),
+      config_(config),
       counters_(counters),
       ait_(config.ait_cache_coverage_bytes, config.ait_miss_penalty, counters),
       media_(config.media_read_ports, config.media_read_latency, config.media_write_ports,
@@ -34,23 +36,40 @@ OptaneDimm::OptaneDimm(const OptaneDimmConfig& config, Counters* counters, uint6
 }
 
 DimmReadResult OptaneDimm::Read(Addr addr, Cycles now, bool ordered) {
+  AccessRecord rec;
+  ReadInto(addr, now, ordered, &rec);
+  DimmReadResult result;
+  result.complete_at = rec.complete_at;
+  result.stalled_for = rec.stalled_for;
+  result.stages = rec.mem;
+  return result;
+}
+
+template <bool kPeriodicWb>
+void OptaneDimm::ReadImpl(Addr addr, Cycles now, bool ordered, AccessRecord* out) {
   const Addr line = CacheLineBase(addr);
   counters_->imc_read_bytes += kCacheLineSize;
 
-  // Let the periodic write-back clock advance even on pure-read phases.
-  writeback_scratch_.clear();
-  write_buffer_.Tick(now, writeback_scratch_);
-  if (!writeback_scratch_.empty()) {
-    PerformWritebacks(writeback_scratch_, now);
+  if constexpr (kPeriodicWb) {
+    // Let the periodic write-back clock advance even on pure-read phases.
+    if (write_buffer_.TickDue(now)) {
+      writeback_scratch_.clear();
+      write_buffer_.Tick(now, writeback_scratch_);
+      if (!writeback_scratch_.empty()) {
+        PerformWritebacks(writeback_scratch_, now);
+      }
+    }
   }
 
-  DimmReadResult result;
+  // One write-buffer probe answers steps 1 and 2 (the old path asked
+  // HoldsLine, VisibleAt and ContainsXPLine separately).
+  const WriteBuffer::ReadSnoopResult snoop = write_buffer_.ReadSnoop(line);
 
   // 1. Freshest data may still be in the write buffer. DDR-T reads snoop it;
   //    a read to a line whose persist is in flight stalls until the write is
   //    applied (the read-after-persist effect, paper §3.5).
-  if (write_buffer_.HoldsLine(line)) {
-    Cycles visible = write_buffer_.VisibleAt(line);
+  if (snoop.holds_line) {
+    Cycles visible = snoop.visible_at;
     if (!ordered && visible > now) {
       // Loads not ordered by a full fence issue early in the out-of-order
       // window, hiding part of the apply pipeline.
@@ -59,38 +78,38 @@ DimmReadResult OptaneDimm::Read(Addr addr, Cycles now, bool ordered) {
     }
     Cycles start = now;
     if (visible > now) {
-      result.stalled_for = visible - now;
-      counters_->rap_stall_cycles += result.stalled_for;
+      out->stalled_for = visible - now;
+      counters_->rap_stall_cycles += out->stalled_for;
       ++counters_->rap_stalled_loads;
       start = visible;
     }
-    result.complete_at = start + config_.buffer_hit_latency;
-    result.stages.rap_stall = result.stalled_for;
-    result.stages.buffer = config_.buffer_hit_latency;
-    return result;
+    out->complete_at = start + config_.buffer_hit_latency;
+    out->mem.rap_stall = out->stalled_for;
+    out->mem.buffer = config_.buffer_hit_latency;
+    return;
   }
 
   // 2. The XPLine may be write-buffered with this particular line not yet
   //    valid: the read triggers the deferred read-modify-write merge — the
   //    whole XPLine is fetched from media into the *write* buffer (which,
   //    unlike the read buffer, is not exclusive; §3.3's transition test).
-  if (write_buffer_.ContainsXPLine(line)) {
+  if (snoop.contains_xpline) {
     const Cycles ait_cost = ait_.Access(line);
     const Cycles media_done = media_.ReadXPLine(line, now + ait_cost);
     ++counters_->rmw_media_reads;
     write_buffer_.AbsorbFill(line);
-    result.complete_at = media_done + config_.buffer_hit_latency;
-    result.stages.ait = ait_cost;
-    result.stages.media = media_done - (now + ait_cost);
-    result.stages.buffer = config_.buffer_hit_latency;
-    return result;
+    out->complete_at = media_done + config_.buffer_hit_latency;
+    out->mem.ait = ait_cost;
+    out->mem.media = media_done - (now + ait_cost);
+    out->mem.buffer = config_.buffer_hit_latency;
+    return;
   }
 
   // 3. On-DIMM read buffer (exclusive: the hit consumes the line).
   if (read_buffer_.ConsumeLine(line)) {
-    result.complete_at = now + config_.buffer_hit_latency;
-    result.stages.buffer = config_.buffer_hit_latency;
-    return result;
+    out->complete_at = now + config_.buffer_hit_latency;
+    out->mem.buffer = config_.buffer_hit_latency;
+    return;
   }
 
   // 4. Media fetch of the whole XPLine, via the AIT, filling the read buffer.
@@ -103,12 +122,14 @@ DimmReadResult OptaneDimm::Read(Addr addr, Cycles now, bool ordered) {
   if (trace_track_ != 0) {
     TraceEmitter::Global().Instant(trace_track_, "read_buffer_fill", now);
   }
-  result.complete_at = media_done + config_.buffer_hit_latency;
-  result.stages.ait = ait_cost;
-  result.stages.media = media_done - (now + ait_cost);
-  result.stages.buffer = config_.buffer_hit_latency;
-  return result;
+  out->complete_at = media_done + config_.buffer_hit_latency;
+  out->mem.ait = ait_cost;
+  out->mem.media = media_done - (now + ait_cost);
+  out->mem.buffer = config_.buffer_hit_latency;
 }
+
+template void OptaneDimm::ReadImpl<true>(Addr, Cycles, bool, AccessRecord*);
+template void OptaneDimm::ReadImpl<false>(Addr, Cycles, bool, AccessRecord*);
 
 DimmWriteResult OptaneDimm::Write(Addr addr, Cycles now) {
   const Addr line = CacheLineBase(addr);

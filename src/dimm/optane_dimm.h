@@ -16,6 +16,7 @@
 
 #include "src/buffers/read_buffer.h"
 #include "src/buffers/write_buffer.h"
+#include "src/common/access_record.h"
 #include "src/common/config.h"
 #include "src/common/types.h"
 #include "src/dimm/dimm.h"
@@ -28,6 +29,15 @@ namespace pmemsim {
 class OptaneDimm : public Dimm {
  public:
   OptaneDimm(const OptaneDimmConfig& config, Counters* counters, uint64_t rng_seed = 0xD1337);
+
+  // In-place read: fills complete_at / stalled_for / mem of `out` (which must
+  // arrive value-initialized). Dispatches through a member-function pointer
+  // resolved once at construction to the generation-specialized path: G1
+  // (periodic full write-back) checks the write-back clock per read, G2/eADR
+  // skips that work entirely. The virtual Read() below wraps this.
+  void ReadInto(Addr line_addr, Cycles now, bool ordered, AccessRecord* out) {
+    (this->*read_impl_)(line_addr, now, ordered, out);
+  }
 
   DimmReadResult Read(Addr line_addr, Cycles now, bool ordered) override;
   DimmWriteResult Write(Addr line_addr, Cycles now) override;
@@ -51,9 +61,13 @@ class OptaneDimm : public Dimm {
   void Reset() override;
 
   // Host-side hint: warm the AIT translation chain a media fetch for this
-  // line would walk. Issued at access start so the fetch overlaps the cache
-  // hierarchy walk. No simulated effect.
-  void PrefetchRead(Addr line_addr) const { ait_.Prefetch(line_addr); }
+  // line would walk, plus the read/write-buffer index buckets the snoop will
+  // probe. Issued at access start so the fetches overlap the cache hierarchy
+  // walk. No simulated effect.
+  void PrefetchRead(Addr line_addr) const {
+    ait_.Prefetch(line_addr);
+    read_buffer_.PrefetchLookup(line_addr);
+  }
 
   // Test/introspection hooks.
   const ReadBuffer& read_buffer() const { return read_buffer_; }
@@ -64,7 +78,15 @@ class OptaneDimm : public Dimm {
   void SetTraceTrack(int track) { trace_track_ = track; }
 
  private:
+  // Read-path body, specialized on whether this generation runs the periodic
+  // full-XPLine write-back (true on G1, false on G2 and eADR presets).
+  template <bool kPeriodicWb>
+  void ReadImpl(Addr line_addr, Cycles now, bool ordered, AccessRecord* out);
+
   void PerformWritebacks(const std::vector<WritebackRequest>& requests, Cycles now);
+
+  using ReadImplFn = void (OptaneDimm::*)(Addr, Cycles, bool, AccessRecord*);
+  ReadImplFn read_impl_;  // bound in the constructor from the config
 
   OptaneDimmConfig config_;
   Counters* counters_;

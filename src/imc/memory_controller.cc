@@ -43,6 +43,9 @@ MemoryController::MemoryController(const PlatformConfig& platform, CounterRegist
   dram_scope_counters_ = dram_scope;
   dram_dimm_ = std::make_unique<DramDimm>(platform.dram, dram_scope);
   dram_wpq_ = std::make_unique<Wpq>(wpq_config, dram_scope);
+  if (optane_dimms_.size() == 1) {
+    sole_optane_ = optane_dimms_[0].get();
+  }
 }
 
 size_t MemoryController::OptaneIndexFor(Addr addr) const {
@@ -50,23 +53,31 @@ size_t MemoryController::OptaneIndexFor(Addr addr) const {
 }
 
 McReadResult MemoryController::Read(Addr addr, Cycles now, NodeId requester, bool ordered) {
+  AccessRecord rec;
+  ReadInto(addr, now, requester, ordered, &rec);
+  McReadResult result;
+  result.complete_at = rec.complete_at;
+  result.stalled_for = rec.stalled_for;
+  result.stages = rec.mem;
+  return result;
+}
+
+void MemoryController::ReadInto(Addr addr, Cycles now, NodeId requester, bool ordered,
+                                AccessRecord* out) {
   const Cycles hop = requester == home_node_ ? 0 : config_.numa_hop_latency;
   const Cycles issue = now + hop + config_.read_overhead;
 
-  DimmReadResult r;
-  if (KindOf(addr) == MemoryKind::kDram) {
-    r = dram_dimm_->Read(addr, issue, ordered);
+  if (addr >= kDramAddressBase) {
+    dram_dimm_->ReadInto(addr, issue, ordered, out);
   } else {
-    r = optane_dimms_[OptaneIndexFor(addr)]->Read(addr, issue, ordered);
+    OptaneDimm* dimm =
+        sole_optane_ != nullptr ? sole_optane_ : optane_dimms_[OptaneIndexFor(addr)].get();
+    dimm->ReadInto(addr, issue, ordered, out);
   }
-  McReadResult result;
-  result.complete_at = r.complete_at + hop;
-  result.stalled_for = r.stalled_for;
-  result.stages = r.stages;
+  out->complete_at += hop;
   // The iMC's own share: overhead + both hop crossings (the DIMM's stages
-  // already sum to its span, so the whole result sums to complete_at - now).
-  result.stages.imc_transit = 2 * hop + config_.read_overhead;
-  return result;
+  // already sum to its span, so the whole record sums to complete_at - now).
+  out->mem.imc_transit = 2 * hop + config_.read_overhead;
 }
 
 McWriteResult MemoryController::Write(Addr addr, Cycles now, NodeId requester) {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/access_record.h"
 #include "src/common/config.h"
 #include "src/common/types.h"
 #include "src/dimm/dimm.h"
@@ -59,6 +60,12 @@ class MemoryController {
   // 64 B cacheline read. `ordered` marks loads executing under a full fence.
   McReadResult Read(Addr addr, Cycles now, NodeId requester, bool ordered);
 
+  // In-place form of Read: writes complete_at / stalled_for / mem of `out`
+  // (which must arrive value-initialized). Routing is devirtualized — typed
+  // DIMM pointers resolved at construction, with a single-DIMM fast path that
+  // skips the interleave arithmetic. Read() above wraps this.
+  void ReadInto(Addr addr, Cycles now, NodeId requester, bool ordered, AccessRecord* out);
+
   // 64 B persist-path write (clwb write-back, nt-store, or dirty eviction).
   McWriteResult Write(Addr addr, Cycles now, NodeId requester);
 
@@ -70,7 +77,9 @@ class MemoryController {
   // may miss the whole cache hierarchy. No simulated effect.
   void PrefetchRead(Addr addr) const {
     if (KindOf(addr) != MemoryKind::kDram) {
-      optane_dimms_[OptaneIndexFor(addr)]->PrefetchRead(addr);
+      OptaneDimm* dimm =
+          sole_optane_ != nullptr ? sole_optane_ : optane_dimms_[OptaneIndexFor(addr)].get();
+      dimm->PrefetchRead(addr);
     }
   }
 
@@ -110,6 +119,9 @@ class MemoryController {
   std::vector<std::unique_ptr<Wpq>> optane_wpqs_;  // one per Optane DIMM
   std::unique_ptr<DramDimm> dram_dimm_;
   std::unique_ptr<Wpq> dram_wpq_;
+  // Non-interleaved fast path: with one Optane DIMM every PM address routes
+  // to it, so the read path skips OptaneIndexFor's divide. Null otherwise.
+  OptaneDimm* sole_optane_ = nullptr;
 
   std::vector<const Counters*> optane_scope_counters_;
   const Counters* dram_scope_counters_ = nullptr;

@@ -250,6 +250,45 @@ TEST(SchedulerTest, CollidingClocksBreakTiesByJobIndex) {
   EXPECT_EQ(order, expected);
 }
 
+TEST(SchedulerTest, BatchBoundaryTieYieldsToSmallerJobIndex) {
+  // Pins the batch-advance tie rule at the exact boundary: job 0 batches up
+  // from behind and its clock lands *equal* to parked job 1's. The batch
+  // comparison is (clock, index) < runner-up, so the equal-clock step still
+  // belongs to job 0 (smaller index) — the same first-minimum-wins order the
+  // per-step linear scan produced. A strict clock-only comparison would hand
+  // the tied step to job 1 and shift every subsequent interleaving.
+  auto system = MakeG1System(1);
+  ThreadContext& a = system->CreateThread();
+  ThreadContext& b = system->CreateThread();
+  b.AdvanceTo(50);
+  std::vector<int> order;
+  int na = 0, nb = 0;
+  std::vector<SimJob> jobs;
+  jobs.push_back({&a, [&]() {
+                    if (na >= 4) {
+                      return StepResult::kDone;
+                    }
+                    order.push_back(0);
+                    a.AddCompute(25);
+                    ++na;
+                    return StepResult::kProgress;
+                  }});
+  jobs.push_back({&b, [&]() {
+                    if (nb >= 4) {
+                      return StepResult::kDone;
+                    }
+                    order.push_back(1);
+                    b.AddCompute(25);
+                    ++nb;
+                    return StepResult::kProgress;
+                  }});
+  Scheduler::Run(jobs);
+  // Clocks: A 0->25->50 (ties B), A again at 50, B at 50 (ties A at 75),
+  // A at 75 (done), then B runs out alone.
+  const std::vector<int> expected{0, 0, 0, 1, 0, 1, 1, 1};
+  EXPECT_EQ(order, expected);
+}
+
 TEST(SchedulerTest, IdenticalRunsProduceIdenticalInterleavings) {
   // Two runs of the same mixed-cost workload must interleave identically —
   // the heap must not introduce any ordering dependence on its internal
