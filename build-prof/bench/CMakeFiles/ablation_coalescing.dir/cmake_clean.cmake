@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coalescing.dir/ablation_coalescing.cc.o"
+  "CMakeFiles/ablation_coalescing.dir/ablation_coalescing.cc.o.d"
+  "ablation_coalescing"
+  "ablation_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eadr.dir/ablation_eadr.cc.o"
+  "CMakeFiles/ablation_eadr.dir/ablation_eadr.cc.o.d"
+  "ablation_eadr"
+  "ablation_eadr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eadr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_persistency.dir/ablation_persistency.cc.o"
+  "CMakeFiles/ablation_persistency.dir/ablation_persistency.cc.o.d"
+  "ablation_persistency"
+  "ablation_persistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_persistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

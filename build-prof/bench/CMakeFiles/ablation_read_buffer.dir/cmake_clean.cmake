@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_read_buffer.dir/ablation_read_buffer.cc.o"
+  "CMakeFiles/ablation_read_buffer.dir/ablation_read_buffer.cc.o.d"
+  "ablation_read_buffer"
+  "ablation_read_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_read_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

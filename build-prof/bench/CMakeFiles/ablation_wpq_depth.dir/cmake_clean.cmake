@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wpq_depth.dir/ablation_wpq_depth.cc.o"
+  "CMakeFiles/ablation_wpq_depth.dir/ablation_wpq_depth.cc.o.d"
+  "ablation_wpq_depth"
+  "ablation_wpq_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wpq_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_write_buffer.dir/ablation_write_buffer.cc.o"
+  "CMakeFiles/ablation_write_buffer.dir/ablation_write_buffer.cc.o.d"
+  "ablation_write_buffer"
+  "ablation_write_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_write_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

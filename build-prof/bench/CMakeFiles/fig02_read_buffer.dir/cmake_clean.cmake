@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_read_buffer.dir/fig02_read_buffer.cc.o"
+  "CMakeFiles/fig02_read_buffer.dir/fig02_read_buffer.cc.o.d"
+  "fig02_read_buffer"
+  "fig02_read_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_read_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

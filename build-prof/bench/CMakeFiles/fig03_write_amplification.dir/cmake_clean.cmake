@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_write_amplification.dir/fig03_write_amplification.cc.o"
+  "CMakeFiles/fig03_write_amplification.dir/fig03_write_amplification.cc.o.d"
+  "fig03_write_amplification"
+  "fig03_write_amplification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_write_amplification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

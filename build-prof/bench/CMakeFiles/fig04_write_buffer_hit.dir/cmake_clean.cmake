@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_write_buffer_hit.dir/fig04_write_buffer_hit.cc.o"
+  "CMakeFiles/fig04_write_buffer_hit.dir/fig04_write_buffer_hit.cc.o.d"
+  "fig04_write_buffer_hit"
+  "fig04_write_buffer_hit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_write_buffer_hit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_write_buffer_hit.
+# This may be replaced when dependencies are built.

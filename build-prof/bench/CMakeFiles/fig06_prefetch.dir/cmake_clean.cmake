@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_prefetch.dir/fig06_prefetch.cc.o"
+  "CMakeFiles/fig06_prefetch.dir/fig06_prefetch.cc.o.d"
+  "fig06_prefetch"
+  "fig06_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_rap.dir/fig07_rap.cc.o"
+  "CMakeFiles/fig07_rap.dir/fig07_rap.cc.o.d"
+  "fig07_rap"
+  "fig07_rap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_rap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_btree.dir/fig12_btree.cc.o"
+  "CMakeFiles/fig12_btree.dir/fig12_btree.cc.o.d"
+  "fig12_btree"
+  "fig12_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

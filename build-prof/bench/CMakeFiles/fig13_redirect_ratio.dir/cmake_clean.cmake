@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_redirect_ratio.dir/fig13_redirect_ratio.cc.o"
+  "CMakeFiles/fig13_redirect_ratio.dir/fig13_redirect_ratio.cc.o.d"
+  "fig13_redirect_ratio"
+  "fig13_redirect_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_redirect_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_redirect_scaling.dir/fig14_redirect_scaling.cc.o"
+  "CMakeFiles/fig14_redirect_scaling.dir/fig14_redirect_scaling.cc.o.d"
+  "fig14_redirect_scaling"
+  "fig14_redirect_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_redirect_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

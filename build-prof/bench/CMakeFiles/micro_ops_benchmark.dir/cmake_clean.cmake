@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ops_benchmark.dir/micro_ops_benchmark.cc.o"
+  "CMakeFiles/micro_ops_benchmark.dir/micro_ops_benchmark.cc.o.d"
+  "micro_ops_benchmark"
+  "micro_ops_benchmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ops_benchmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_hotpath.dir/perf_hotpath.cc.o"
+  "CMakeFiles/perf_hotpath.dir/perf_hotpath.cc.o.d"
+  "perf_hotpath"
+  "perf_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemsim_bench_util.dir/sweep_runner.cc.o"
+  "CMakeFiles/pmemsim_bench_util.dir/sweep_runner.cc.o.d"
+  "libpmemsim_bench_util.a"
+  "libpmemsim_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemsim_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmemsim_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec33_buffer_separation.dir/sec33_buffer_separation.cc.o"
+  "CMakeFiles/sec33_buffer_separation.dir/sec33_buffer_separation.cc.o.d"
+  "sec33_buffer_separation"
+  "sec33_buffer_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec33_buffer_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

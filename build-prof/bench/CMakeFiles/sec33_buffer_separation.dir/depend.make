@@ -1,0 +1,2 @@
+# Empty dependencies file for sec33_buffer_separation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cceh_breakdown.dir/table1_cceh_breakdown.cc.o"
+  "CMakeFiles/table1_cceh_breakdown.dir/table1_cceh_breakdown.cc.o.d"
+  "table1_cceh_breakdown"
+  "table1_cceh_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cceh_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_explorer.dir/buffer_explorer.cc.o"
+  "CMakeFiles/buffer_explorer.dir/buffer_explorer.cc.o.d"
+  "buffer_explorer"
+  "buffer_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

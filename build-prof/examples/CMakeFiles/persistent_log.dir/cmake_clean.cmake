@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_log.dir/persistent_log.cc.o"
+  "CMakeFiles/persistent_log.dir/persistent_log.cc.o.d"
+  "persistent_log"
+  "persistent_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

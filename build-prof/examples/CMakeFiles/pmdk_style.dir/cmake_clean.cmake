@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmdk_style.dir/pmdk_style.cc.o"
+  "CMakeFiles/pmdk_style.dir/pmdk_style.cc.o.d"
+  "pmdk_style"
+  "pmdk_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmdk_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

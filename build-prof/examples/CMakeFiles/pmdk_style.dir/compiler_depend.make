@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pmdk_style.
+# This may be replaced when dependencies are built.

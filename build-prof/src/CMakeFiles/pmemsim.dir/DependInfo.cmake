@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/pmem.cc" "src/CMakeFiles/pmemsim.dir/api/pmem.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/api/pmem.cc.o.d"
+  "/root/repo/src/buffers/read_buffer.cc" "src/CMakeFiles/pmemsim.dir/buffers/read_buffer.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/buffers/read_buffer.cc.o.d"
+  "/root/repo/src/buffers/write_buffer.cc" "src/CMakeFiles/pmemsim.dir/buffers/write_buffer.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/buffers/write_buffer.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/pmemsim.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/pmemsim.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/prefetcher.cc" "src/CMakeFiles/pmemsim.dir/cache/prefetcher.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/cache/prefetcher.cc.o.d"
+  "/root/repo/src/common/backing_store.cc" "src/CMakeFiles/pmemsim.dir/common/backing_store.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/common/backing_store.cc.o.d"
+  "/root/repo/src/common/check.cc" "src/CMakeFiles/pmemsim.dir/common/check.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/common/check.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/pmemsim.dir/common/config.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/common/config.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/pmemsim.dir/common/random.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/pmemsim.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/platform.cc" "src/CMakeFiles/pmemsim.dir/core/platform.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/core/platform.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/pmemsim.dir/core/system.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/core/system.cc.o.d"
+  "/root/repo/src/cpu/scheduler.cc" "src/CMakeFiles/pmemsim.dir/cpu/scheduler.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/cpu/scheduler.cc.o.d"
+  "/root/repo/src/cpu/thread_context.cc" "src/CMakeFiles/pmemsim.dir/cpu/thread_context.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/cpu/thread_context.cc.o.d"
+  "/root/repo/src/crash/crash_injector.cc" "src/CMakeFiles/pmemsim.dir/crash/crash_injector.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/crash/crash_injector.cc.o.d"
+  "/root/repo/src/crash/persist_tracker.cc" "src/CMakeFiles/pmemsim.dir/crash/persist_tracker.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/crash/persist_tracker.cc.o.d"
+  "/root/repo/src/crash/recovery_validator.cc" "src/CMakeFiles/pmemsim.dir/crash/recovery_validator.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/crash/recovery_validator.cc.o.d"
+  "/root/repo/src/crash/workloads.cc" "src/CMakeFiles/pmemsim.dir/crash/workloads.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/crash/workloads.cc.o.d"
+  "/root/repo/src/datastores/cceh.cc" "src/CMakeFiles/pmemsim.dir/datastores/cceh.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/datastores/cceh.cc.o.d"
+  "/root/repo/src/datastores/chase_list.cc" "src/CMakeFiles/pmemsim.dir/datastores/chase_list.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/datastores/chase_list.cc.o.d"
+  "/root/repo/src/datastores/fast_fair.cc" "src/CMakeFiles/pmemsim.dir/datastores/fast_fair.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/datastores/fast_fair.cc.o.d"
+  "/root/repo/src/datastores/flat_log.cc" "src/CMakeFiles/pmemsim.dir/datastores/flat_log.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/datastores/flat_log.cc.o.d"
+  "/root/repo/src/dimm/dram_dimm.cc" "src/CMakeFiles/pmemsim.dir/dimm/dram_dimm.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/dimm/dram_dimm.cc.o.d"
+  "/root/repo/src/dimm/optane_dimm.cc" "src/CMakeFiles/pmemsim.dir/dimm/optane_dimm.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/dimm/optane_dimm.cc.o.d"
+  "/root/repo/src/imc/memory_controller.cc" "src/CMakeFiles/pmemsim.dir/imc/memory_controller.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/imc/memory_controller.cc.o.d"
+  "/root/repo/src/imc/wpq.cc" "src/CMakeFiles/pmemsim.dir/imc/wpq.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/imc/wpq.cc.o.d"
+  "/root/repo/src/media/ait.cc" "src/CMakeFiles/pmemsim.dir/media/ait.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/media/ait.cc.o.d"
+  "/root/repo/src/media/xpoint_media.cc" "src/CMakeFiles/pmemsim.dir/media/xpoint_media.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/media/xpoint_media.cc.o.d"
+  "/root/repo/src/persist/barrier.cc" "src/CMakeFiles/pmemsim.dir/persist/barrier.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/persist/barrier.cc.o.d"
+  "/root/repo/src/persist/redo_log.cc" "src/CMakeFiles/pmemsim.dir/persist/redo_log.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/persist/redo_log.cc.o.d"
+  "/root/repo/src/persist/undo_log.cc" "src/CMakeFiles/pmemsim.dir/persist/undo_log.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/persist/undo_log.cc.o.d"
+  "/root/repo/src/prefetch/helper_thread.cc" "src/CMakeFiles/pmemsim.dir/prefetch/helper_thread.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/prefetch/helper_thread.cc.o.d"
+  "/root/repo/src/trace/attribution.cc" "src/CMakeFiles/pmemsim.dir/trace/attribution.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/trace/attribution.cc.o.d"
+  "/root/repo/src/trace/counters.cc" "src/CMakeFiles/pmemsim.dir/trace/counters.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/trace/counters.cc.o.d"
+  "/root/repo/src/trace/json.cc" "src/CMakeFiles/pmemsim.dir/trace/json.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/trace/json.cc.o.d"
+  "/root/repo/src/trace/recorder.cc" "src/CMakeFiles/pmemsim.dir/trace/recorder.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/trace/recorder.cc.o.d"
+  "/root/repo/src/trace/registry.cc" "src/CMakeFiles/pmemsim.dir/trace/registry.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/trace/registry.cc.o.d"
+  "/root/repo/src/trace/replayer.cc" "src/CMakeFiles/pmemsim.dir/trace/replayer.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/trace/replayer.cc.o.d"
+  "/root/repo/src/trace/sampler.cc" "src/CMakeFiles/pmemsim.dir/trace/sampler.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/trace/sampler.cc.o.d"
+  "/root/repo/src/trace/trace_events.cc" "src/CMakeFiles/pmemsim.dir/trace/trace_events.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/trace/trace_events.cc.o.d"
+  "/root/repo/src/workload/log_patterns.cc" "src/CMakeFiles/pmemsim.dir/workload/log_patterns.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/workload/log_patterns.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/pmemsim.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/workload/ycsb.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/pmemsim.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/pmemsim.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribution_test.dir/attribution_test.cc.o"
+  "CMakeFiles/attribution_test.dir/attribution_test.cc.o.d"
+  "attribution_test"
+  "attribution_test.pdb"
+  "attribution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffers_test.dir/buffers_test.cc.o"
+  "CMakeFiles/buffers_test.dir/buffers_test.cc.o.d"
+  "buffers_test"
+  "buffers_test.pdb"
+  "buffers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_test.dir/crash_test.cc.o"
+  "CMakeFiles/crash_test.dir/crash_test.cc.o.d"
+  "crash_test"
+  "crash_test.pdb"
+  "crash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

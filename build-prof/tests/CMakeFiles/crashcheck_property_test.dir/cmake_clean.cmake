@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crashcheck_property_test.dir/crashcheck_property_test.cc.o"
+  "CMakeFiles/crashcheck_property_test.dir/crashcheck_property_test.cc.o.d"
+  "crashcheck_property_test"
+  "crashcheck_property_test.pdb"
+  "crashcheck_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crashcheck_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastores_ext_test.dir/datastores_ext_test.cc.o"
+  "CMakeFiles/datastores_ext_test.dir/datastores_ext_test.cc.o.d"
+  "datastores_ext_test"
+  "datastores_ext_test.pdb"
+  "datastores_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastores_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastores_test.dir/datastores_test.cc.o"
+  "CMakeFiles/datastores_test.dir/datastores_test.cc.o.d"
+  "datastores_test"
+  "datastores_test.pdb"
+  "datastores_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimm_test.dir/dimm_test.cc.o"
+  "CMakeFiles/dimm_test.dir/dimm_test.cc.o.d"
+  "dimm_test"
+  "dimm_test.pdb"
+  "dimm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

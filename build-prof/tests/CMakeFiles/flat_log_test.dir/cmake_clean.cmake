@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_log_test.dir/flat_log_test.cc.o"
+  "CMakeFiles/flat_log_test.dir/flat_log_test.cc.o.d"
+  "flat_log_test"
+  "flat_log_test.pdb"
+  "flat_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imc_test.dir/imc_test.cc.o"
+  "CMakeFiles/imc_test.dir/imc_test.cc.o.d"
+  "imc_test"
+  "imc_test.pdb"
+  "imc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

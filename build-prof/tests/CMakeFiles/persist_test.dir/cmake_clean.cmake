@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persist_test.dir/persist_test.cc.o"
+  "CMakeFiles/persist_test.dir/persist_test.cc.o.d"
+  "persist_test"
+  "persist_test.pdb"
+  "persist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_runner_test.dir/sweep_runner_test.cc.o"
+  "CMakeFiles/sweep_runner_test.dir/sweep_runner_test.cc.o.d"
+  "sweep_runner_test"
+  "sweep_runner_test.pdb"
+  "sweep_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_replay_test.dir/trace_replay_test.cc.o"
+  "CMakeFiles/trace_replay_test.dir/trace_replay_test.cc.o.d"
+  "trace_replay_test"
+  "trace_replay_test.pdb"
+  "trace_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

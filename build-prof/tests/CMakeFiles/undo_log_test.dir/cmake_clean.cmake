@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/undo_log_test.dir/undo_log_test.cc.o"
+  "CMakeFiles/undo_log_test.dir/undo_log_test.cc.o.d"
+  "undo_log_test"
+  "undo_log_test.pdb"
+  "undo_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/undo_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemsim_crashcheck.dir/pmemsim_crashcheck.cc.o"
+  "CMakeFiles/pmemsim_crashcheck.dir/pmemsim_crashcheck.cc.o.d"
+  "pmemsim_crashcheck"
+  "pmemsim_crashcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemsim_crashcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

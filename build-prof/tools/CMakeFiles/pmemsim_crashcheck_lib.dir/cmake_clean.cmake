@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemsim_crashcheck_lib.dir/crashcheck_lib.cc.o"
+  "CMakeFiles/pmemsim_crashcheck_lib.dir/crashcheck_lib.cc.o.d"
+  "libpmemsim_crashcheck_lib.a"
+  "libpmemsim_crashcheck_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemsim_crashcheck_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemsim_probe.dir/pmemsim_probe.cc.o"
+  "CMakeFiles/pmemsim_probe.dir/pmemsim_probe.cc.o.d"
+  "pmemsim_probe"
+  "pmemsim_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemsim_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemsim_trace.dir/pmemsim_trace.cc.o"
+  "CMakeFiles/pmemsim_trace.dir/pmemsim_trace.cc.o.d"
+  "pmemsim_trace"
+  "pmemsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

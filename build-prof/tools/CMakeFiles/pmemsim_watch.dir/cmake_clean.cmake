@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmemsim_watch.dir/pmemsim_watch.cc.o"
+  "CMakeFiles/pmemsim_watch.dir/pmemsim_watch.cc.o.d"
+  "pmemsim_watch"
+  "pmemsim_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmemsim_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
