@@ -122,6 +122,53 @@ uint64_t Histogram::Percentile(double p) const {
   return max_;
 }
 
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  PMEMSIM_CHECK(q >= 0.0 && q <= 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  // The extreme ranks are tracked exactly; skip the in-bucket interpolation,
+  // which can only blur them.
+  if (target == 1) {
+    return min_;
+  }
+  if (target == count_) {
+    return max_;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (seen + in_bucket >= target) {
+      // The rank-`target` sample is the (target - seen)-th of this bucket's
+      // samples; spread the bucket's population uniformly over its value span
+      // and read the rank's position off that line.
+      const int b = static_cast<int>(i);
+      uint64_t lo;
+      uint64_t width;
+      if (b < kSubBuckets) {
+        lo = static_cast<uint64_t>(b);
+        width = 1;
+      } else {
+        const int octave = b / kSubBuckets - 1;
+        const int sub = b % kSubBuckets;
+        lo = (static_cast<uint64_t>(kSubBuckets) | static_cast<uint64_t>(sub)) << (octave - 1);
+        width = 1ull << std::max(0, octave - 1);
+      }
+      const double pos =
+          (static_cast<double>(target - seen) - 0.5) / static_cast<double>(in_bucket);
+      const uint64_t v = lo + static_cast<uint64_t>(pos * static_cast<double>(width));
+      return std::clamp(v, min_, max_);
+    }
+    seen += in_bucket;
+  }
+  return max_;
+}
+
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

@@ -55,6 +55,14 @@ class Histogram {
   // distinguish "no samples" from "0-cycle latency" check count() first
   // (ToJson emits nulls for exactly this reason).
   uint64_t Percentile(double p) const;
+  // Exact-rank quantile extraction, q in [0, 1]: locates the bucket holding
+  // the sample of rank ceil(q * count) and interpolates the rank's position
+  // linearly across the bucket's value span. Values below 16 land in
+  // single-value buckets, so quantiles over them are exact; wider buckets
+  // bound the error by the sub-bucket resolution (1/16 relative). Returns 0
+  // on an empty histogram (check count(), as with Percentile). q=0 yields
+  // Min(), q=1 yields Max().
+  uint64_t Quantile(double q) const;
   uint64_t Min() const { return count_ ? min_ : 0; }
   uint64_t Max() const { return count_ ? max_ : 0; }
 

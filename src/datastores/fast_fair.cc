@@ -316,4 +316,28 @@ bool FastFairTree::Get(ThreadContext& ctx, uint64_t key, uint64_t* value_out) {
   return false;
 }
 
+bool FastFairTree::Update(ThreadContext& ctx, uint64_t key, uint64_t value) {
+  Addr node = root_;
+  while (IsLeaf(ctx, node) == 0) {
+    const uint64_t count = Count(ctx, node);
+    uint64_t idx = 0;
+    for (uint64_t j = 1; j < count; ++j) {
+      if (ctx.Load64(EntryAddr(node, j)) <= key) {
+        idx = j;
+      } else {
+        break;
+      }
+    }
+    node = ctx.Load64(EntryAddr(node, idx) + 8);
+  }
+  const uint64_t count = Count(ctx, node);
+  for (uint64_t j = 0; j < count; ++j) {
+    if (ctx.Load64(EntryAddr(node, j)) == key) {
+      PersistentStore64(ctx, EntryAddr(node, j) + 8, value, PersistMode::kClwbSfence);
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace pmemsim

@@ -49,6 +49,11 @@ class FastFairTree {
 
   bool Get(ThreadContext& ctx, uint64_t key, uint64_t* value_out);
 
+  // Overwrites the value of an existing key with an 8-byte atomic store plus
+  // a persistence barrier (values live on their own 8 B slot, so in-place
+  // update needs no shifting or logging). Returns false if the key is absent.
+  bool Update(ThreadContext& ctx, uint64_t key, uint64_t value);
+
   // Range scan: collects up to `max_results` (key, value) pairs with
   // key >= from, in ascending key order, walking the leaf sibling chain.
   // Returns the number of pairs written to `out`.

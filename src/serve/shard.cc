@@ -1,0 +1,309 @@
+#include "src/serve/shard.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+namespace {
+
+// Decorrelated per-(shard, stream) seed so every stochastic source — load-key
+// order, op mix, key skew, think times, arrivals — draws from its own stream.
+uint64_t SubSeed(uint64_t seed, uint32_t shard, uint32_t stream) {
+  return Mix64(seed + 0x9E3779B97F4A7C15ull * (uint64_t{shard} * 8 + stream + 1));
+}
+
+uint32_t CcehDepthFor(uint64_t keys) {
+  // One segment holds 1024 slots; start with enough segments that the preload
+  // does not spend its whole life splitting (splits still grow it as needed).
+  uint32_t depth = 4;
+  while ((uint64_t{1} << depth) * Cceh::kBucketsPerSegment * Cceh::kSlotsPerBucket < keys &&
+         depth < 24) {
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace
+
+const char* StoreName(StoreKind kind) {
+  switch (kind) {
+    case StoreKind::kCceh:
+      return "cceh";
+    case StoreKind::kFastFair:
+      return "fastfair";
+    case StoreKind::kFlatLog:
+      return "flatlog";
+  }
+  return "?";
+}
+
+std::optional<StoreKind> StoreByName(const std::string& name) {
+  if (name == "cceh") {
+    return StoreKind::kCceh;
+  }
+  if (name == "fastfair") {
+    return StoreKind::kFastFair;
+  }
+  if (name == "flatlog") {
+    return StoreKind::kFlatLog;
+  }
+  return std::nullopt;
+}
+
+const char* LoopModeName(LoopMode mode) {
+  return mode == LoopMode::kClosed ? "closed" : "open";
+}
+
+Shard::Shard(System* system, const ServeConfig& cfg, uint32_t index, ThreadContext& loader)
+    : system_(system),
+      cfg_(cfg),
+      index_(index),
+      queue_(cfg.queue_depth),
+      mix_sampler_(cfg.mix, SubSeed(cfg.seed, index, 0)),
+      zipf_(cfg.keys, cfg.theta, SubSeed(cfg.seed, index, 1)),
+      think_rng_(SubSeed(cfg.seed, index, 2)),
+      key_scramble_salt_(SubSeed(cfg.seed, index, 3)),
+      next_insert_key_(cfg.keys + 1),
+      arrivals_(cfg.interarrival_cycles, SubSeed(cfg.seed, index, 4)) {
+  PMEMSIM_CHECK(cfg.keys > 0);
+  latest_skew_ = !cfg.mix_name.empty() && (cfg.mix_name[0] == 'd' || cfg.mix_name[0] == 'D');
+  switch (cfg.store) {
+    case StoreKind::kCceh:
+      cceh_ = std::make_unique<Cceh>(system, loader, CcehDepthFor(cfg.keys), MemoryKind::kOptane);
+      break;
+    case StoreKind::kFastFair:
+      tree_ = std::make_unique<FastFairTree>(system, loader);
+      break;
+    case StoreKind::kFlatLog: {
+      // Every update/insert/rmw appends one record, so size the log for the
+      // preload plus the full op budget (rounded up to whole batches).
+      uint64_t slots = cfg.keys + cfg.ops + FlatLog::kSlotsPerBatch;
+      slots = (slots + FlatLog::kSlotsPerBatch - 1) / FlatLog::kSlotsPerBatch *
+              FlatLog::kSlotsPerBatch;
+      flat_ = std::make_unique<FlatLog>(system, system->AllocatePm(slots * FlatLog::kSlotSize));
+      break;
+    }
+  }
+  load_keys_ = MakeLoadKeys(cfg.keys, SubSeed(cfg.seed, index, 5));
+}
+
+bool Shard::LoadStep(ThreadContext& ctx) {
+  if (loaded_ >= cfg_.keys) {
+    return false;
+  }
+  const uint64_t key = load_keys_[loaded_];
+  StoreInsert(ctx, key, Mix64(key));
+  ++loaded_;
+  if (loaded_ == cfg_.keys && flat_ != nullptr) {
+    flat_->Flush(ctx);  // preload durability point before serving starts
+  }
+  return true;
+}
+
+void Shard::StartServing(Cycles t0) {
+  serve_start_ = t0;
+  if (cfg_.loop == LoopMode::kClosed) {
+    const uint64_t first = std::min<uint64_t>(cfg_.clients, cfg_.ops);
+    for (uint32_t c = 0; c < first; ++c) {
+      pending_.push(PendingArrival{t0 + ThinkDraw(), c});
+      ++scheduled_;
+    }
+  } else if (cfg_.ops > 0) {
+    next_open_arrival_ = t0 + arrivals_.Next();
+  }
+}
+
+void Shard::CatchUpAdmissions(Cycles now) {
+  if (cfg_.loop == LoopMode::kClosed) {
+    while (!pending_.empty() && pending_.top().time <= now) {
+      const PendingArrival arr = pending_.top();
+      pending_.pop();
+      if (!queue_.Offer(Materialize(arr.time, arr.client)) && scheduled_ < cfg_.ops) {
+        // Shed: the client backs off one think time and offers a fresh op.
+        pending_.push(PendingArrival{arr.time + ThinkDraw(), arr.client});
+        ++scheduled_;
+      }
+    }
+    return;
+  }
+  while (open_issued_ < cfg_.ops && next_open_arrival_ <= now) {
+    queue_.Offer(Materialize(next_open_arrival_, open_seq_++));  // shed = dropped
+    ++open_issued_;
+    if (open_issued_ < cfg_.ops) {
+      next_open_arrival_ = serve_start_ + arrivals_.Next();
+    }
+  }
+}
+
+size_t Shard::ClaimBatch(std::vector<Request>* out) {
+  const size_t n = queue_.ClaimBatch(cfg_.batch, out);
+  in_flight_ += n;
+  return n;
+}
+
+void Shard::Execute(ThreadContext& ctx, const Request& r) {
+  uint64_t value = 0;
+  switch (r.op) {
+    case ServeOp::kRead:
+      if (!StoreGet(ctx, r.key, &value)) {
+        ++stats_.not_found;
+      }
+      break;
+    case ServeOp::kUpdate:
+      StoreUpdate(ctx, r.key, Mix64(r.key + r.arrival));
+      break;
+    case ServeOp::kInsert:
+      StoreInsert(ctx, r.key, Mix64(r.key));
+      break;
+    case ServeOp::kScan:
+      StoreScan(ctx, r.key, r.scan_len);
+      break;
+    case ServeOp::kRmw:
+      if (!StoreGet(ctx, r.key, &value)) {
+        ++stats_.not_found;
+      }
+      StoreUpdate(ctx, r.key, value + 1);
+      break;
+  }
+}
+
+void Shard::CompleteRequest(const Request& r, Cycles start, Cycles end) {
+  stats_.RecordCompletion(r, start, end);
+  PMEMSIM_CHECK(in_flight_ > 0);
+  --in_flight_;
+  if (cfg_.loop == LoopMode::kClosed && scheduled_ < cfg_.ops) {
+    pending_.push(PendingArrival{end + ThinkDraw(), r.client});
+    ++scheduled_;
+  }
+}
+
+bool Shard::Drained() const {
+  if (!queue_.empty() || in_flight_ != 0) {
+    return false;
+  }
+  return cfg_.loop == LoopMode::kClosed ? pending_.empty() : open_issued_ >= cfg_.ops;
+}
+
+std::optional<Cycles> Shard::NextArrivalTime() const {
+  if (cfg_.loop == LoopMode::kClosed) {
+    return pending_.empty() ? std::nullopt : std::optional<Cycles>(pending_.top().time);
+  }
+  return open_issued_ < cfg_.ops ? std::optional<Cycles>(next_open_arrival_) : std::nullopt;
+}
+
+void Shard::FinalizeStats() {
+  stats_.offered = queue_.offered();
+  stats_.rejected = queue_.rejected();
+}
+
+Request Shard::Materialize(Cycles time, uint32_t client) {
+  Request r;
+  r.arrival = time;
+  r.client = client;
+  r.op = mix_sampler_.Next();
+  switch (r.op) {
+    case ServeOp::kInsert:
+      r.key = next_insert_key_++;
+      break;
+    case ServeOp::kScan:
+      r.key = SkewedKey();
+      r.scan_len = cfg_.scan_len;
+      break;
+    default:
+      r.key = SkewedKey();
+      break;
+  }
+  return r;
+}
+
+uint64_t Shard::SkewedKey() {
+  const uint64_t population = next_insert_key_ - 1;  // keys 1..population exist
+  const uint64_t rank = zipf_.Next();
+  if (latest_skew_) {
+    // Mix D: rank 0 is the newest key, per YCSB's latest distribution.
+    return population - rank % population;
+  }
+  // YCSB-style scrambled zipfian: hot ranks scatter across the key space.
+  return 1 + Mix64(rank ^ key_scramble_salt_) % population;
+}
+
+Cycles Shard::ThinkDraw() {
+  const double u = think_rng_.NextDouble();
+  const double cycles = -cfg_.think_cycles * std::log(1.0 - u);
+  return cycles < 1.0 ? Cycles{1} : static_cast<Cycles>(cycles);
+}
+
+bool Shard::StoreGet(ThreadContext& ctx, uint64_t key, uint64_t* value_out) {
+  switch (cfg_.store) {
+    case StoreKind::kCceh:
+      return cceh_->Get(ctx, key, value_out);
+    case StoreKind::kFastFair:
+      return tree_->Get(ctx, key, value_out);
+    case StoreKind::kFlatLog: {
+      uint8_t buf[FlatLog::kMaxPayload] = {};
+      uint32_t len = 0;
+      if (!flat_->Get(ctx, key, buf, &len)) {
+        return false;
+      }
+      std::memcpy(value_out, buf, sizeof(*value_out));
+      return true;
+    }
+  }
+  return false;
+}
+
+void Shard::StoreUpdate(ThreadContext& ctx, uint64_t key, uint64_t value) {
+  switch (cfg_.store) {
+    case StoreKind::kCceh:
+      cceh_->Insert(ctx, key, value);  // CCEH insert updates in place
+      break;
+    case StoreKind::kFastFair:
+      if (!tree_->Update(ctx, key, value)) {
+        ++stats_.not_found;
+      }
+      break;
+    case StoreKind::kFlatLog:
+      if (!flat_->Put(ctx, key, &value, sizeof(value))) {
+        ++store_full_;
+      }
+      break;
+  }
+}
+
+void Shard::StoreInsert(ThreadContext& ctx, uint64_t key, uint64_t value) {
+  switch (cfg_.store) {
+    case StoreKind::kCceh:
+      cceh_->Insert(ctx, key, value);
+      break;
+    case StoreKind::kFastFair:
+      tree_->Insert(ctx, key, value, BTreeUpdateMode::kInPlace);
+      break;
+    case StoreKind::kFlatLog:
+      if (!flat_->Put(ctx, key, &value, sizeof(value))) {
+        ++store_full_;
+      }
+      break;
+  }
+}
+
+void Shard::StoreScan(ThreadContext& ctx, uint64_t from, uint32_t len) {
+  if (cfg_.store == StoreKind::kFastFair) {
+    std::vector<std::pair<uint64_t, uint64_t>> out(len);
+    tree_->Scan(ctx, from, len, out.data());
+    return;
+  }
+  // Hash-shaped stores have no key order; emulate the range as `len`
+  // consecutive point reads (YCSB's usual adaptation for KV stores).
+  const uint64_t population = next_insert_key_ - 1;
+  uint64_t value = 0;
+  for (uint32_t i = 0; i < len; ++i) {
+    const uint64_t key = (from - 1 + i) % population + 1;
+    if (!StoreGet(ctx, key, &value)) {
+      ++stats_.not_found;
+    }
+  }
+}
+
+}  // namespace pmemsim

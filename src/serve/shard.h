@@ -1,0 +1,177 @@
+// One shard of the serving tier: a datastore instance (CCEH, FAST&FAIR, or
+// FlatLog) behind a bounded admission queue, fed by a closed- or open-loop
+// client population and served by M worker ThreadContexts.
+//
+// Event model (all in simulated time, driven by the lockstep scheduler):
+//  * arrivals live in a pending set — a (time, client) min-heap for the
+//    closed loop, a lazily-advanced Poisson cursor for the open loop;
+//  * admission is processed by whichever worker observes simulated time
+//    first: CatchUpAdmissions(now) folds every arrival <= now into the
+//    bounded queue in arrival order, shedding on full. Because the lockstep
+//    scheduler only ever steps the minimum-clock job, claims and catch-ups
+//    happen in global clock order, so queue occupancy — and therefore every
+//    shed decision — is a pure function of the seed;
+//  * a shed open-loop arrival is dropped; a shed closed-loop client backs
+//    off one think time and retries (each retry is a new offered op);
+//  * request content (op category, key) is materialized at admission time
+//    from the shard's MixSampler and skewed key generator, so the request
+//    stream is deterministic per seed whatever the worker interleaving.
+//
+// The shard owns a per-shard AttributionCollector; the tier installs it on
+// the shard's worker contexts for the serving phase so the memory-side tail
+// decomposition (media/buffer/RAP/WPQ-wait) is reported per shard.
+
+#ifndef SRC_SERVE_SHARD_H_
+#define SRC_SERVE_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/core/system.h"
+#include "src/cpu/thread_context.h"
+#include "src/datastores/cceh.h"
+#include "src/datastores/fast_fair.h"
+#include "src/datastores/flat_log.h"
+#include "src/serve/request.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/service_stats.h"
+#include "src/trace/attribution.h"
+#include "src/workload/ycsb.h"
+#include "src/workload/zipf.h"
+
+namespace pmemsim {
+
+enum class StoreKind : uint8_t { kCceh, kFastFair, kFlatLog };
+const char* StoreName(StoreKind kind);
+// nullopt for unknown names ("cceh" | "fastfair" | "flatlog").
+std::optional<StoreKind> StoreByName(const std::string& name);
+
+enum class LoopMode : uint8_t { kClosed, kOpen };
+const char* LoopModeName(LoopMode mode);
+
+// Tier-wide configuration; every count is per shard unless noted.
+struct ServeConfig {
+  StoreKind store = StoreKind::kFastFair;
+  LoopMode loop = LoopMode::kClosed;
+  std::string mix_name = "b";
+  YcsbMix mix = YcsbMix{0.95, 0.05, 0, 0, 0};
+  uint32_t shards = 4;
+  uint32_t workers_per_shard = 2;
+  uint64_t queue_depth = 64;
+  uint64_t batch = 8;              // max requests a worker claims at once
+  uint32_t clients = 8;            // closed loop: client population
+  double think_cycles = 4000;      // closed loop: mean exponential think time
+  double interarrival_cycles = 1500;  // open loop: mean Poisson inter-arrival
+  uint64_t ops = 20000;            // admission attempts (offered ops) budget
+  uint64_t keys = 20000;           // preloaded key population
+  double theta = 0.99;             // Zipfian skew of the hot-key distribution
+  uint32_t scan_len = 16;          // YCSB-E scan length
+  uint64_t seed = 42;
+};
+
+class Shard {
+ public:
+  // Builds the shard's store (construction is timed on `loader`, the shard's
+  // first worker context, like a real preload).
+  Shard(System* system, const ServeConfig& cfg, uint32_t index, ThreadContext& loader);
+
+  // --- load phase (one preloaded key per call, timed on `ctx`) ---
+  bool LoadStep(ThreadContext& ctx);  // false once all cfg.keys are loaded
+
+  // --- serving phase ---
+  void StartServing(Cycles t0);
+
+  // Folds every pending arrival with time <= now into the bounded queue, in
+  // arrival order, shedding on full (see file comment for the loop policies).
+  void CatchUpAdmissions(Cycles now);
+
+  // Claims up to cfg.batch queued requests for a worker. Returns the count.
+  size_t ClaimBatch(std::vector<Request>* out);
+
+  // Executes one request against the store on `ctx` (clock advances).
+  void Execute(ThreadContext& ctx, const Request& r);
+
+  // Records the completion and, in the closed loop, schedules the client's
+  // next request one think time after `end`.
+  void CompleteRequest(const Request& r, Cycles start, Cycles end);
+
+  // True when no arrival is pending, the queue is empty, and no claimed
+  // request is still in flight — the shard will never produce work again.
+  bool Drained() const;
+
+  // The next pending arrival time (> the last CatchUpAdmissions clock), or
+  // nullopt when none is scheduled. Idle workers park just past this.
+  std::optional<Cycles> NextArrivalTime() const;
+
+  uint32_t index() const { return index_; }
+  const RequestQueue& queue() const { return queue_; }
+  ServiceStats& stats() { return stats_; }
+  const ServiceStats& stats() const { return stats_; }
+  AttributionCollector& attribution() { return attribution_; }
+  // Copies the queue's offered/rejected counters into stats() (end of run).
+  void FinalizeStats();
+
+ private:
+  struct PendingArrival {
+    Cycles time;
+    uint32_t client;
+    bool operator>(const PendingArrival& o) const {
+      return time != o.time ? time > o.time : client > o.client;
+    }
+  };
+
+  Request Materialize(Cycles time, uint32_t client);
+  uint64_t SkewedKey();
+  Cycles ThinkDraw();  // exponential, mean cfg.think_cycles, >= 1
+  // Store dispatch.
+  bool StoreGet(ThreadContext& ctx, uint64_t key, uint64_t* value_out);
+  void StoreUpdate(ThreadContext& ctx, uint64_t key, uint64_t value);
+  void StoreInsert(ThreadContext& ctx, uint64_t key, uint64_t value);
+  void StoreScan(ThreadContext& ctx, uint64_t from, uint32_t len);
+
+  System* system_;
+  const ServeConfig& cfg_;
+  uint32_t index_;
+
+  // Exactly one store is non-null, selected by cfg.store.
+  std::unique_ptr<Cceh> cceh_;
+  std::unique_ptr<FastFairTree> tree_;
+  std::unique_ptr<FlatLog> flat_;
+
+  RequestQueue queue_;
+  ServiceStats stats_;
+  AttributionCollector attribution_;
+
+  MixSampler mix_sampler_;
+  ZipfGenerator zipf_;
+  Rng think_rng_;
+  bool latest_skew_ = false;  // mix D: reads target the newest keys
+  uint64_t key_scramble_salt_;
+
+  std::vector<uint64_t> load_keys_;
+  uint64_t loaded_ = 0;
+  uint64_t next_insert_key_;
+
+  // Closed loop: pending client re-issues. Open loop: the Poisson cursor.
+  std::priority_queue<PendingArrival, std::vector<PendingArrival>, std::greater<PendingArrival>>
+      pending_;
+  PoissonArrivalGenerator arrivals_;
+  Cycles serve_start_ = 0;
+  Cycles next_open_arrival_ = 0;
+  uint64_t open_issued_ = 0;   // open loop: arrivals issued so far
+  uint64_t scheduled_ = 0;     // closed loop: attempts issued or pending
+  uint32_t open_seq_ = 0;
+  uint64_t in_flight_ = 0;     // claimed but not yet completed
+  uint64_t store_full_ = 0;    // FlatLog appends refused (log exhausted)
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_SERVE_SHARD_H_

@@ -1,0 +1,176 @@
+#include "src/serve/tier.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/cpu/scheduler.h"
+#include "src/trace/json.h"
+
+namespace pmemsim {
+namespace {
+
+// How far an idle worker advances when its shard has no pending arrival but
+// peers still hold requests in flight. Small enough to observe completions
+// promptly, large enough not to dominate step counts.
+constexpr Cycles kIdleQuantum = 256;
+
+}  // namespace
+
+ServiceTier::ServiceTier(System* system, const ServeConfig& cfg) : system_(system), cfg_(cfg) {
+  PMEMSIM_CHECK(cfg_.shards > 0 && cfg_.workers_per_shard > 0);
+  shards_.reserve(cfg_.shards);
+  workers_.reserve(static_cast<size_t>(cfg_.shards) * cfg_.workers_per_shard);
+  for (uint32_t s = 0; s < cfg_.shards; ++s) {
+    ThreadContext* loader = nullptr;
+    for (uint32_t i = 0; i < cfg_.workers_per_shard; ++i) {
+      ThreadContext& ctx = system_->CreateThread();
+      if (i == 0) {
+        loader = &ctx;
+      }
+      Worker wk;
+      wk.ctx = &ctx;
+      wk.shard = s;
+      workers_.push_back(std::move(wk));
+    }
+    shards_.push_back(std::make_unique<Shard>(system_, cfg_, s, *loader));
+  }
+}
+
+void ServiceTier::Run() {
+  PMEMSIM_CHECK_MSG(!ran_, "ServiceTier::Run is one-shot");
+  ran_ = true;
+
+  // Phase 1: preload, one job per shard on the shard's first worker. All
+  // loaders interleave through the shared memory system in clock order.
+  std::vector<SimJob> load_jobs;
+  for (uint32_t s = 0; s < cfg_.shards; ++s) {
+    ThreadContext* ctx = workers_[static_cast<size_t>(s) * cfg_.workers_per_shard].ctx;
+    Shard* shard = shards_[s].get();
+    load_jobs.push_back(SimJob{ctx, [shard, ctx] {
+                                 return shard->LoadStep(*ctx) ? StepResult::kProgress
+                                                              : StepResult::kDone;
+                               }});
+  }
+  load_end_ = Scheduler::Run(load_jobs);
+
+  // Align every worker to a common serve-phase origin so queue-wait and
+  // sojourn cycles are comparable across shards.
+  serve_start_ = load_end_;
+  for (Worker& wk : workers_) {
+    wk.ctx->AdvanceTo(serve_start_);
+    wk.ctx->SetAttribution(&shards_[wk.shard]->attribution());
+  }
+  for (auto& shard : shards_) {
+    shard->StartServing(serve_start_);
+  }
+
+  // Phase 2: serve until every shard drains.
+  std::vector<SimJob> serve_jobs;
+  for (Worker& wk : workers_) {
+    serve_jobs.push_back(SimJob{wk.ctx, [this, &wk] { return WorkerStep(wk); }});
+  }
+  Scheduler::Run(serve_jobs);
+
+  for (Worker& wk : workers_) {
+    wk.ctx->SetAttribution(nullptr);
+  }
+  for (auto& shard : shards_) {
+    shard->FinalizeStats();
+  }
+}
+
+StepResult ServiceTier::WorkerStep(Worker& wk) {
+  Shard& shard = *shards_[wk.shard];
+  ThreadContext& ctx = *wk.ctx;
+  if (wk.next >= wk.claimed.size()) {
+    wk.claimed.clear();
+    wk.next = 0;
+    // This step begins at the globally minimal clock (lockstep invariant), so
+    // folding arrivals <= now here reproduces admission order exactly.
+    shard.CatchUpAdmissions(ctx.clock());
+    if (shard.ClaimBatch(&wk.claimed) == 0) {
+      if (shard.Drained()) {
+        return StepResult::kDone;
+      }
+      const auto next = shard.NextArrivalTime();
+      ctx.AdvanceTo(next.has_value() ? std::max(*next, ctx.clock() + 1)
+                                     : ctx.clock() + kIdleQuantum);
+      return StepResult::kProgress;
+    }
+  }
+  const Request r = wk.claimed[wk.next++];
+  const Cycles start = ctx.clock();
+  shard.Execute(ctx, r);
+  if (ctx.clock() == start) {
+    ctx.AddCompute(1);  // scheduler contract: every step advances the clock
+  }
+  shard.CompleteRequest(r, start, ctx.clock());
+  return StepResult::kProgress;
+}
+
+Cycles ServiceTier::end_cycle() const {
+  Cycles end = serve_start_;
+  for (const auto& shard : shards_) {
+    end = std::max(end, shard->stats().last_completion);
+  }
+  return end;
+}
+
+ServiceStats ServiceTier::GlobalStats() const {
+  ServiceStats global;
+  for (const auto& shard : shards_) {
+    global.Merge(shard->stats());
+  }
+  return global;
+}
+
+void ServiceTier::ToJson(JsonWriter& w) const {
+  const double ghz = system_->config().cpu_ghz;
+  w.BeginObject();
+  w.Key("config").BeginObject();
+  w.Key("store").Value(StoreName(cfg_.store));
+  w.Key("loop").Value(LoopModeName(cfg_.loop));
+  w.Key("mix").Value(cfg_.mix_name);
+  w.Key("shards").Value(static_cast<uint64_t>(cfg_.shards));
+  w.Key("workers_per_shard").Value(static_cast<uint64_t>(cfg_.workers_per_shard));
+  w.Key("queue_depth").Value(cfg_.queue_depth);
+  w.Key("batch").Value(cfg_.batch);
+  w.Key("clients").Value(static_cast<uint64_t>(cfg_.clients));
+  w.Key("think_cycles").Value(cfg_.think_cycles);
+  w.Key("interarrival_cycles").Value(cfg_.interarrival_cycles);
+  w.Key("ops").Value(cfg_.ops);
+  w.Key("keys").Value(cfg_.keys);
+  w.Key("theta").Value(cfg_.theta);
+  w.Key("scan_len").Value(static_cast<uint64_t>(cfg_.scan_len));
+  w.Key("seed").Value(cfg_.seed);
+  w.EndObject();
+  w.Key("load_cycles").Value(static_cast<uint64_t>(load_end_));
+  w.Key("serve_start").Value(static_cast<uint64_t>(serve_start_));
+  w.Key("end_cycle").Value(static_cast<uint64_t>(end_cycle()));
+  w.Key("global");
+  GlobalStats().ToJson(w, ghz, serve_start_);
+  w.Key("shards").BeginArray();
+  for (const auto& shard : shards_) {
+    w.BeginObject();
+    w.Key("shard").Value(static_cast<uint64_t>(shard->index()));
+    w.Key("queue").BeginObject();
+    w.Key("depth").Value(static_cast<uint64_t>(shard->queue().depth()));
+    w.Key("max_occupancy").Value(shard->queue().max_occupancy());
+    w.EndObject();
+    w.Key("stats");
+    shard->stats().ToJson(w, ghz, serve_start_);
+    w.Key("attribution");
+    shard->attribution().ToJson(w);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string ServiceTier::ToJson() const {
+  JsonWriter w;
+  ToJson(w);
+  return w.str();
+}
+
+}  // namespace pmemsim

@@ -1,0 +1,83 @@
+// ServiceTier: the whole serving deployment for one configuration — N shards,
+// each with its own store and worker ThreadContexts, run through the lockstep
+// scheduler in two phases:
+//
+//   1. load — each shard's first worker preloads cfg.keys records (one store
+//      insert per scheduler step, so shards contend realistically for the
+//      shared memory system);
+//   2. serve — every worker context is first aligned to the same start cycle
+//      t0 (max clock after loading), then workers loop: catch up admissions
+//      to their clock, claim a batch, execute one request per step. A worker
+//      with no work parks just past the shard's next arrival (or an idle
+//      quantum when it waits on peers) and retires once the shard is drained.
+//
+// Per-shard AttributionCollectors are installed on the workers for the serve
+// phase only, so the reported memory-side decomposition covers serving, not
+// the preload.
+//
+// Determinism: the tier runs on one OS thread; all randomness derives from
+// cfg.seed. Running independent tiers on separate System instances (one per
+// sweep point) is what makes the CLI's --jobs parallelism byte-stable.
+
+#ifndef SRC_SERVE_TIER_H_
+#define SRC_SERVE_TIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/system.h"
+#include "src/cpu/scheduler.h"
+#include "src/cpu/thread_context.h"
+#include "src/serve/shard.h"
+#include "src/serve/service_stats.h"
+
+namespace pmemsim {
+
+class JsonWriter;
+
+class ServiceTier {
+ public:
+  // Creates cfg.shards shards and cfg.workers_per_shard workers each on
+  // `system` (construction builds the stores; preload happens in Run).
+  ServiceTier(System* system, const ServeConfig& cfg);
+
+  // Runs load then serve to completion. Idempotent guard: call once.
+  void Run();
+
+  Cycles load_end() const { return load_end_; }
+  Cycles serve_start() const { return serve_start_; }
+  // Max completion cycle across shards (== makespan end of the serve phase).
+  Cycles end_cycle() const;
+
+  const ServeConfig& config() const { return cfg_; }
+  const std::vector<std::unique_ptr<Shard>>& shards() const { return shards_; }
+  ServiceStats GlobalStats() const;  // merged across shards
+
+  // {"config":{...},"serve_start":..,"global":{ServiceStats},
+  //  "shards":[{"shard":0,"queue":{...},"stats":{...},"attribution":{...}}]}
+  void ToJson(JsonWriter& w) const;
+  std::string ToJson() const;
+
+ private:
+  struct Worker {
+    ThreadContext* ctx = nullptr;
+    uint32_t shard = 0;
+    std::vector<Request> claimed;
+    size_t next = 0;  // cursor into `claimed`
+  };
+
+  StepResult WorkerStep(Worker& wk);
+
+  System* system_;
+  ServeConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Worker> workers_;
+  Cycles load_end_ = 0;
+  Cycles serve_start_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace pmemsim
+
+#endif  // SRC_SERVE_TIER_H_

@@ -1,9 +1,97 @@
 #include "src/workload/ycsb.h"
 
+#include <cctype>
+#include <cmath>
+
 #include "src/common/check.h"
 #include "src/workload/zipf.h"
 
 namespace pmemsim {
+
+const char* ServeOpName(ServeOp op) {
+  switch (op) {
+    case ServeOp::kRead:
+      return "read";
+    case ServeOp::kUpdate:
+      return "update";
+    case ServeOp::kInsert:
+      return "insert";
+    case ServeOp::kScan:
+      return "scan";
+    case ServeOp::kRmw:
+      return "rmw";
+  }
+  return "?";
+}
+
+std::optional<YcsbMix> MixByName(const std::string& name) {
+  if (name.size() != 1) {
+    return std::nullopt;
+  }
+  switch (std::tolower(static_cast<unsigned char>(name[0]))) {
+    case 'a':
+      return YcsbMix{0.50, 0.50, 0, 0, 0};
+    case 'b':
+      return YcsbMix{0.95, 0.05, 0, 0, 0};
+    case 'c':
+      return YcsbMix{1.00, 0, 0, 0, 0};
+    case 'd':
+      return YcsbMix{0.95, 0, 0.05, 0, 0};
+    case 'e':
+      return YcsbMix{0, 0, 0.05, 0.95, 0};
+    case 'f':
+      return YcsbMix{0.50, 0, 0, 0, 0.50};
+    default:
+      return std::nullopt;
+  }
+}
+
+MixSampler::MixSampler(const YcsbMix& mix, uint64_t seed) : rng_(seed) {
+  const double shares[kServeOpCount] = {mix.read, mix.update, mix.insert, mix.scan, mix.rmw};
+  double cum = 0.0;
+  for (int i = 0; i < kServeOpCount; ++i) {
+    PMEMSIM_CHECK(shares[i] >= 0.0);
+    cum += shares[i];
+    cum_[i] = cum;
+  }
+  PMEMSIM_CHECK(std::abs(cum - 1.0) < 1e-9);
+  // Absorb rounding into the last band with a positive share, so a sum that
+  // lands epsilon short of 1.0 can never draw a zero-share op.
+  for (int i = kServeOpCount - 1; i >= 0; --i) {
+    if (shares[i] > 0.0) {
+      for (int j = i; j < kServeOpCount; ++j) {
+        cum_[j] = 1.0;
+      }
+      break;
+    }
+  }
+}
+
+ServeOp MixSampler::Next() {
+  const double u = rng_.NextDouble();
+  for (int i = 0; i < kServeOpCount - 1; ++i) {
+    if (u < cum_[i]) {
+      return static_cast<ServeOp>(i);
+    }
+  }
+  return static_cast<ServeOp>(kServeOpCount - 1);
+}
+
+PoissonArrivalGenerator::PoissonArrivalGenerator(double mean_interarrival_cycles, uint64_t seed)
+    : mean_(mean_interarrival_cycles), rng_(seed) {
+  PMEMSIM_CHECK(mean_ > 0.0);
+}
+
+double PoissonArrivalGenerator::NextInterarrival() {
+  // Inverse-CDF sampling; NextDouble is in [0, 1), so 1-u is in (0, 1] and
+  // the log is finite.
+  return -mean_ * std::log(1.0 - rng_.NextDouble());
+}
+
+Cycles PoissonArrivalGenerator::Next() {
+  t_ += NextInterarrival();
+  return static_cast<Cycles>(t_);
+}
 
 std::vector<uint64_t> MakeLoadKeys(uint64_t count, uint64_t seed) {
   std::vector<uint64_t> keys(count);

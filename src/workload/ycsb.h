@@ -5,15 +5,68 @@
 #define SRC_WORKLOAD_YCSB_H_
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/common/types.h"
 
 namespace pmemsim {
 
 enum class KeyDistribution : uint8_t {
   kUniform,   // uniformly random existing key
   kZipfian,   // theta = 0.99
+};
+
+// Request-op categories of the standard YCSB core workloads.
+enum class ServeOp : uint8_t { kRead, kUpdate, kInsert, kScan, kRmw };
+inline constexpr int kServeOpCount = 5;
+const char* ServeOpName(ServeOp op);
+
+// One core-workload operation mix; the shares sum to 1.
+struct YcsbMix {
+  double read = 0;
+  double update = 0;
+  double insert = 0;
+  double scan = 0;
+  double rmw = 0;
+};
+
+// The standard core mixes by letter ("a".."f", case-insensitive):
+//   A 50/50 read/update   B 95/5 read/update      C read-only
+//   D 95/5 read/insert    E 95/5 scan/insert      F 50/50 read/rmw
+// Returns nullopt for unknown names so callers route the error through their
+// flag-rejection path (like PlatformByName).
+std::optional<YcsbMix> MixByName(const std::string& name);
+
+// Draws op categories i.i.d. with the mix's shares (cumulative thresholds
+// over one uniform double, so the draw order is stable per seed).
+class MixSampler {
+ public:
+  MixSampler(const YcsbMix& mix, uint64_t seed);
+  ServeOp Next();
+
+ private:
+  double cum_[kServeOpCount];
+  Rng rng_;
+};
+
+// Open-loop Poisson arrival process: exponential inter-arrival times with the
+// given mean (in cycles), accumulated into absolute arrival cycles.
+class PoissonArrivalGenerator {
+ public:
+  PoissonArrivalGenerator(double mean_interarrival_cycles, uint64_t seed);
+
+  // Absolute cycle of the next arrival (monotone non-decreasing).
+  Cycles Next();
+  // The raw exponential draw, exposed for distribution tests.
+  double NextInterarrival();
+
+ private:
+  double mean_;
+  double t_ = 0.0;
+  Rng rng_;
 };
 
 // The YCSB load phase: `count` unique non-zero keys in randomized order.

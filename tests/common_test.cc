@@ -8,6 +8,7 @@
 #include <cstring>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "src/common/backing_store.h"
 #include "src/common/config.h"
@@ -147,6 +148,81 @@ TEST(StatsTest, HistogramLargeValues) {
   h.Add(1);
   EXPECT_EQ(h.Max(), 1ull << 40);
   EXPECT_GE(h.Percentile(100), (1ull << 39));
+}
+
+// Reference model for Quantile: the exact rank-ceil(q*n) order statistic.
+uint64_t ExactQuantile(std::vector<uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  size_t rank = static_cast<size_t>(std::ceil(q * static_cast<double>(values.size())));
+  if (rank == 0) {
+    rank = 1;
+  }
+  return values[rank - 1];
+}
+
+TEST(StatsTest, QuantileEmptyHistogramReturnsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 0u);
+}
+
+TEST(StatsTest, QuantileExactForSingleValueBuckets) {
+  // Values below 16 land in exact single-value buckets, so every quantile
+  // must equal the reference order statistic exactly.
+  Histogram h;
+  std::vector<uint64_t> values;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.NextBelow(16);
+    h.Add(v);
+    values.push_back(v);
+  }
+  for (double q : {0.01, 0.25, 0.50, 0.90, 0.99, 0.999}) {
+    EXPECT_EQ(h.Quantile(q), ExactQuantile(values, q)) << "q=" << q;
+  }
+}
+
+TEST(StatsTest, QuantileMatchesReferenceWithinBucketResolution) {
+  // Wider log buckets bound the error by the sub-bucket width: 1/16 relative.
+  Histogram h;
+  std::vector<uint64_t> values;
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = 1 + rng.NextBelow(1u << 20);
+    h.Add(v);
+    values.push_back(v);
+  }
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const double expect = static_cast<double>(ExactQuantile(values, q));
+    const double got = static_cast<double>(h.Quantile(q));
+    EXPECT_NEAR(got, expect, expect / 8.0) << "q=" << q;
+  }
+}
+
+TEST(StatsTest, QuantileEndpointsAndMonotonicity) {
+  Histogram h;
+  Rng rng(13);
+  for (int i = 0; i < 3000; ++i) {
+    h.Add(5 + rng.NextBelow(100000));
+  }
+  EXPECT_EQ(h.Quantile(0.0), h.Min());
+  EXPECT_EQ(h.Quantile(1.0), h.Max());
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const uint64_t v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(StatsTest, QuantileSingleSample) {
+  Histogram h;
+  h.Add(1234);
+  for (double q : {0.0, 0.5, 0.999, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 1234u);
+  }
 }
 
 TEST(BackingStoreTest, ZeroFilledReads) {

@@ -67,6 +67,55 @@ TEST(BtreeScanTest, ScanCrossesLeaves) {
   }
 }
 
+// ---------- FastFairTree::Update ----------
+
+TEST(BtreeUpdateTest, UpdateOverwritesInPlace) {
+  Fixture f;
+  FastFairTree tree(f.system.get(), *f.ctx);
+  const auto keys = MakeLoadKeys(2000, 3);
+  for (const uint64_t k : keys) {
+    tree.Insert(*f.ctx, k, k, BTreeUpdateMode::kInPlace);
+  }
+  const uint64_t nodes_before = tree.node_count();
+  for (const uint64_t k : keys) {
+    EXPECT_TRUE(tree.Update(*f.ctx, k, k + 7));
+  }
+  // Updates overwrite the 8-byte value slot: no shifting, no splits, no new
+  // nodes, and every key reads back the new value.
+  EXPECT_EQ(tree.node_count(), nodes_before);
+  EXPECT_EQ(tree.size(), keys.size());
+  for (const uint64_t k : keys) {
+    uint64_t v = 0;
+    ASSERT_TRUE(tree.Get(*f.ctx, k, &v));
+    EXPECT_EQ(v, k + 7);
+  }
+}
+
+TEST(BtreeUpdateTest, UpdateMissingKeyFails) {
+  Fixture f;
+  FastFairTree tree(f.system.get(), *f.ctx);
+  tree.Insert(*f.ctx, 10, 10, BTreeUpdateMode::kInPlace);
+  EXPECT_FALSE(tree.Update(*f.ctx, 11, 1));
+  uint64_t v = 0;
+  ASSERT_TRUE(tree.Get(*f.ctx, 10, &v));
+  EXPECT_EQ(v, 10u);
+}
+
+TEST(BtreeUpdateTest, UpdatedValueIsPersisted) {
+  // The overwrite must reach the persistence domain: after the update's
+  // barrier, dropping all volatile cache state must still read the new value.
+  Fixture f;
+  FastFairTree tree(f.system.get(), *f.ctx);
+  for (uint64_t k = 1; k <= 100; ++k) {
+    tree.Insert(*f.ctx, k, k, BTreeUpdateMode::kInPlace);
+  }
+  ASSERT_TRUE(tree.Update(*f.ctx, 42, 4242));
+  f.system->ResetMicroarchState();
+  uint64_t v = 0;
+  ASSERT_TRUE(tree.Get(*f.ctx, 42, &v));
+  EXPECT_EQ(v, 4242u);
+}
+
 // ---------- CCEH::Erase ----------
 
 TEST(CcehEraseTest, EraseRemovesKey) {

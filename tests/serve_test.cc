@@ -1,0 +1,207 @@
+// Serving-tier tests: admission-queue mechanics, closed/open-loop completion,
+// shed determinism, per-shard/global aggregation, and the latency identity
+// sojourn == queue wait + service.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/platform.h"
+#include "src/serve/request_queue.h"
+#include "src/serve/tier.h"
+#include "src/trace/json.h"
+
+namespace pmemsim {
+namespace {
+
+// ---------- RequestQueue ----------
+
+TEST(RequestQueueTest, BoundedDepthShedsWhenFull) {
+  RequestQueue q(3);
+  Request r;
+  EXPECT_TRUE(q.Offer(r));
+  EXPECT_TRUE(q.Offer(r));
+  EXPECT_TRUE(q.Offer(r));
+  EXPECT_FALSE(q.Offer(r));  // depth 3: the fourth is shed
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.offered(), 4u);
+  EXPECT_EQ(q.rejected(), 1u);
+  EXPECT_EQ(q.max_occupancy(), 3u);
+}
+
+TEST(RequestQueueTest, ClaimBatchIsFifoAndBounded) {
+  RequestQueue q(16);
+  for (uint64_t k = 1; k <= 10; ++k) {
+    Request r;
+    r.key = k;
+    ASSERT_TRUE(q.Offer(r));
+  }
+  std::vector<Request> batch;
+  EXPECT_EQ(q.ClaimBatch(4, &batch), 4u);
+  EXPECT_EQ(q.ClaimBatch(100, &batch), 6u);  // the remainder, appended
+  EXPECT_EQ(q.ClaimBatch(4, &batch), 0u);
+  ASSERT_EQ(batch.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(batch[i].key, i + 1) << "FIFO order";
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------- ServiceTier ----------
+
+ServeConfig SmallConfig() {
+  ServeConfig cfg;
+  cfg.shards = 2;
+  cfg.workers_per_shard = 2;
+  cfg.keys = 400;
+  cfg.ops = 400;
+  cfg.clients = 4;
+  cfg.think_cycles = 800;
+  cfg.interarrival_cycles = 400;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::string RunTierJson(const ServeConfig& cfg) {
+  auto system = MakeG1System(2);
+  ServiceTier tier(system.get(), cfg);
+  tier.Run();
+  return tier.ToJson();
+}
+
+TEST(ServiceTierTest, ClosedLoopCompletesTheOfferedBudget) {
+  ServeConfig cfg = SmallConfig();
+  cfg.loop = LoopMode::kClosed;
+  cfg.mix = *MixByName("a");
+  cfg.mix_name = "a";
+  auto system = MakeG1System(2);
+  ServiceTier tier(system.get(), cfg);
+  tier.Run();
+  const ServiceStats global = tier.GlobalStats();
+  // A deep-enough queue sheds nothing, so every offered attempt completes and
+  // the budget is exactly ops per shard.
+  EXPECT_EQ(global.offered, cfg.ops * cfg.shards);
+  EXPECT_EQ(global.rejected, 0u);
+  EXPECT_EQ(global.completed, cfg.ops * cfg.shards);
+  EXPECT_GT(global.OpsPerSec(system->config().cpu_ghz, tier.serve_start()), 0.0);
+}
+
+TEST(ServiceTierTest, SojournIsWaitPlusServiceExactly) {
+  ServeConfig cfg = SmallConfig();
+  cfg.loop = LoopMode::kClosed;
+  cfg.mix = *MixByName("f");  // rmw exercises read + write per request
+  cfg.mix_name = "f";
+  auto system = MakeG1System(2);
+  ServiceTier tier(system.get(), cfg);
+  tier.Run();
+  for (const auto& shard : tier.shards()) {
+    const ServiceStats& s = shard->stats();
+    EXPECT_EQ(s.sojourn_total, s.wait_total + s.service_total) << "shard " << shard->index();
+  }
+  const ServiceStats global = tier.GlobalStats();
+  EXPECT_EQ(global.sojourn_total, global.wait_total + global.service_total);
+}
+
+TEST(ServiceTierTest, GlobalAggregatesShards) {
+  ServeConfig cfg = SmallConfig();
+  cfg.loop = LoopMode::kOpen;
+  cfg.mix = *MixByName("b");
+  cfg.mix_name = "b";
+  auto system = MakeG1System(2);
+  ServiceTier tier(system.get(), cfg);
+  tier.Run();
+  uint64_t completed = 0, offered = 0, rejected = 0;
+  Cycles last = 0;
+  for (const auto& shard : tier.shards()) {
+    completed += shard->stats().completed;
+    offered += shard->stats().offered;
+    rejected += shard->stats().rejected;
+    last = std::max(last, shard->stats().last_completion);
+  }
+  const ServiceStats global = tier.GlobalStats();
+  EXPECT_EQ(global.completed, completed);
+  EXPECT_EQ(global.offered, offered);
+  EXPECT_EQ(global.rejected, rejected);
+  EXPECT_EQ(global.last_completion, last);
+  EXPECT_EQ(global.offered, global.completed + global.rejected);
+  EXPECT_EQ(global.sojourn.count(), global.completed);
+}
+
+TEST(ServiceTierTest, OpenLoopTightQueueShedsDeterministically) {
+  ServeConfig cfg = SmallConfig();
+  cfg.loop = LoopMode::kOpen;
+  cfg.mix = *MixByName("a");
+  cfg.mix_name = "a";
+  cfg.queue_depth = 2;
+  cfg.interarrival_cycles = 60;  // overload: arrivals outpace service
+  const std::string first = RunTierJson(cfg);
+  const std::string second = RunTierJson(cfg);
+  EXPECT_EQ(first, second) << "same seed must reproduce every shed decision";
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(first, &parsed));
+  const JsonValue* global = parsed.Find("global");
+  ASSERT_NE(global, nullptr);
+  EXPECT_GT(global->Find("rejected")->AsUint(), 0u) << "overload must shed";
+  EXPECT_EQ(global->Find("offered")->AsUint(), cfg.ops * cfg.shards);
+  EXPECT_EQ(global->Find("offered")->AsUint(),
+            global->Find("completed")->AsUint() + global->Find("rejected")->AsUint());
+}
+
+TEST(ServiceTierTest, BatchSizeVariantsAllComplete) {
+  for (const uint64_t batch : {uint64_t{1}, uint64_t{4}, uint64_t{32}}) {
+    ServeConfig cfg = SmallConfig();
+    cfg.loop = LoopMode::kClosed;
+    cfg.mix = *MixByName("c");
+    cfg.mix_name = "c";
+    cfg.batch = batch;
+    auto system = MakeG1System(2);
+    ServiceTier tier(system.get(), cfg);
+    tier.Run();
+    EXPECT_EQ(tier.GlobalStats().completed, cfg.ops * cfg.shards) << "batch " << batch;
+  }
+}
+
+TEST(ServiceTierTest, AttributionCoversTheServePhase) {
+  ServeConfig cfg = SmallConfig();
+  cfg.loop = LoopMode::kClosed;
+  cfg.mix = *MixByName("b");
+  cfg.mix_name = "b";
+  auto system = MakeG1System(2);
+  ServiceTier tier(system.get(), cfg);
+  tier.Run();
+  for (const auto& shard : tier.shards()) {
+    const AttributionCollector& attr = shard->attribution();
+    EXPECT_GT(attr.access_count(), 0u) << "shard " << shard->index();
+    // Exact conservation per access: stage totals sum to end-to-end.
+    EXPECT_EQ(attr.StageTotalSum(), attr.end_to_end_total());
+    EXPECT_LE(attr.OpQuantile(AttributionCollector::kLoad, 0.5),
+              attr.OpQuantile(AttributionCollector::kLoad, 0.999));
+  }
+}
+
+TEST(ServiceTierTest, EveryStoreServesEveryMix) {
+  for (const StoreKind store : {StoreKind::kCceh, StoreKind::kFastFair, StoreKind::kFlatLog}) {
+    for (const char* mix : {"a", "b", "c", "d", "e", "f"}) {
+      ServeConfig cfg = SmallConfig();
+      cfg.keys = 150;
+      cfg.ops = 150;
+      cfg.shards = 1;
+      cfg.store = store;
+      cfg.mix = *MixByName(mix);
+      cfg.mix_name = mix;
+      cfg.scan_len = 8;
+      auto system = MakeG1System(1);
+      ServiceTier tier(system.get(), cfg);
+      tier.Run();
+      const ServiceStats global = tier.GlobalStats();
+      EXPECT_EQ(global.completed + global.rejected, global.offered)
+          << StoreName(store) << "/" << mix;
+      EXPECT_GT(global.completed, 0u) << StoreName(store) << "/" << mix;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pmemsim

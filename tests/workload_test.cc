@@ -158,5 +158,138 @@ TEST(ZipfTest, RankFrequencyMonotone) {
   EXPECT_GT(mid, tail);
 }
 
+TEST(MixTest, MixByNameKnowsTheCoreWorkloads) {
+  // The canonical shares of YCSB A-F, case-insensitive lookup.
+  const auto a = MixByName("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->read, 0.50);
+  EXPECT_DOUBLE_EQ(a->update, 0.50);
+  const auto b = MixByName("B");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_DOUBLE_EQ(b->read, 0.95);
+  EXPECT_DOUBLE_EQ(b->update, 0.05);
+  const auto c = MixByName("c");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ(c->read, 1.0);
+  const auto d = MixByName("d");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_DOUBLE_EQ(d->read, 0.95);
+  EXPECT_DOUBLE_EQ(d->insert, 0.05);
+  const auto e = MixByName("e");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->scan, 0.95);
+  EXPECT_DOUBLE_EQ(e->insert, 0.05);
+  const auto f = MixByName("f");
+  ASSERT_TRUE(f.has_value());
+  EXPECT_DOUBLE_EQ(f->read, 0.50);
+  EXPECT_DOUBLE_EQ(f->rmw, 0.50);
+  EXPECT_FALSE(MixByName("g").has_value());
+  EXPECT_FALSE(MixByName("").has_value());
+  EXPECT_FALSE(MixByName("ab").has_value());
+}
+
+TEST(MixTest, SampledRatiosMatchEveryCoreMix) {
+  // Mirrors ZipfTest.HeadFrequenciesMatchTheory: a chi-squared statistic over
+  // the op-category partition of each core mix. Every core mix has at most
+  // two positive-share categories (df <= 1; the 99.9th percentile of chi2(1)
+  // is 10.8), so 20 leaves margin against seed sensitivity. Zero-share
+  // categories must never be drawn at all — the sampler pins the cumulative
+  // tail to exactly 1.0 so rounding can't leak them in.
+  const int samples = 100000;
+  for (const char* name : {"a", "b", "c", "d", "e", "f"}) {
+    const auto mix = MixByName(name);
+    ASSERT_TRUE(mix.has_value()) << name;
+    const double share[kServeOpCount] = {mix->read, mix->update, mix->insert, mix->scan,
+                                         mix->rmw};
+    MixSampler sampler(*mix, 17);
+    uint64_t counts[kServeOpCount] = {};
+    for (int i = 0; i < samples; ++i) {
+      ++counts[static_cast<size_t>(sampler.Next())];
+    }
+    double chi2 = 0.0;
+    for (int op = 0; op < kServeOpCount; ++op) {
+      if (share[op] == 0.0) {
+        EXPECT_EQ(counts[op], 0u) << "mix " << name << " drew zero-share op "
+                                  << ServeOpName(static_cast<ServeOp>(op));
+        continue;
+      }
+      const double expected = samples * share[op];
+      chi2 += (counts[op] - expected) * (counts[op] - expected) / expected;
+    }
+    EXPECT_LT(chi2, 20.0) << "mix " << name;
+  }
+}
+
+TEST(MixTest, SamplerDeterministicPerSeed) {
+  const auto mix = MixByName("a");
+  ASSERT_TRUE(mix.has_value());
+  MixSampler a(*mix, 31);
+  MixSampler b(*mix, 31);
+  MixSampler c(*mix, 32);
+  bool diverged = false;
+  for (int i = 0; i < 2000; ++i) {
+    const ServeOp va = a.Next();
+    ASSERT_EQ(va, b.Next()) << i;
+    diverged = diverged || va != c.Next();
+  }
+  EXPECT_TRUE(diverged);  // a different seed gives a different stream
+}
+
+TEST(PoissonTest, ArrivalsAreMonotoneWithCorrectMean) {
+  const double mean = 500.0;
+  PoissonArrivalGenerator gen(mean, 23);
+  Cycles prev = 0;
+  const int n = 100000;
+  Cycles last = 0;
+  for (int i = 0; i < n; ++i) {
+    const Cycles t = gen.Next();
+    ASSERT_GE(t, prev) << i;
+    prev = t;
+    last = t;
+  }
+  // Sum of n exponentials has mean n*mean and stddev sqrt(n)*mean: a +-5
+  // sigma band around the expected total is a robust mean check.
+  const double expect = n * mean;
+  const double sigma = std::sqrt(static_cast<double>(n)) * mean;
+  EXPECT_NEAR(static_cast<double>(last), expect, 5.0 * sigma);
+}
+
+TEST(PoissonTest, InterarrivalsAreExponential) {
+  // Chi-squared over equal-probability bins of the exponential CDF: bin k of
+  // K catches draws in [-mean*ln(1-k/K), -mean*ln(1-(k+1)/K)), each with
+  // probability 1/K. df=15; the 99.9th percentile of chi2(15) is 37.7, and a
+  // uniform (non-exponential) generator lands in the thousands.
+  const double mean = 1000.0;
+  PoissonArrivalGenerator gen(mean, 41);
+  constexpr int kBins = 16;
+  const int samples = 160000;
+  uint64_t counts[kBins] = {};
+  for (int i = 0; i < samples; ++i) {
+    const double x = gen.NextInterarrival();
+    ASSERT_GE(x, 0.0);
+    // CDF(x) = 1 - exp(-x/mean) in [0, 1) maps to its equal-probability bin.
+    const double u = 1.0 - std::exp(-x / mean);
+    int bin = static_cast<int>(u * kBins);
+    if (bin >= kBins) {
+      bin = kBins - 1;
+    }
+    ++counts[bin];
+  }
+  const double expected = static_cast<double>(samples) / kBins;
+  double chi2 = 0.0;
+  for (uint64_t c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 45.0);
+}
+
+TEST(PoissonTest, DeterministicPerSeed) {
+  PoissonArrivalGenerator a(700.0, 5);
+  PoissonArrivalGenerator b(700.0, 5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next()) << i;
+  }
+}
+
 }  // namespace
 }  // namespace pmemsim

@@ -1,0 +1,229 @@
+// pmemsim_serve — the sharded KV request-serving tier.
+//
+// Stands up N shards (each its own datastore instance with M worker threads
+// and a bounded admission queue) on one simulated machine per configuration,
+// drives YCSB core mixes from closed-loop (fixed clients, exponential think)
+// or open-loop (Poisson arrivals) client populations, and reports throughput
+// plus exact-rank p50/p99/p999 sojourn tails per shard and globally. The
+// per-shard memory-side decomposition (media/buffer/RAP/WPQ) comes from the
+// attribution layer and lands in the --stats_json "serve" section.
+//
+//   $ pmemsim_serve --store=fastfair --mixes=a,b --loop=both --shards=4
+//   $ pmemsim_serve --store=cceh --mixes=a --loop=open --arrival_interval=300
+//       --queue_depth=16 --stats_json=serve.json
+//
+// Each (mix, loop) combination is one sweep point with its own System and
+// seed-derived randomness, so --jobs=N parallelism keeps stdout and the JSON
+// report byte-identical to a serial run.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
+#include "src/core/platform.h"
+#include "src/serve/tier.h"
+#include "src/trace/json.h"
+#include "src/workload/ycsb.h"
+
+namespace {
+
+using namespace pmemsim;
+
+struct ServeCliConfig {
+  PlatformConfig platform;
+  uint32_t dimms = 0;  // 0 = one DIMM per shard
+  ServeConfig serve;
+  std::vector<std::string> mixes;
+  std::vector<LoopMode> loops;
+  bool quiet = false;
+};
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) {
+      out.push_back(s.substr(start, end - start));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+void EmitScope(pmemsim_bench::SweepPoint& point, const ServeCliConfig& cli,
+               const std::string& mix, LoopMode loop, const std::string& scope,
+               const ServiceStats& stats, Cycles serve_start) {
+  const double ghz = cli.platform.cpu_ghz;
+  const double ops_sec = stats.OpsPerSec(ghz, serve_start);
+  const uint64_t p50 = stats.sojourn.Quantile(0.50);
+  const uint64_t p99 = stats.sojourn.Quantile(0.99);
+  const uint64_t p999 = stats.sojourn.Quantile(0.999);
+  if (!cli.quiet) {
+    point.Printf("%s,%s,%s,%s,%.0f,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                 ",%" PRIu64 "\n",
+                 mix.c_str(), LoopModeName(loop), StoreName(cli.serve.store), scope.c_str(),
+                 ops_sec, p50, p99, p999, stats.offered, stats.rejected, stats.completed);
+  }
+  point.AddRow()
+      .Set("mix", mix)
+      .Set("loop", LoopModeName(loop))
+      .Set("store", StoreName(cli.serve.store))
+      .Set("scope", scope)
+      .Set("shards", cli.serve.shards)
+      .Set("workers_per_shard", cli.serve.workers_per_shard)
+      .Set("ops_per_sec", ops_sec)
+      .Set("sojourn_p50", p50)
+      .Set("sojourn_p99", p99)
+      .Set("sojourn_p999", p999)
+      .Set("offered", stats.offered)
+      .Set("rejected", stats.rejected)
+      .Set("completed", stats.completed);
+}
+
+void RunPoint(const ServeCliConfig& cli, const std::string& mix, LoopMode loop,
+              pmemsim_bench::SweepPoint& point, std::string* serve_json) {
+  ServeConfig cfg = cli.serve;
+  cfg.mix_name = mix;
+  cfg.mix = *MixByName(mix);
+  cfg.loop = loop;
+  const uint32_t dimms = cli.dimms != 0 ? cli.dimms : cfg.shards;
+  System system(cli.platform, dimms);
+  ServiceTier tier(&system, cfg);
+  tier.Run();
+  EmitScope(point, cli, mix, loop, "global", tier.GlobalStats(), tier.serve_start());
+  for (const auto& shard : tier.shards()) {
+    char scope[16];
+    std::snprintf(scope, sizeof(scope), "shard%u", shard->index());
+    EmitScope(point, cli, mix, loop, scope, shard->stats(), tier.serve_start());
+  }
+  *serve_json = tier.ToJson();
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pmemsim_serve [--store=cceh|fastfair|flatlog] [--mixes=a,b,c,d,e,f]\n"
+      "                     [--loop=closed|open|both] [--shards=4] [--workers=2]\n"
+      "                     [--queue_depth=64] [--batch=8] [--clients=8] [--think=4000]\n"
+      "                     [--arrival_interval=1500] [--ops=20000] [--keys=20000]\n"
+      "                     [--theta=0.99] [--scan_len=16] [--seed=42]\n"
+      "                     [--platform=g1|g2|g2-eadr] [--dimms=0] [--jobs=1] [--quiet]\n"
+      "%s",
+      pmemsim_bench::kTelemetryFlagsHelp);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    return Usage();
+  }
+
+  ServeCliConfig cli;
+  const std::string platform_name = flags.Get("platform", "g1");
+  const auto platform = PlatformByName(platform_name);
+  if (!platform) {
+    pmemsim_bench::Flags::BadValue("platform", platform_name, "g1|g2|g2-eadr");
+  }
+  cli.platform = *platform;
+  cli.dimms = static_cast<uint32_t>(flags.GetU64("dimms", 0));
+
+  const std::string store_name = flags.Get("store", "fastfair");
+  const auto store = StoreByName(store_name);
+  if (!store) {
+    pmemsim_bench::Flags::BadValue("store", store_name, "cceh|fastfair|flatlog");
+  }
+  cli.serve.store = *store;
+
+  cli.mixes = SplitCsv(flags.Get("mixes", "a,b,c,d,e,f"));
+  if (cli.mixes.empty()) {
+    pmemsim_bench::Flags::BadValue("mixes", flags.Get("mixes", ""), "comma list of a..f");
+  }
+  for (const std::string& mix : cli.mixes) {
+    if (!MixByName(mix)) {
+      pmemsim_bench::Flags::BadValue("mixes", mix, "YCSB core mix a..f");
+    }
+  }
+
+  const std::string loop = flags.Get("loop", "both");
+  if (loop == "closed") {
+    cli.loops = {LoopMode::kClosed};
+  } else if (loop == "open") {
+    cli.loops = {LoopMode::kOpen};
+  } else if (loop == "both") {
+    cli.loops = {LoopMode::kClosed, LoopMode::kOpen};
+  } else {
+    pmemsim_bench::Flags::BadValue("loop", loop, "closed|open|both");
+  }
+
+  cli.serve.shards = static_cast<uint32_t>(flags.GetU64("shards", 4));
+  cli.serve.workers_per_shard = static_cast<uint32_t>(flags.GetU64("workers", 2));
+  cli.serve.queue_depth = flags.GetU64("queue_depth", 64);
+  cli.serve.batch = flags.GetU64("batch", 8);
+  cli.serve.clients = static_cast<uint32_t>(flags.GetU64("clients", 8));
+  cli.serve.think_cycles = flags.GetDouble("think", 4000);
+  cli.serve.interarrival_cycles = flags.GetDouble("arrival_interval", 1500);
+  cli.serve.ops = flags.GetU64("ops", 20000);
+  cli.serve.keys = flags.GetU64("keys", 20000);
+  cli.serve.theta = flags.GetDouble("theta", 0.99);
+  cli.serve.scan_len = static_cast<uint32_t>(flags.GetU64("scan_len", 16));
+  cli.serve.seed = flags.GetU64("seed", 42);
+  cli.quiet = flags.Has("quiet");
+  if (cli.serve.shards == 0 || cli.serve.workers_per_shard == 0 || cli.serve.queue_depth == 0 ||
+      cli.serve.batch == 0 || cli.serve.keys == 0) {
+    pmemsim_bench::Flags::BadValue("shards", "0", "positive counts");
+  }
+
+  pmemsim_bench::BenchReport report(flags, "pmemsim_serve");
+  pmemsim_bench::SweepRunner runner(flags);
+  flags.RejectUnknown();
+
+  pmemsim_bench::PrintHeader("pmemsim_serve",
+                             "sharded KV serving tier: YCSB mixes, admission, tail latency");
+  std::printf("mix,loop,store,scope,ops_per_sec,sojourn_p50,sojourn_p99,sojourn_p999,offered,"
+              "rejected,completed\n");
+
+  // One sweep point per (mix, loop): its own System, deterministic per seed.
+  // Per-point tier JSON lands in a pre-sized slot so --jobs parallelism keeps
+  // the assembled "serve" section in submission order.
+  std::vector<std::string> serve_sections(cli.mixes.size() * cli.loops.size());
+  size_t index = 0;
+  for (const std::string& mix : cli.mixes) {
+    for (const LoopMode mode : cli.loops) {
+      std::string* slot = &serve_sections[index++];
+      const std::string label = "mix-" + mix + "/" + LoopModeName(mode);
+      runner.Add(label, [&cli, mix, mode, slot](pmemsim_bench::SweepPoint& point) {
+        RunPoint(cli, mix, mode, point, slot);
+      });
+    }
+  }
+
+  const int failed = runner.Run(report);
+  pmemsim::JsonWriter serve;
+  serve.BeginArray();
+  for (const std::string& section : serve_sections) {
+    if (section.empty()) {
+      serve.Null();  // failed point: row carries the error, keep indexes stable
+    } else {
+      serve.Raw(section);
+    }
+  }
+  serve.EndArray();
+  report.AddSection("serve", serve.str());
+  const int rc = report.Finish();
+  if (failed > 0) {
+    std::fprintf(stderr, "pmemsim_serve: %d point(s) failed\n", failed);
+    return 1;
+  }
+  return rc;
+}
