@@ -311,7 +311,15 @@ class BenchReport {
 inline const char* kTelemetryFlagsHelp =
     "  --stats_json=<path>    write rows as JSON (for scripts/check_figures.py)\n"
     "  --trace_out=<path>     write a chrome://tracing event file\n"
-    "  --samples_json=<path>  write the interval-sampler time series as JSON\n";
+    "  --samples_json=<path>  write the interval-sampler time series as JSON\n"
+    "  --jobs=N               host parallelism ACROSS sweep points: N points\n"
+    "                         run concurrently, each a complete independent\n"
+    "                         simulation; output stays byte-identical to\n"
+    "                         --jobs=1. Not to be confused with\n"
+    "                         --engine_threads, the host parallelism WITHIN\n"
+    "                         one point that benches with a partitioned\n"
+    "                         serving tier (pmemsim_serve) accept; benches\n"
+    "                         without a domain partition reject it.\n";
 
 }  // namespace pmemsim_bench
 

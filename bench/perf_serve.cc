@@ -1,0 +1,181 @@
+// Engine-scaling harness for the partitioned serving engine (not a paper
+// figure): measures how many simulated serving ops per wall-clock second
+// DomainTier sustains on an 8-shard open-loop YCSB-B point as the host
+// thread count (--engine_threads) grows, and writes a trajectory baseline
+// (BENCH_serve.json at the repo root) that CI's perf-smoke job gates with
+// scripts/check_perf.py.
+//
+// Output: CSV  workload,threads,ops,wall_ms,sim_mops_per_sec,speedup_vs_1t
+//
+// The harness is also a determinism gate in its own right: every rep at every
+// thread count must produce a byte-identical tier report (DomainTier::ToJson),
+// and the run fails loudly if any pair diverges — wall time is the ONLY thing
+// host threading may change.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/platform.h"
+#include "src/serve/domain_tier.h"
+#include "src/workload/ycsb.h"
+
+namespace {
+
+using namespace pmemsim;
+
+double Now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RunResult {
+  double wall_sec = 0.0;
+  uint64_t completed = 0;
+  std::string report_json;
+};
+
+RunResult RunOnce(const PlatformConfig& platform, const ServeConfig& cfg) {
+  RunResult r;
+  const double t0 = Now();
+  DomainTier tier(platform, /*dimms_per_domain=*/1, cfg);
+  tier.Run();
+  r.wall_sec = Now() - t0;
+  r.completed = tier.GlobalStats().completed;
+  r.report_json = tier.ToJson();
+  return r;
+}
+
+std::vector<uint32_t> ParseThreads(const std::string& csv) {
+  std::vector<uint32_t> out;
+  size_t start = 0;
+  while (start < csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) {
+      const unsigned long v = std::strtoul(csv.substr(start, end - start).c_str(), nullptr, 10);
+      if (v == 0) {
+        pmemsim_bench::Flags::BadValue("threads", csv, "comma list of thread counts >= 1");
+      }
+      out.push_back(static_cast<uint32_t>(v));
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  if (out.empty()) {
+    pmemsim_bench::Flags::BadValue("threads", csv, "comma list of thread counts >= 1");
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pmemsim_bench::Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: perf_serve [--quick] [--ops_scale=<pct>] [--threads=1,4] [--reps=<n>]\n"
+        "  --quick        1/8 of the default per-shard op budget (CI perf-smoke mode)\n"
+        "  --ops_scale=N  scale the default op budget to N%% (overrides --quick)\n"
+        "  --threads=CSV  --engine_threads values to measure (default 1,4)\n"
+        "  --reps=N       repetitions per thread count (default 3), interleaved\n"
+        "                 round-robin so host-load drift biases every thread\n"
+        "                 count equally; reported throughput is the median\n"
+        "  --stats_json defaults to BENCH_serve.json (pass --stats_json= to disable)\n"
+        "The simulated point: 8-shard open-loop YCSB-B on fastfair, G1 platform.\n"
+        "Every rep at every thread count must byte-match the same tier report;\n"
+        "wall time is the only thing host threading may change.\n%s",
+        pmemsim_bench::kTelemetryFlagsHelp);
+    return 0;
+  }
+  const bool quick = flags.Has("quick");
+  const uint64_t ops_scale = flags.GetU64("ops_scale", quick ? 100 / 8 : 100);
+  const uint64_t reps = std::max<uint64_t>(1, flags.GetU64("reps", 3));
+  const std::vector<uint32_t> threads = ParseThreads(flags.Get("threads", "1,4"));
+  pmemsim_bench::BenchReport report(flags, "perf_serve", "BENCH_serve.json");
+  flags.RejectUnknown();
+
+  const PlatformConfig platform = *PlatformByName("g1");
+  ServeConfig cfg;
+  cfg.store = StoreKind::kFastFair;
+  cfg.loop = LoopMode::kOpen;
+  cfg.mix_name = "b";
+  cfg.mix = *MixByName("b");
+  cfg.shards = 8;
+  cfg.workers_per_shard = 2;
+  cfg.ops = std::max<uint64_t>(1, 50000 * ops_scale / 100);  // per shard
+  cfg.keys = 20000;                                          // per shard
+  cfg.seed = 42;
+
+  pmemsim_bench::PrintHeader("perf_serve",
+                             "partitioned-engine scaling: simulated serving ops per wall second");
+  std::printf("workload,threads,ops,wall_ms,sim_mops_per_sec,speedup_vs_1t\n");
+  int rc = 0;
+
+  // Interleaved repetitions (rep 0 of every thread count, then rep 1, ...) so
+  // ambient host load drifts across every thread count's sample set equally.
+  std::vector<std::vector<RunResult>> samples(threads.size());
+  for (uint64_t rep = 0; rep < reps; ++rep) {
+    for (size_t ti = 0; ti < threads.size(); ++ti) {
+      ServeConfig point = cfg;
+      point.engine_threads = threads[ti];
+      samples[ti].push_back(RunOnce(platform, point));
+    }
+  }
+
+  // Determinism gate: one canonical report, every sample must byte-match it.
+  const std::string& canonical = samples[0][0].report_json;
+  for (size_t ti = 0; ti < threads.size(); ++ti) {
+    for (const RunResult& s : samples[ti]) {
+      if (s.report_json != canonical) {
+        std::fprintf(stderr,
+                     "error: tier report diverges at --engine_threads=%u — the "
+                     "partitioned engine is nondeterministic\n",
+                     threads[ti]);
+        rc = 1;
+      }
+    }
+  }
+
+  double base_mops = 0.0;
+  for (size_t ti = 0; ti < threads.size(); ++ti) {
+    const RunResult& first = samples[ti].front();
+    std::vector<double> walls;
+    for (const RunResult& s : samples[ti]) {
+      walls.push_back(s.wall_sec);
+    }
+    std::sort(walls.begin(), walls.end());
+    const double wall_sec = walls.size() % 2 == 1
+                                ? walls[walls.size() / 2]
+                                : 0.5 * (walls[walls.size() / 2 - 1] + walls[walls.size() / 2]);
+    if (wall_sec <= 0.0 || first.completed == 0) {
+      std::fprintf(stderr, "error: measured nothing at --engine_threads=%u\n", threads[ti]);
+      rc = 1;
+      continue;
+    }
+    const double mops = static_cast<double>(first.completed) / wall_sec / 1e6;
+    if (ti == 0) {
+      base_mops = mops;
+    }
+    const double speedup = base_mops > 0.0 ? mops / base_mops : 0.0;
+    char name[32];
+    std::snprintf(name, sizeof(name), "serve_et%u", threads[ti]);
+    std::printf("%s,%u,%llu,%.1f,%.3f,%.2f\n", name, threads[ti],
+                static_cast<unsigned long long>(first.completed), wall_sec * 1e3, mops, speedup);
+    report.AddRow()
+        .Set("workload", name)
+        .Set("threads", threads[ti])
+        .Set("reps", reps)
+        .Set("ops", first.completed)
+        .Set("wall_ms", wall_sec * 1e3)
+        .Set("sim_mops_per_sec", mops)
+        .Set("speedup_vs_1t", speedup);
+  }
+  const int finish_rc = report.Finish();
+  return rc != 0 ? rc : finish_rc;
+}

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Gate engine throughput against the committed perf_hotpath baseline.
+"""Gate engine throughput against a committed perf baseline.
 
-Compares a fresh perf_hotpath stats export against the checked-in
-BENCH_hotpath.json and fails when any workload's simulated-ops/sec falls
-below `1 / --max_regression` of its baseline (default: a 2x slowdown).
+Compares a fresh perf-bench stats export (any bench whose rows carry
+`workload` and `sim_mops_per_sec`: perf_hotpath vs BENCH_hotpath.json,
+perf_serve vs BENCH_serve.json) against the checked-in baseline and fails
+when any workload's simulated-ops/sec falls below `1 / --max_regression` of
+its baseline (default: a 2x slowdown).
 
 The gate also ratchets upward: a measurement *exceeding* the baseline by more
 than --max_improvement (default 4x) fails too. A real optimization that large
-should land with a refreshed BENCH_hotpath.json so the regression floor rises
+should land with a refreshed baseline file so the regression floor rises
 with it — otherwise the stale baseline quietly grants all future changes that
 much headroom before the floor can trip.
 
@@ -102,7 +104,7 @@ def main():
             print(
                 f"FAIL {workload}: {cur:.3f} Mops/s is {cur / base:.2f}x the baseline "
                 f"{base:.3f} (ratchet limit {args.max_improvement:.2f}x) — "
-                "refresh BENCH_hotpath.json so the floor rises with the gain"
+                f"refresh {args.baseline} so the floor rises with the gain"
             )
             failures.append(workload)
 
@@ -110,7 +112,7 @@ def main():
     # ungated — a rename would otherwise slip the floor. Require a baseline
     # refresh instead of silently skipping it.
     for workload in sorted(set(current) - set(baseline)):
-        failures.append(f"{workload}: not in baseline (renamed? refresh BENCH_hotpath.json)")
+        failures.append(f"{workload}: not in baseline (renamed? refresh {args.baseline})")
         print(f"FAIL {workload}: present in current run but not in baseline")
 
     if failures:

@@ -7,7 +7,7 @@
 #include "src/trace/sampler.h"
 
 namespace pmemsim {
-namespace {
+namespace internal {
 
 // Index min-heap over job clocks. Ties break toward the smaller job index,
 // which reproduces the original linear scan's pick (first minimum wins), so
@@ -35,6 +35,7 @@ class JobHeap {
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
   size_t top() const { return heap_[0]; }
+  Cycles top_clock() const { return clocks_[heap_[0]]; }
 
   // Smallest key among all jobs except the top; the top stays the scheduling
   // pick while its key is <= this. Call only with size() >= 2.
@@ -90,23 +91,37 @@ class JobHeap {
                                 // jobs[job].ctx->clock() for parked jobs
 };
 
-}  // namespace
+}  // namespace internal
 
-Cycles Scheduler::Run(std::vector<SimJob>& jobs, Sampler* sampler) {
-  if (jobs.empty()) {
-    return 0;
-  }
-  JobHeap heap(jobs);
-  uint64_t stuck_guard = 0;
+Scheduler::Scheduler(std::vector<SimJob>* jobs)
+    : jobs_(jobs), heap_(std::make_unique<internal::JobHeap>(*jobs)) {}
+
+Scheduler::~Scheduler() = default;
+
+bool Scheduler::AllDone() const { return heap_->empty(); }
+
+Cycles Scheduler::NextEventTime() const {
+  return heap_->empty() ? kNoLimit : heap_->top_clock();
+}
+
+void Scheduler::RunUntil(Cycles limit, Sampler* sampler) {
+  internal::JobHeap& heap = *heap_;
 
   while (!heap.empty()) {
+    // Heap keys are exact at the head of every batch (UpdateTop publishes the
+    // running job's clock before control returns here), so the top key is the
+    // true global minimum: once it reaches the window limit, every unfinished
+    // job is parked at >= limit and the window is over.
+    if (heap.top_clock() >= limit) {
+      return;
+    }
     const size_t i = heap.top();
-    SimJob& job = jobs[i];
+    SimJob& job = (*jobs_)[i];
     ThreadContext* const ctx = job.ctx;
 
     if (heap.size() == 1) {
-      // Sole runnable job: run it to completion with no heap or runner-up
-      // maintenance at all (the single-thread benches live entirely here).
+      // Sole runnable job: run it with no heap or runner-up maintenance at
+      // all (the single-thread benches live entirely here).
       while (true) {
         const Cycles before = ctx->clock();
         if (sampler != nullptr) {
@@ -114,15 +129,19 @@ Cycles Scheduler::Run(std::vector<SimJob>& jobs, Sampler* sampler) {
         }
         if (job.step() == StepResult::kDone) {
           heap.PopTop();
-          stuck_guard = 0;
+          stuck_guard_ = 0;
           break;
         }
         // Livelock guard: steps must advance time.
         if (ctx->clock() == before) {
-          PMEMSIM_CHECK_MSG(++stuck_guard < 1000000,
+          PMEMSIM_CHECK_MSG(++stuck_guard_ < 1000000,
                             "scheduler livelock: step did not advance clock");
         } else {
-          stuck_guard = 0;
+          stuck_guard_ = 0;
+        }
+        if (ctx->clock() >= limit) {
+          heap.UpdateTop(ctx->clock());
+          return;
         }
       }
       continue;
@@ -133,7 +152,9 @@ Cycles Scheduler::Run(std::vector<SimJob>& jobs, Sampler* sampler) {
     // for the whole batch. Compute it once and keep stepping the top job
     // until its key passes it (ties yield to the smaller job index, exactly
     // as the per-step heap check did) — the heap is touched once per batch
-    // instead of once per step.
+    // instead of once per step. The window limit joins the batch-exit check:
+    // a job at or past `limit` parks exactly where the unbounded run would
+    // have yielded it.
     const std::pair<Cycles, size_t> runner_up = heap.RunnerUp();
     while (true) {
       const Cycles before = ctx->clock();
@@ -146,22 +167,30 @@ Cycles Scheduler::Run(std::vector<SimJob>& jobs, Sampler* sampler) {
       const StepResult r = job.step();
       if (r == StepResult::kDone) {
         heap.PopTop();
-        stuck_guard = 0;
+        stuck_guard_ = 0;
         break;
       }
       if (ctx->clock() == before) {
-        PMEMSIM_CHECK_MSG(++stuck_guard < 1000000,
+        PMEMSIM_CHECK_MSG(++stuck_guard_ < 1000000,
                           "scheduler livelock: step did not advance clock");
       } else {
-        stuck_guard = 0;
+        stuck_guard_ = 0;
       }
-      if (std::make_pair(ctx->clock(), i) < runner_up) {
-        continue;  // still the unique minimum
+      if (ctx->clock() < limit && std::make_pair(ctx->clock(), i) < runner_up) {
+        continue;  // still the unique minimum, still inside the window
       }
       heap.UpdateTop(ctx->clock());
       break;
     }
   }
+}
+
+Cycles Scheduler::Run(std::vector<SimJob>& jobs, Sampler* sampler) {
+  if (jobs.empty()) {
+    return 0;
+  }
+  Scheduler scheduler(&jobs);
+  scheduler.RunUntil(kNoLimit, sampler);
 
   Cycles max_clock = 0;
   for (const SimJob& job : jobs) {

@@ -1,0 +1,527 @@
+#include "src/serve/domain_tier.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/trace/json.h"
+
+namespace pmemsim {
+namespace {
+
+// How far an idle worker advances in eager (zero-lookahead) mode when its
+// domain has no pending arrival but peers still hold requests in flight.
+// Matches the legacy engine's quantum so idle cadence is comparable.
+constexpr Cycles kIdleQuantum = 256;
+
+// Persistent barrier-synchronized pool: N-1 host threads plus the caller
+// (worker 0). Run(body) executes body(w) for every w in [0, N) and returns
+// once all complete; worker exceptions (including captured CHECK failures)
+// are rethrown on the caller. All cross-thread state is published under one
+// mutex, so every domain write inside body() happens-before the coordinator's
+// post-barrier reads — the property that keeps the engine TSan-clean.
+class EpochPool {
+ public:
+  explicit EpochPool(uint32_t n) : n_(n) {
+    threads_.reserve(n_ > 0 ? n_ - 1 : 0);
+    for (uint32_t w = 1; w < n_; ++w) {
+      threads_.emplace_back([this, w] { WorkerLoop(w); });
+    }
+  }
+
+  ~EpochPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : threads_) {
+      t.join();
+    }
+  }
+
+  EpochPool(const EpochPool&) = delete;
+  EpochPool& operator=(const EpochPool&) = delete;
+
+  void Run(const std::function<void(uint32_t)>& body) {
+    if (n_ <= 1) {
+      body(0);  // sequential reference path: no threads, no barrier
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body_ = &body;
+      remaining_ = n_ - 1;
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    RunBody(0);
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [this] { return remaining_ == 0; });
+    body_ = nullptr;
+    if (error_ != nullptr) {
+      std::exception_ptr error = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void WorkerLoop(uint32_t w) {
+    // CHECK failures inside a domain must not abort the process from a pool
+    // thread: capture them as exceptions and let Run() rethrow on the caller
+    // (where the sweep runner's own capture scope can isolate the failure).
+    ScopedCheckCapture capture;
+    uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_start_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+        if (stop_) {
+          return;
+        }
+      }
+      RunBody(w);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--remaining_ == 0) {
+          cv_done_.notify_one();
+        }
+      }
+    }
+  }
+
+  void RunBody(uint32_t w) {
+    try {
+      (*body_)(w);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_ == nullptr) {
+        error_ = std::current_exception();
+      }
+    }
+  }
+
+  const uint32_t n_;
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(uint32_t)>* body_ = nullptr;
+  uint32_t remaining_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_ = nullptr;
+};
+
+}  // namespace
+
+ServeDomain::ServeDomain(const PlatformConfig& platform, uint32_t dimms, const ServeConfig& cfg,
+                         uint32_t index, std::vector<uint64_t> load_keys, uint64_t append_budget)
+    : cfg_(cfg),
+      index_(index),
+      system_(platform, dimms),
+      queue_(cfg.queue_depth),
+      load_keys_(std::move(load_keys)) {
+  PMEMSIM_CHECK(cfg_.workers_per_shard > 0);
+  workers_.resize(cfg_.workers_per_shard);
+  for (uint32_t i = 0; i < cfg_.workers_per_shard; ++i) {
+    workers_[i].ctx = &system_.CreateThread();
+  }
+  store_ = std::make_unique<ShardStore>(&system_, cfg_.store, load_keys_.size(), append_budget,
+                                        *workers_[0].ctx);
+  owned_sorted_ = load_keys_;
+  std::sort(owned_sorted_.begin(), owned_sorted_.end());
+}
+
+void ServeDomain::RunLoad() {
+  ThreadContext& loader = *workers_[0].ctx;
+  for (const uint64_t key : load_keys_) {
+    store_->Insert(loader, key, Mix64(key));
+  }
+  store_->FlushPreload(loader);  // preload durability point before serving
+  load_end_ = loader.clock();
+}
+
+void ServeDomain::BeginServe(Cycles t0, TierDispatcher* eager_dispatcher,
+                             std::function<bool()> all_quiet) {
+  eager_dispatcher_ = eager_dispatcher;
+  all_quiet_ = std::move(all_quiet);
+  // The serve phase is a fresh accounting window (same contract as the
+  // legacy engine): preload state must not leak into the measured stats.
+  queue_.BeginPhase();
+  for (Worker& wk : workers_) {
+    wk.ctx->AdvanceTo(t0);
+    wk.ctx->SetAttribution(&attribution_);
+    wk.ctx->TraceMarker(kServePhaseMarker);
+  }
+  if (eager_dispatcher_ == nullptr) {
+    jobs_.clear();
+    for (Worker& wk : workers_) {
+      jobs_.push_back(SimJob{wk.ctx, [this, &wk] { return WorkerStep(wk); }});
+    }
+    engine_ = std::make_unique<Scheduler>(&jobs_);
+  }
+}
+
+void ServeDomain::Accept(const Request& r) { pending_.push(r); }
+
+void ServeDomain::RunEpoch(Cycles epoch_end) {
+  epoch_end_ = epoch_end;
+  engine_->RunUntil(epoch_end);
+}
+
+void ServeDomain::AppendEagerJobs(std::vector<SimJob>* out) {
+  for (Worker& wk : workers_) {
+    out->push_back(SimJob{wk.ctx, [this, &wk] { return WorkerStep(wk); }});
+  }
+}
+
+bool ServeDomain::Drained() const {
+  return pending_.empty() && queue_.empty() && in_flight_ == 0;
+}
+
+void ServeDomain::FinalizeServe() {
+  for (Worker& wk : workers_) {
+    wk.ctx->SetAttribution(nullptr);
+  }
+  stats_.offered = queue_.offered();
+  stats_.rejected = queue_.rejected();
+}
+
+StepResult ServeDomain::WorkerStep(Worker& wk) {
+  ThreadContext& ctx = *wk.ctx;
+  if (wk.next >= wk.claimed.size()) {
+    wk.claimed.clear();
+    wk.next = 0;
+    if (eager_dispatcher_ != nullptr) {
+      // Zero lookahead: this step begins at the globally minimal clock
+      // (lockstep invariant across ALL domains), so pumping the dispatcher
+      // here delivers open-loop arrivals in exact admission order.
+      eager_dispatcher_->Pump(ctx.clock());
+    }
+    CatchUpAdmissions(ctx.clock());
+    const size_t n = queue_.ClaimBatch(cfg_.batch, &wk.claimed);
+    in_flight_ += n;
+    if (n == 0) {
+      if (eager_dispatcher_ != nullptr) {
+        if (all_quiet_()) {
+          return StepResult::kDone;
+        }
+        std::optional<Cycles> next = NextArrivalTime();
+        const std::optional<Cycles> hint = eager_dispatcher_->NextArrivalHint();
+        if (hint.has_value() && (!next.has_value() || *hint < *next)) {
+          next = hint;
+        }
+        ctx.AdvanceTo(next.has_value() ? std::max(*next, ctx.clock() + 1)
+                                       : ctx.clock() + kIdleQuantum);
+        return StepResult::kProgress;
+      }
+      // Epoch mode: park at the next arrival or the window edge, whichever
+      // comes first. Workers never retire — the coordinator decides when the
+      // tier is drained. This is what keeps an idle domain from stalling the
+      // barrier: its workers reach epoch_end in one cheap step each.
+      std::optional<Cycles> next = NextArrivalTime();
+      Cycles target = epoch_end_;
+      if (next.has_value() && *next < target) {
+        target = *next;
+      }
+      ctx.AdvanceTo(std::max(target, ctx.clock() + 1));
+      return StepResult::kProgress;
+    }
+  }
+  const Request r = wk.claimed[wk.next++];
+  const Cycles start = ctx.clock();
+  Execute(ctx, r);
+  if (ctx.clock() == start) {
+    ctx.AddCompute(1);  // scheduler contract: every step advances the clock
+  }
+  CompleteRequest(r, start, ctx.clock());
+  return StepResult::kProgress;
+}
+
+void ServeDomain::CatchUpAdmissions(Cycles now) {
+  while (!pending_.empty() && pending_.top().arrival <= now) {
+    const Request r = pending_.top();
+    pending_.pop();
+    if (queue_.Offer(r)) {
+      continue;
+    }
+    // Shed. Open loop: the arrival is dropped. Closed loop: the client
+    // observes the shed at the folding worker's clock `now` — not the arrival
+    // cycle — and backs off from there. The observation IS the cross-domain
+    // signal, and `now < epoch_end` (workers only step below the window edge)
+    // keeps the re-dispatch at now + think + D conservatively beyond the
+    // epoch horizon.
+    if (cfg_.loop == LoopMode::kClosed) {
+      if (eager_dispatcher_ != nullptr) {
+        eager_dispatcher_->OnEvent(now, r.client);
+      } else {
+        events_.push_back(DomainEvent{now, r.client});
+      }
+    }
+  }
+}
+
+void ServeDomain::Execute(ThreadContext& ctx, const Request& r) {
+  uint64_t value = 0;
+  switch (r.op) {
+    case ServeOp::kRead:
+      if (!store_->Get(ctx, r.key, &value)) {
+        ++stats_.not_found;
+      }
+      break;
+    case ServeOp::kUpdate:
+      if (!store_->Update(ctx, r.key, Mix64(r.key + r.arrival))) {
+        ++stats_.not_found;
+      }
+      break;
+    case ServeOp::kInsert:
+      store_->Insert(ctx, r.key, Mix64(r.key));
+      break;
+    case ServeOp::kScan:
+      Scan(ctx, r.key, r.scan_len);
+      break;
+    case ServeOp::kRmw:
+      if (!store_->Get(ctx, r.key, &value)) {
+        ++stats_.not_found;
+      }
+      if (!store_->Update(ctx, r.key, value + 1)) {
+        ++stats_.not_found;
+      }
+      break;
+  }
+}
+
+void ServeDomain::Scan(ThreadContext& ctx, uint64_t from, uint32_t len) {
+  if (store_->ordered()) {
+    store_->TreeScan(ctx, from, len);
+    return;
+  }
+  // Hash-shaped stores have no key order; emulate the range as `len` point
+  // reads over the keys this domain owns (ascending from `from`, wrapping).
+  // The partitioned analogue of the legacy consecutive-key emulation: only
+  // owned keys exist locally, so consecutive global ids would mostly miss.
+  if (owned_sorted_.empty()) {
+    return;
+  }
+  const size_t start =
+      std::lower_bound(owned_sorted_.begin(), owned_sorted_.end(), from) - owned_sorted_.begin();
+  uint64_t value = 0;
+  for (uint32_t i = 0; i < len; ++i) {
+    const uint64_t key = owned_sorted_[(start + i) % owned_sorted_.size()];
+    if (!store_->Get(ctx, key, &value)) {
+      ++stats_.not_found;
+    }
+  }
+}
+
+void ServeDomain::CompleteRequest(const Request& r, Cycles start, Cycles end) {
+  stats_.RecordCompletion(r, start, end);
+  PMEMSIM_CHECK(in_flight_ > 0);
+  --in_flight_;
+  if (cfg_.loop == LoopMode::kClosed) {
+    if (eager_dispatcher_ != nullptr) {
+      eager_dispatcher_->OnEvent(end, r.client);
+    } else {
+      events_.push_back(DomainEvent{end, r.client});
+    }
+  }
+}
+
+std::optional<Cycles> ServeDomain::NextArrivalTime() const {
+  return pending_.empty() ? std::nullopt : std::optional<Cycles>(pending_.top().arrival);
+}
+
+DomainTier::DomainTier(const PlatformConfig& platform, uint32_t dimms_per_domain,
+                       const ServeConfig& cfg)
+    : platform_(platform), cfg_(cfg), dispatcher_(cfg_) {
+  PMEMSIM_CHECK(cfg_.shards > 0 && cfg_.workers_per_shard > 0);
+  std::vector<std::vector<uint64_t>> keys = dispatcher_.PartitionLoadKeys();
+  const uint64_t append_budget = dispatcher_.budget();
+  domains_.reserve(cfg_.shards);
+  for (uint32_t s = 0; s < cfg_.shards; ++s) {
+    domains_.push_back(std::make_unique<ServeDomain>(platform_, dimms_per_domain, cfg_, s,
+                                                     std::move(keys[s]), append_budget));
+  }
+}
+
+void DomainTier::Run() {
+  PMEMSIM_CHECK_MSG(!ran_, "DomainTier::Run is one-shot");
+  ran_ = true;
+  dispatcher_.SetDeliverFn(
+      [this](uint32_t shard, const Request& r) { domains_[shard]->Accept(r); });
+  if (cfg_.dispatch_latency == 0) {
+    RunEager();
+  } else {
+    RunEpochLoop();
+  }
+  for (auto& domain : domains_) {
+    domain->FinalizeServe();
+  }
+}
+
+void DomainTier::RunEpochLoop() {
+  const Cycles window = cfg_.dispatch_latency;
+  const uint32_t threads =
+      std::min<uint32_t>(std::max<uint32_t>(cfg_.engine_threads, 1), cfg_.shards);
+  EpochPool pool(threads);
+
+  // Load phase: domains are fully independent (each on its own System), so
+  // they load concurrently with no epoch discipline at all.
+  pool.Run([this, threads](uint32_t w) {
+    for (size_t d = w; d < domains_.size(); d += threads) {
+      domains_[d]->RunLoad();
+    }
+  });
+  load_end_ = 0;
+  for (auto& domain : domains_) {
+    load_end_ = std::max(load_end_, domain->load_end());
+  }
+  serve_start_ = load_end_;
+
+  for (auto& domain : domains_) {
+    domain->BeginServe(serve_start_, nullptr, nullptr);
+  }
+  dispatcher_.StartServing(serve_start_);
+
+  // Conservative epoch loop (see domain_tier.h). The first window is a warm-up
+  // bubble — every first arrival lands at >= t0 + D — which costs one barrier.
+  std::vector<DomainEvent> merged;
+  Cycles epoch = serve_start_;
+  for (;;) {
+    const Cycles epoch_end = epoch + window;
+    dispatcher_.DeliverUpTo(epoch_end);
+    pool.Run([this, threads, epoch_end](uint32_t w) {
+      for (size_t d = w; d < domains_.size(); d += threads) {
+        domains_[d]->RunEpoch(epoch_end);
+      }
+    });
+    merged.clear();
+    for (auto& domain : domains_) {
+      std::vector<DomainEvent>& events = domain->events();
+      merged.insert(merged.end(), events.begin(), events.end());
+      events.clear();
+    }
+    dispatcher_.ProcessEvents(&merged);
+    if (dispatcher_.Exhausted() && AllDrained()) {
+      return;
+    }
+    epoch = epoch_end;
+  }
+}
+
+void DomainTier::RunEager() {
+  // Zero lookahead: no window to run domains concurrently in, so one combined
+  // lockstep run over every domain's workers — global clock order plays the
+  // coordinator and the dispatcher is pumped synchronously at admission time.
+  for (auto& domain : domains_) {
+    domain->RunLoad();
+  }
+  load_end_ = 0;
+  for (auto& domain : domains_) {
+    load_end_ = std::max(load_end_, domain->load_end());
+  }
+  serve_start_ = load_end_;
+
+  const std::function<bool()> all_quiet = [this] {
+    return dispatcher_.Exhausted() && AllDrained();
+  };
+  for (auto& domain : domains_) {
+    domain->BeginServe(serve_start_, &dispatcher_, all_quiet);
+  }
+  dispatcher_.StartServing(serve_start_);
+
+  std::vector<SimJob> jobs;
+  jobs.reserve(static_cast<size_t>(cfg_.shards) * cfg_.workers_per_shard);
+  for (auto& domain : domains_) {
+    domain->AppendEagerJobs(&jobs);
+  }
+  Scheduler::Run(jobs);
+}
+
+bool DomainTier::AllDrained() const {
+  for (const auto& domain : domains_) {
+    if (!domain->Drained()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Cycles DomainTier::end_cycle() const {
+  Cycles end = serve_start_;
+  for (const auto& domain : domains_) {
+    end = std::max(end, domain->stats().last_completion);
+  }
+  return end;
+}
+
+ServiceStats DomainTier::GlobalStats() const {
+  ServiceStats global;
+  for (const auto& domain : domains_) {
+    global.Merge(domain->stats());
+  }
+  return global;
+}
+
+void DomainTier::ToJson(JsonWriter& w) const {
+  const double ghz = platform_.cpu_ghz;
+  w.BeginObject();
+  w.Key("config").BeginObject();
+  w.Key("store").Value(StoreName(cfg_.store));
+  w.Key("loop").Value(LoopModeName(cfg_.loop));
+  w.Key("mix").Value(cfg_.mix_name);
+  w.Key("shards").Value(static_cast<uint64_t>(cfg_.shards));
+  w.Key("workers_per_shard").Value(static_cast<uint64_t>(cfg_.workers_per_shard));
+  w.Key("queue_depth").Value(cfg_.queue_depth);
+  w.Key("batch").Value(cfg_.batch);
+  w.Key("clients").Value(static_cast<uint64_t>(cfg_.clients));
+  w.Key("think_cycles").Value(cfg_.think_cycles);
+  w.Key("interarrival_cycles").Value(cfg_.interarrival_cycles);
+  w.Key("ops").Value(cfg_.ops);
+  w.Key("keys").Value(cfg_.keys);
+  w.Key("theta").Value(cfg_.theta);
+  w.Key("scan_len").Value(static_cast<uint64_t>(cfg_.scan_len));
+  w.Key("seed").Value(cfg_.seed);
+  // Engine identity — but deliberately NOT engine_threads: the report must
+  // byte-compare across host thread counts (the determinism gate).
+  w.Key("engine").Value("partitioned");
+  w.Key("dispatch_latency").Value(static_cast<uint64_t>(cfg_.dispatch_latency));
+  w.EndObject();
+  w.Key("load_cycles").Value(static_cast<uint64_t>(load_end_));
+  w.Key("serve_start").Value(static_cast<uint64_t>(serve_start_));
+  w.Key("end_cycle").Value(static_cast<uint64_t>(end_cycle()));
+  w.Key("global");
+  GlobalStats().ToJson(w, ghz, serve_start_);
+  w.Key("shards").BeginArray();
+  for (const auto& domain : domains_) {
+    w.BeginObject();
+    w.Key("shard").Value(static_cast<uint64_t>(domain->index()));
+    w.Key("queue").BeginObject();
+    w.Key("depth").Value(static_cast<uint64_t>(domain->queue().depth()));
+    w.Key("max_occupancy").Value(domain->queue().max_occupancy());
+    w.EndObject();
+    w.Key("stats");
+    domain->stats().ToJson(w, ghz, serve_start_);
+    w.Key("attribution");
+    domain->attribution().ToJson(w);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string DomainTier::ToJson() const {
+  JsonWriter w;
+  ToJson(w);
+  return w.str();
+}
+
+}  // namespace pmemsim

@@ -16,6 +16,7 @@ bool RequestQueue::Offer(const Request& r) {
   }
   q_.push_back(r);
   max_occupancy_ = std::max<uint64_t>(max_occupancy_, q_.size());
+  lifetime_max_occupancy_ = std::max(lifetime_max_occupancy_, max_occupancy_);
   return true;
 }
 
@@ -26,6 +27,12 @@ size_t RequestQueue::ClaimBatch(size_t max, std::vector<Request>* out) {
     q_.pop_front();
   }
   return n;
+}
+
+void RequestQueue::BeginPhase() {
+  phase_offered_base_ = offered_;
+  phase_rejected_base_ = rejected_;
+  max_occupancy_ = q_.size();
 }
 
 }  // namespace pmemsim

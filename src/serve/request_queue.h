@@ -6,6 +6,12 @@
 // to `max` requests in one operation, which amortizes queue bookkeeping the
 // way real servers batch their accept/dispatch loops.
 //
+// Accounting is phase-scoped: BeginPhase() — called by the tier at each
+// TraceMarker phase boundary (e.g. when the measured serve window opens) —
+// resets offered/rejected/max_occupancy to the new phase, so warm-up
+// occupancy and warm-up sheds cannot leak into the measured window's stats.
+// Lifetime totals stay available through the lifetime_*() accessors.
+//
 // The queue is single-(OS-)threaded like the rest of the simulator: arrivals
 // and claims are interleaved in simulated-clock order by the lockstep
 // scheduler, so occupancy evolves exactly as the event order dictates and the
@@ -34,19 +40,33 @@ class RequestQueue {
   // claimed.
   size_t ClaimBatch(size_t max, std::vector<Request>* out);
 
+  // Opens a new accounting phase: offered()/rejected() restart at zero and
+  // max_occupancy() restarts at the current queue size (requests already
+  // queued are real occupancy the new phase inherits). Queued requests are
+  // not dropped; lifetime totals are unaffected.
+  void BeginPhase();
+
   bool empty() const { return q_.empty(); }
   size_t size() const { return q_.size(); }
   size_t depth() const { return depth_; }
-  uint64_t offered() const { return offered_; }
-  uint64_t rejected() const { return rejected_; }
+  // Phase-scoped counts (since the last BeginPhase, or construction).
+  uint64_t offered() const { return offered_ - phase_offered_base_; }
+  uint64_t rejected() const { return rejected_ - phase_rejected_base_; }
   uint64_t max_occupancy() const { return max_occupancy_; }
+  // Lifetime totals across all phases.
+  uint64_t lifetime_offered() const { return offered_; }
+  uint64_t lifetime_rejected() const { return rejected_; }
+  uint64_t lifetime_max_occupancy() const { return lifetime_max_occupancy_; }
 
  private:
   std::deque<Request> q_;
   size_t depth_;
   uint64_t offered_ = 0;
   uint64_t rejected_ = 0;
-  uint64_t max_occupancy_ = 0;
+  uint64_t max_occupancy_ = 0;  // within the current phase
+  uint64_t lifetime_max_occupancy_ = 0;
+  uint64_t phase_offered_base_ = 0;
+  uint64_t phase_rejected_base_ = 0;
 };
 
 }  // namespace pmemsim

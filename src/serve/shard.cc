@@ -8,12 +8,6 @@
 namespace pmemsim {
 namespace {
 
-// Decorrelated per-(shard, stream) seed so every stochastic source — load-key
-// order, op mix, key skew, think times, arrivals — draws from its own stream.
-uint64_t SubSeed(uint64_t seed, uint32_t shard, uint32_t stream) {
-  return Mix64(seed + 0x9E3779B97F4A7C15ull * (uint64_t{shard} * 8 + stream + 1));
-}
-
 uint32_t CcehDepthFor(uint64_t keys) {
   // One segment holds 1024 slots; start with enough segments that the preload
   // does not spend its whole life splitting (splits still grow it as needed).
@@ -26,6 +20,10 @@ uint32_t CcehDepthFor(uint64_t keys) {
 }
 
 }  // namespace
+
+uint64_t ServeSubSeed(uint64_t seed, uint32_t shard, uint32_t stream) {
+  return Mix64(seed + 0x9E3779B97F4A7C15ull * (uint64_t{shard} * 8 + stream + 1));
+}
 
 const char* StoreName(StoreKind kind) {
   switch (kind) {
@@ -56,22 +54,13 @@ const char* LoopModeName(LoopMode mode) {
   return mode == LoopMode::kClosed ? "closed" : "open";
 }
 
-Shard::Shard(System* system, const ServeConfig& cfg, uint32_t index, ThreadContext& loader)
-    : system_(system),
-      cfg_(cfg),
-      index_(index),
-      queue_(cfg.queue_depth),
-      mix_sampler_(cfg.mix, SubSeed(cfg.seed, index, 0)),
-      zipf_(cfg.keys, cfg.theta, SubSeed(cfg.seed, index, 1)),
-      think_rng_(SubSeed(cfg.seed, index, 2)),
-      key_scramble_salt_(SubSeed(cfg.seed, index, 3)),
-      next_insert_key_(cfg.keys + 1),
-      arrivals_(cfg.interarrival_cycles, SubSeed(cfg.seed, index, 4)) {
-  PMEMSIM_CHECK(cfg.keys > 0);
-  latest_skew_ = !cfg.mix_name.empty() && (cfg.mix_name[0] == 'd' || cfg.mix_name[0] == 'D');
-  switch (cfg.store) {
+ShardStore::ShardStore(System* system, StoreKind kind, uint64_t preload_keys,
+                       uint64_t append_budget, ThreadContext& loader)
+    : kind_(kind) {
+  switch (kind_) {
     case StoreKind::kCceh:
-      cceh_ = std::make_unique<Cceh>(system, loader, CcehDepthFor(cfg.keys), MemoryKind::kOptane);
+      cceh_ = std::make_unique<Cceh>(system, loader, CcehDepthFor(preload_keys),
+                                     MemoryKind::kOptane);
       break;
     case StoreKind::kFastFair:
       tree_ = std::make_unique<FastFairTree>(system, loader);
@@ -79,14 +68,92 @@ Shard::Shard(System* system, const ServeConfig& cfg, uint32_t index, ThreadConte
     case StoreKind::kFlatLog: {
       // Every update/insert/rmw appends one record, so size the log for the
       // preload plus the full op budget (rounded up to whole batches).
-      uint64_t slots = cfg.keys + cfg.ops + FlatLog::kSlotsPerBatch;
+      uint64_t slots = preload_keys + append_budget + FlatLog::kSlotsPerBatch;
       slots = (slots + FlatLog::kSlotsPerBatch - 1) / FlatLog::kSlotsPerBatch *
               FlatLog::kSlotsPerBatch;
       flat_ = std::make_unique<FlatLog>(system, system->AllocatePm(slots * FlatLog::kSlotSize));
       break;
     }
   }
-  load_keys_ = MakeLoadKeys(cfg.keys, SubSeed(cfg.seed, index, 5));
+}
+
+bool ShardStore::Get(ThreadContext& ctx, uint64_t key, uint64_t* value_out) {
+  switch (kind_) {
+    case StoreKind::kCceh:
+      return cceh_->Get(ctx, key, value_out);
+    case StoreKind::kFastFair:
+      return tree_->Get(ctx, key, value_out);
+    case StoreKind::kFlatLog: {
+      uint8_t buf[FlatLog::kMaxPayload] = {};
+      uint32_t len = 0;
+      if (!flat_->Get(ctx, key, buf, &len)) {
+        return false;
+      }
+      std::memcpy(value_out, buf, sizeof(*value_out));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ShardStore::Update(ThreadContext& ctx, uint64_t key, uint64_t value) {
+  switch (kind_) {
+    case StoreKind::kCceh:
+      cceh_->Insert(ctx, key, value);  // CCEH insert updates in place
+      return true;
+    case StoreKind::kFastFair:
+      return tree_->Update(ctx, key, value);
+    case StoreKind::kFlatLog:
+      if (!flat_->Put(ctx, key, &value, sizeof(value))) {
+        ++store_full_;
+      }
+      return true;
+  }
+  return true;
+}
+
+void ShardStore::Insert(ThreadContext& ctx, uint64_t key, uint64_t value) {
+  switch (kind_) {
+    case StoreKind::kCceh:
+      cceh_->Insert(ctx, key, value);
+      break;
+    case StoreKind::kFastFair:
+      tree_->Insert(ctx, key, value, BTreeUpdateMode::kInPlace);
+      break;
+    case StoreKind::kFlatLog:
+      if (!flat_->Put(ctx, key, &value, sizeof(value))) {
+        ++store_full_;
+      }
+      break;
+  }
+}
+
+void ShardStore::TreeScan(ThreadContext& ctx, uint64_t from, uint32_t len) {
+  PMEMSIM_DCHECK(ordered());
+  std::vector<std::pair<uint64_t, uint64_t>> out(len);
+  tree_->Scan(ctx, from, len, out.data());
+}
+
+void ShardStore::FlushPreload(ThreadContext& ctx) {
+  if (flat_ != nullptr) {
+    flat_->Flush(ctx);
+  }
+}
+
+Shard::Shard(System* system, const ServeConfig& cfg, uint32_t index, ThreadContext& loader)
+    : cfg_(cfg),
+      index_(index),
+      queue_(cfg.queue_depth),
+      mix_sampler_(cfg.mix, ServeSubSeed(cfg.seed, index, 0)),
+      zipf_(cfg.keys, cfg.theta, ServeSubSeed(cfg.seed, index, 1)),
+      think_rng_(ServeSubSeed(cfg.seed, index, 2)),
+      key_scramble_salt_(ServeSubSeed(cfg.seed, index, 3)),
+      next_insert_key_(cfg.keys + 1),
+      store_(system, cfg.store, cfg.keys, cfg.ops, loader),
+      arrivals_(cfg.interarrival_cycles, ServeSubSeed(cfg.seed, index, 4)) {
+  PMEMSIM_CHECK(cfg.keys > 0);
+  latest_skew_ = !cfg.mix_name.empty() && (cfg.mix_name[0] == 'd' || cfg.mix_name[0] == 'D');
+  load_keys_ = MakeLoadKeys(cfg.keys, ServeSubSeed(cfg.seed, index, 5));
 }
 
 bool Shard::LoadStep(ThreadContext& ctx) {
@@ -96,14 +163,18 @@ bool Shard::LoadStep(ThreadContext& ctx) {
   const uint64_t key = load_keys_[loaded_];
   StoreInsert(ctx, key, Mix64(key));
   ++loaded_;
-  if (loaded_ == cfg_.keys && flat_ != nullptr) {
-    flat_->Flush(ctx);  // preload durability point before serving starts
+  if (loaded_ == cfg_.keys) {
+    store_.FlushPreload(ctx);  // preload durability point before serving
   }
   return true;
 }
 
 void Shard::StartServing(Cycles t0) {
   serve_start_ = t0;
+  // The serve phase is a fresh accounting window: preload-time queue state
+  // (none today, but the contract holds if warm-up traffic ever precedes it)
+  // must not leak into the measured offered/rejected/max_occupancy.
+  queue_.BeginPhase();
   if (cfg_.loop == LoopMode::kClosed) {
     const uint64_t first = std::min<uint64_t>(cfg_.clients, cfg_.ops);
     for (uint32_t c = 0; c < first; ++c) {
@@ -236,62 +307,22 @@ Cycles Shard::ThinkDraw() {
 }
 
 bool Shard::StoreGet(ThreadContext& ctx, uint64_t key, uint64_t* value_out) {
-  switch (cfg_.store) {
-    case StoreKind::kCceh:
-      return cceh_->Get(ctx, key, value_out);
-    case StoreKind::kFastFair:
-      return tree_->Get(ctx, key, value_out);
-    case StoreKind::kFlatLog: {
-      uint8_t buf[FlatLog::kMaxPayload] = {};
-      uint32_t len = 0;
-      if (!flat_->Get(ctx, key, buf, &len)) {
-        return false;
-      }
-      std::memcpy(value_out, buf, sizeof(*value_out));
-      return true;
-    }
-  }
-  return false;
+  return store_.Get(ctx, key, value_out);
 }
 
 void Shard::StoreUpdate(ThreadContext& ctx, uint64_t key, uint64_t value) {
-  switch (cfg_.store) {
-    case StoreKind::kCceh:
-      cceh_->Insert(ctx, key, value);  // CCEH insert updates in place
-      break;
-    case StoreKind::kFastFair:
-      if (!tree_->Update(ctx, key, value)) {
-        ++stats_.not_found;
-      }
-      break;
-    case StoreKind::kFlatLog:
-      if (!flat_->Put(ctx, key, &value, sizeof(value))) {
-        ++store_full_;
-      }
-      break;
+  if (!store_.Update(ctx, key, value)) {
+    ++stats_.not_found;
   }
 }
 
 void Shard::StoreInsert(ThreadContext& ctx, uint64_t key, uint64_t value) {
-  switch (cfg_.store) {
-    case StoreKind::kCceh:
-      cceh_->Insert(ctx, key, value);
-      break;
-    case StoreKind::kFastFair:
-      tree_->Insert(ctx, key, value, BTreeUpdateMode::kInPlace);
-      break;
-    case StoreKind::kFlatLog:
-      if (!flat_->Put(ctx, key, &value, sizeof(value))) {
-        ++store_full_;
-      }
-      break;
-  }
+  store_.Insert(ctx, key, value);
 }
 
 void Shard::StoreScan(ThreadContext& ctx, uint64_t from, uint32_t len) {
-  if (cfg_.store == StoreKind::kFastFair) {
-    std::vector<std::pair<uint64_t, uint64_t>> out(len);
-    tree_->Scan(ctx, from, len, out.data());
+  if (store_.ordered()) {
+    store_.TreeScan(ctx, from, len);
     return;
   }
   // Hash-shaped stores have no key order; emulate the range as `len`

@@ -20,6 +20,11 @@
 // The shard owns a per-shard AttributionCollector; the tier installs it on
 // the shard's worker contexts for the serving phase so the memory-side tail
 // decomposition (media/buffer/RAP/WPQ-wait) is reported per shard.
+//
+// The datastore itself lives behind ShardStore, shared with the partitioned
+// engine's Domain (src/serve/domain_tier.*): one class owns store
+// construction/sizing and the per-kind op dispatch, so both engines serve
+// byte-identical store behaviour.
 
 #ifndef SRC_SERVE_SHARD_H_
 #define SRC_SERVE_SHARD_H_
@@ -56,6 +61,16 @@ std::optional<StoreKind> StoreByName(const std::string& name);
 enum class LoopMode : uint8_t { kClosed, kOpen };
 const char* LoopModeName(LoopMode mode);
 
+// Decorrelated per-(shard, stream) seed so every stochastic source — load-key
+// order, op mix, key skew, think times, arrivals — draws from its own stream.
+// Shared by the legacy shard and the partitioned engine's tier dispatcher.
+uint64_t ServeSubSeed(uint64_t seed, uint32_t shard, uint32_t stream);
+
+// TraceMarker id emitted on every worker context when the measured serve
+// phase opens. The marker is the trace-visible twin of the queue's
+// BeginPhase() accounting boundary (src/serve/request_queue.h).
+constexpr uint32_t kServePhaseMarker = 0x5345u;  // "SE"
+
 // Tier-wide configuration; every count is per shard unless noted.
 struct ServeConfig {
   StoreKind store = StoreKind::kFastFair;
@@ -74,6 +89,44 @@ struct ServeConfig {
   double theta = 0.99;             // Zipfian skew of the hot-key distribution
   uint32_t scan_len = 16;          // YCSB-E scan length
   uint64_t seed = 42;
+  // Partitioned engine only (DomainTier): host threads advancing the shard
+  // domains of one point, and the modelled client->shard dispatch latency in
+  // cycles — also the conservative epoch window. engine_threads does not
+  // change any simulated result (that is the determinism contract);
+  // dispatch_latency does (it is part of the simulated model).
+  uint32_t engine_threads = 1;
+  Cycles dispatch_latency = 2048;
+};
+
+// One datastore instance of `kind` behind a uniform point-op API. Owns store
+// construction and sizing: `preload_keys` records will be inserted before
+// serving and append-only stores additionally reserve `append_budget` writes.
+// Construction is timed on `loader`, like a real preload.
+class ShardStore {
+ public:
+  ShardStore(System* system, StoreKind kind, uint64_t preload_keys, uint64_t append_budget,
+             ThreadContext& loader);
+
+  bool Get(ThreadContext& ctx, uint64_t key, uint64_t* value_out);
+  // False when the key was absent (FAST&FAIR in-place update miss); append
+  // exhaustion on FlatLog is counted in store_full() instead.
+  bool Update(ThreadContext& ctx, uint64_t key, uint64_t value);
+  void Insert(ThreadContext& ctx, uint64_t key, uint64_t value);
+  // Ordered range scan; valid only when ordered() (callers emulate ranges on
+  // hash-shaped stores as consecutive point reads).
+  void TreeScan(ThreadContext& ctx, uint64_t from, uint32_t len);
+  bool ordered() const { return kind_ == StoreKind::kFastFair; }
+  // Durability point after the preload (FlatLog batches its appends).
+  void FlushPreload(ThreadContext& ctx);
+  uint64_t store_full() const { return store_full_; }
+
+ private:
+  StoreKind kind_;
+  // Exactly one store is non-null, selected by `kind`.
+  std::unique_ptr<Cceh> cceh_;
+  std::unique_ptr<FastFairTree> tree_;
+  std::unique_ptr<FlatLog> flat_;
+  uint64_t store_full_ = 0;  // FlatLog appends refused (log exhausted)
 };
 
 class Shard {
@@ -130,20 +183,14 @@ class Shard {
   Request Materialize(Cycles time, uint32_t client);
   uint64_t SkewedKey();
   Cycles ThinkDraw();  // exponential, mean cfg.think_cycles, >= 1
-  // Store dispatch.
+  // Store dispatch (via store_; scan emulation for hash-shaped stores).
   bool StoreGet(ThreadContext& ctx, uint64_t key, uint64_t* value_out);
   void StoreUpdate(ThreadContext& ctx, uint64_t key, uint64_t value);
   void StoreInsert(ThreadContext& ctx, uint64_t key, uint64_t value);
   void StoreScan(ThreadContext& ctx, uint64_t from, uint32_t len);
 
-  System* system_;
   const ServeConfig& cfg_;
   uint32_t index_;
-
-  // Exactly one store is non-null, selected by cfg.store.
-  std::unique_ptr<Cceh> cceh_;
-  std::unique_ptr<FastFairTree> tree_;
-  std::unique_ptr<FlatLog> flat_;
 
   RequestQueue queue_;
   ServiceStats stats_;
@@ -155,9 +202,11 @@ class Shard {
   bool latest_skew_ = false;  // mix D: reads target the newest keys
   uint64_t key_scramble_salt_;
 
+  uint64_t next_insert_key_;
+  ShardStore store_;
+
   std::vector<uint64_t> load_keys_;
   uint64_t loaded_ = 0;
-  uint64_t next_insert_key_;
 
   // Closed loop: pending client re-issues. Open loop: the Poisson cursor.
   std::priority_queue<PendingArrival, std::vector<PendingArrival>, std::greater<PendingArrival>>
@@ -169,7 +218,6 @@ class Shard {
   uint64_t scheduled_ = 0;     // closed loop: attempts issued or pending
   uint32_t open_seq_ = 0;
   uint64_t in_flight_ = 0;     // claimed but not yet completed
-  uint64_t store_full_ = 0;    // FlatLog appends refused (log exhausted)
 };
 
 }  // namespace pmemsim

@@ -59,6 +59,9 @@ void ServiceTier::Run() {
   for (Worker& wk : workers_) {
     wk.ctx->AdvanceTo(serve_start_);
     wk.ctx->SetAttribution(&shards_[wk.shard]->attribution());
+    // Phase boundary: the trace-visible twin of the queue's BeginPhase()
+    // accounting reset inside Shard::StartServing.
+    wk.ctx->TraceMarker(kServePhaseMarker);
   }
   for (auto& shard : shards_) {
     shard->StartServing(serve_start_);

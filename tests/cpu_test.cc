@@ -481,5 +481,140 @@ TEST(EadrTest, PmemHasAutoFlushAgreesWithFlushBehavior) {
   }
 }
 
+// --- RunUntil (epoch-window) form of the scheduler -------------------------
+
+// Builds a deterministic multi-job workload whose jobs advance by differing,
+// phase-shifted strides (so clocks collide, interleave, and overtake), records
+// the exact step order, and returns (order, final clocks).
+struct WindowedWorkload {
+  std::unique_ptr<System> system = MakeG1System(1);
+  std::vector<ThreadContext*> ctxs;
+  std::vector<int> counts;
+  std::vector<int> order;
+  std::vector<SimJob> jobs;
+
+  WindowedWorkload(int n_jobs, int steps_per_job) {
+    counts.assign(n_jobs, 0);
+    for (int i = 0; i < n_jobs; ++i) {
+      ctxs.push_back(&system->CreateThread());
+    }
+    for (int i = 0; i < n_jobs; ++i) {
+      jobs.push_back({ctxs[i], [this, i, steps_per_job]() {
+                        if (counts[i] >= steps_per_job) {
+                          return StepResult::kDone;
+                        }
+                        order.push_back(i);
+                        // Strides 40/50/60/... with a collision-rich pattern.
+                        ctxs[i]->AddCompute(40 + 10 * (i % 3) + (counts[i] % 2) * 30);
+                        ++counts[i];
+                        return StepResult::kProgress;
+                      }});
+    }
+  }
+};
+
+TEST(SchedulerTest, RunUntilWindowSplitReplaysIdenticalInterleaving) {
+  // Splitting a run into ANY sequence of epoch windows must replay the exact
+  // (clock, job-index) step order of the single-shot Run() — the property the
+  // partitioned serving engine's determinism contract rests on.
+  WindowedWorkload golden(5, 8);
+  Scheduler::Run(golden.jobs);
+
+  for (const Cycles window : {Cycles{1}, Cycles{37}, Cycles{64}, Cycles{1000}}) {
+    WindowedWorkload split(5, 8);
+    Scheduler scheduler(&split.jobs);
+    Cycles limit = window;
+    while (!scheduler.AllDone()) {
+      scheduler.RunUntil(limit);
+      limit += window;
+    }
+    EXPECT_EQ(split.order, golden.order) << "window=" << window;
+    for (size_t i = 0; i < split.ctxs.size(); ++i) {
+      EXPECT_EQ(split.ctxs[i]->clock(), golden.ctxs[i]->clock()) << "window=" << window;
+    }
+  }
+}
+
+TEST(SchedulerTest, RunUntilNoLimitMatchesRun) {
+  WindowedWorkload golden(4, 6);
+  Scheduler::Run(golden.jobs);
+
+  WindowedWorkload once(4, 6);
+  Scheduler scheduler(&once.jobs);
+  EXPECT_FALSE(scheduler.AllDone());
+  scheduler.RunUntil(Scheduler::kNoLimit);
+  EXPECT_TRUE(scheduler.AllDone());
+  EXPECT_EQ(scheduler.NextEventTime(), Scheduler::kNoLimit);
+  EXPECT_EQ(once.order, golden.order);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtWindowEdgeAndResumesInOrder) {
+  // A job parked exactly AT the window edge must not step in that window,
+  // and the next window must resume ties in (clock, job-index) order.
+  auto system = MakeG1System(1);
+  ThreadContext& a = system->CreateThread();
+  ThreadContext& b = system->CreateThread();
+  std::vector<int> order;
+  int na = 0, nb = 0;
+  std::vector<SimJob> jobs;
+  jobs.push_back({&a, [&]() {
+                    if (na >= 2) {
+                      return StepResult::kDone;
+                    }
+                    order.push_back(0);
+                    a.AddCompute(100);
+                    ++na;
+                    return StepResult::kProgress;
+                  }});
+  jobs.push_back({&b, [&]() {
+                    if (nb >= 2) {
+                      return StepResult::kDone;
+                    }
+                    order.push_back(1);
+                    b.AddCompute(100);
+                    ++nb;
+                    return StepResult::kProgress;
+                  }});
+  Scheduler scheduler(&jobs);
+  scheduler.RunUntil(100);  // both jobs step once, land exactly at 100
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(scheduler.NextEventTime(), 100u);  // parked at the edge, not run
+  scheduler.RunUntil(100);                     // zero-width: must be a no-op
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  scheduler.RunUntil(201);  // tie at 100 resolves by job index, then at 200
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1}));
+  scheduler.RunUntil(Scheduler::kNoLimit);  // drain the kDone returns
+  EXPECT_TRUE(scheduler.AllDone());
+}
+
+TEST(SchedulerTest, RunUntilJobWithNoWorkDoesNotStallWindow) {
+  // A job that parks itself far past every window must not be stepped again
+  // until a window reaches its clock — idle domains cost one step, not spins.
+  auto system = MakeG1System(1);
+  ThreadContext& busy = system->CreateThread();
+  ThreadContext& idle = system->CreateThread();
+  int busy_steps = 0, idle_steps = 0;
+  std::vector<SimJob> jobs;
+  jobs.push_back({&busy, [&]() {
+                    if (busy_steps >= 50) {
+                      return StepResult::kDone;
+                    }
+                    ++busy_steps;
+                    busy.AddCompute(10);
+                    return StepResult::kProgress;
+                  }});
+  jobs.push_back({&idle, [&]() {
+                    ++idle_steps;
+                    idle.AdvanceTo(idle.clock() + 10000);  // park far ahead
+                    return idle_steps >= 2 ? StepResult::kDone : StepResult::kProgress;
+                  }});
+  Scheduler scheduler(&jobs);
+  for (Cycles limit = 100; limit <= 500; limit += 100) {
+    scheduler.RunUntil(limit);
+  }
+  EXPECT_EQ(busy_steps, 50);
+  EXPECT_EQ(idle_steps, 1);  // parked at 10000; windows up to 500 skip it
+}
+
 }  // namespace
 }  // namespace pmemsim

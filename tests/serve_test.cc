@@ -31,6 +31,41 @@ TEST(RequestQueueTest, BoundedDepthShedsWhenFull) {
   EXPECT_EQ(q.max_occupancy(), 3u);
 }
 
+TEST(RequestQueueTest, BeginPhaseResetsAccountingButKeepsQueueAndLifetime) {
+  // Regression for phase-scoped accounting: warm-up offers/sheds/occupancy
+  // must not leak into the measured window opened at a phase boundary.
+  RequestQueue q(3);
+  Request r;
+  EXPECT_TRUE(q.Offer(r));
+  EXPECT_TRUE(q.Offer(r));
+  EXPECT_TRUE(q.Offer(r));
+  EXPECT_FALSE(q.Offer(r));  // warm-up shed
+  EXPECT_EQ(q.max_occupancy(), 3u);
+
+  std::vector<Request> batch;
+  q.ClaimBatch(2, &batch);  // occupancy drops to 1 before the boundary
+  q.BeginPhase();
+
+  // Phase counters restart; max occupancy restarts at the REAL current size
+  // (queued requests are occupancy the new phase inherits), not at zero.
+  EXPECT_EQ(q.offered(), 0u);
+  EXPECT_EQ(q.rejected(), 0u);
+  EXPECT_EQ(q.max_occupancy(), 1u);
+  EXPECT_EQ(q.size(), 1u);  // queued requests are not dropped
+
+  EXPECT_TRUE(q.Offer(r));
+  EXPECT_TRUE(q.Offer(r));
+  EXPECT_FALSE(q.Offer(r));  // measured-phase shed
+  EXPECT_EQ(q.offered(), 3u);
+  EXPECT_EQ(q.rejected(), 1u);
+  EXPECT_EQ(q.max_occupancy(), 3u);
+
+  // Lifetime totals span both phases.
+  EXPECT_EQ(q.lifetime_offered(), 7u);
+  EXPECT_EQ(q.lifetime_rejected(), 2u);
+  EXPECT_EQ(q.lifetime_max_occupancy(), 3u);
+}
+
 TEST(RequestQueueTest, ClaimBatchIsFifoAndBounded) {
   RequestQueue q(16);
   for (uint64_t k = 1; k <= 10; ++k) {

@@ -133,5 +133,16 @@ TEST(SweepRunnerTest, JobsZeroClampsToOne) {
   EXPECT_EQ(runner.jobs(), 1u);
 }
 
+TEST(SweepRunnerTest, UnqueriedEngineThreadsFlagExitsTwo) {
+  // --engine_threads parallelizes WITHIN one sweep point and only the
+  // partitioned serving engine implements it. Benches that never query the
+  // flag (every fig*/ablation_* sweep) must reject it loudly at exit 2 via
+  // RejectUnknown, not silently run single-domain and report wrong context.
+  const Flags flags = MakeFlags({"--jobs=2", "--engine_threads=4"});
+  SweepRunner runner(flags);  // queries --jobs; --engine_threads stays unknown
+  EXPECT_EXIT(flags.RejectUnknown(), testing::ExitedWithCode(2),
+              "unrecognized flag '--engine_threads'");
+}
+
 }  // namespace
 }  // namespace pmemsim_bench

@@ -24,6 +24,7 @@
 #include "bench/bench_util.h"
 #include "bench/sweep_runner.h"
 #include "src/core/platform.h"
+#include "src/serve/domain_tier.h"
 #include "src/serve/tier.h"
 #include "src/trace/json.h"
 #include "src/workload/ycsb.h"
@@ -34,10 +35,11 @@ using namespace pmemsim;
 
 struct ServeCliConfig {
   PlatformConfig platform;
-  uint32_t dimms = 0;  // 0 = one DIMM per shard
+  uint32_t dimms = 0;  // 0 = one DIMM per shard (legacy) / per domain (partitioned)
   ServeConfig serve;
   std::vector<std::string> mixes;
   std::vector<LoopMode> loops;
+  bool partitioned = false;  // --engine_threads present: run the DomainTier engine
   bool quiet = false;
 };
 
@@ -94,6 +96,22 @@ void RunPoint(const ServeCliConfig& cli, const std::string& mix, LoopMode loop,
   cfg.mix_name = mix;
   cfg.mix = *MixByName(mix);
   cfg.loop = loop;
+  if (cli.partitioned) {
+    // Partitioned engine: one System per shard domain. --dimms counts DIMMs
+    // per domain here (default 1), matching the legacy default of one DIMM
+    // per shard in aggregate.
+    const uint32_t dimms = cli.dimms != 0 ? cli.dimms : 1;
+    DomainTier tier(cli.platform, dimms, cfg);
+    tier.Run();
+    EmitScope(point, cli, mix, loop, "global", tier.GlobalStats(), tier.serve_start());
+    for (const auto& domain : tier.domains()) {
+      char scope[16];
+      std::snprintf(scope, sizeof(scope), "shard%u", domain->index());
+      EmitScope(point, cli, mix, loop, scope, domain->stats(), tier.serve_start());
+    }
+    *serve_json = tier.ToJson();
+    return;
+  }
   const uint32_t dimms = cli.dimms != 0 ? cli.dimms : cfg.shards;
   System system(cli.platform, dimms);
   ServiceTier tier(&system, cfg);
@@ -115,8 +133,20 @@ int Usage() {
       "                     [--queue_depth=64] [--batch=8] [--clients=8] [--think=4000]\n"
       "                     [--arrival_interval=1500] [--ops=20000] [--keys=20000]\n"
       "                     [--theta=0.99] [--scan_len=16] [--seed=42]\n"
-      "                     [--platform=g1|g2|g2-eadr] [--dimms=0] [--jobs=1] [--quiet]\n"
-      "%s",
+      "                     [--platform=g1|g2|g2-eadr] [--dimms=0] [--jobs=1]\n"
+      "                     [--engine_threads=N] [--dispatch_latency=2048] [--quiet]\n"
+      "%s"
+      "parallelism (two independent axes; both keep output byte-identical):\n"
+      "  --jobs=N            ACROSS sweep points: run N (mix,loop) points\n"
+      "                      concurrently, each on its own simulated machine\n"
+      "  --engine_threads=N  WITHIN one sweep point: select the partitioned\n"
+      "                      engine and advance its shard domains on N host\n"
+      "                      threads. Changes the simulated model (per-shard\n"
+      "                      machines + client dispatch latency), never the\n"
+      "                      results for a given model: any N compares equal\n"
+      "  --dispatch_latency=C  partitioned engine only: client->shard dispatch\n"
+      "                      latency in cycles (the epoch window; 0 = eager\n"
+      "                      sequential fallback)\n",
       pmemsim_bench::kTelemetryFlagsHelp);
   return 2;
 }
@@ -178,6 +208,27 @@ int main(int argc, char** argv) {
   cli.serve.theta = flags.GetDouble("theta", 0.99);
   cli.serve.scan_len = static_cast<uint32_t>(flags.GetU64("scan_len", 16));
   cli.serve.seed = flags.GetU64("seed", 42);
+
+  // --engine_threads opts into the partitioned (shard-parallel) engine; its
+  // value is host threads per sweep point. --dispatch_latency belongs to that
+  // engine's simulated model, so it is rejected without --engine_threads.
+  cli.partitioned = !flags.Get("engine_threads", "").empty();
+  if (cli.partitioned) {
+    cli.serve.engine_threads = static_cast<uint32_t>(flags.GetU64("engine_threads", 1));
+    if (cli.serve.engine_threads == 0) {
+      pmemsim_bench::Flags::BadValue("engine_threads", "0", "host thread count >= 1");
+    }
+    cli.serve.dispatch_latency = flags.GetU64("dispatch_latency", 2048);
+    if (!flags.Get("trace_out", "").empty() && cli.serve.engine_threads > 1) {
+      std::fprintf(stderr,
+                   "note: --trace_out forces --engine_threads=1 (the trace "
+                   "emitter is a global sink; order must stay deterministic)\n");
+      cli.serve.engine_threads = 1;
+    }
+  } else if (!flags.Get("dispatch_latency", "").empty()) {
+    pmemsim_bench::Flags::BadValue("dispatch_latency", flags.Get("dispatch_latency", ""),
+                                   "--engine_threads to be set (partitioned engine only)");
+  }
   cli.quiet = flags.Has("quiet");
   if (cli.serve.shards == 0 || cli.serve.workers_per_shard == 0 || cli.serve.queue_depth == 0 ||
       cli.serve.batch == 0 || cli.serve.keys == 0) {
