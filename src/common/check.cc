@@ -13,10 +13,19 @@ namespace {
 thread_local int g_capture_depth = 0;
 // Process-wide unwind hook (atomic: Enable may race sweep workers failing).
 std::atomic<void (*)()> g_unwind_hook{nullptr};
+// Additive hook table for RegisterCaptureUnwindHook. CAS-appended, never
+// cleared; hooks are trampolines that consult their own (clearable) state.
+constexpr int kMaxUnwindHooks = 4;
+std::atomic<void (*)()> g_unwind_hooks[kMaxUnwindHooks]{};
 
 void RunUnwindHook() {
   if (void (*hook)() = g_unwind_hook.load(std::memory_order_acquire)) {
     hook();
+  }
+  for (auto& slot : g_unwind_hooks) {
+    if (void (*hook)() = slot.load(std::memory_order_acquire)) {
+      hook();
+    }
   }
 }
 }  // namespace
@@ -36,6 +45,25 @@ ScopedCheckCapture::~ScopedCheckCapture() {
 
 void SetCaptureUnwindHook(void (*hook)()) {
   g_unwind_hook.store(hook, std::memory_order_release);
+}
+
+bool RegisterCaptureUnwindHook(void (*hook)()) {
+  for (auto& slot : g_unwind_hooks) {
+    void (*cur)() = slot.load(std::memory_order_acquire);
+    if (cur == hook) {
+      return true;  // idempotent: tools register once per process, lazily
+    }
+    if (cur == nullptr) {
+      void (*expected)() = nullptr;
+      if (slot.compare_exchange_strong(expected, hook, std::memory_order_acq_rel)) {
+        return true;
+      }
+      if (expected == hook) {
+        return true;  // lost the race to ourselves on another thread
+      }
+    }
+  }
+  return false;
 }
 
 namespace internal {

@@ -48,6 +48,13 @@ class ScopedCheckCapture {
 // hard abort). Hooks must be safe to call multiple times.
 void SetCaptureUnwindHook(void (*hook)());
 
+// Additive registration for additional unwind hooks (the single
+// SetCaptureUnwindHook slot stays owned by the trace emitter): appends `hook`
+// to a small fixed table unless already present (idempotent). Returns false
+// when the table is full. Registered hooks cannot be removed — register a
+// trampoline that consults its own state rather than a state-owning function.
+bool RegisterCaptureUnwindHook(void (*hook)());
+
 namespace internal {
 // Prints the failure, then throws CheckFailure (capture active) or aborts.
 [[noreturn]] void CheckFailed(const char* file, int line, const char* cond, const char* msg);

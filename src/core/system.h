@@ -8,7 +8,9 @@
 #define SRC_CORE_SYSTEM_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
+#include <utility>
 
 #include "src/cache/cache.h"
 #include "src/common/backing_store.h"
@@ -89,6 +91,13 @@ class System {
   // gauge source for interval sampling (Sampler::SetGaugeSource).
   SampleGauges ReadGauges(Cycles now);
 
+  // Installs (or clears, with an empty function) an additional gauge filler
+  // consulted by ReadGauges after the DIMM sweep. Higher layers (the serving
+  // tier's request queues) use it to surface their occupancy through the same
+  // sampling path without the core layer depending on them.
+  using ExtraGaugeFn = std::function<void(Cycles now, SampleGauges* g)>;
+  void SetExtraGaugeSource(ExtraGaugeFn fn) { extra_gauges_ = std::move(fn); }
+
  private:
   PlatformConfig config_;
   CounterRegistry registry_;
@@ -97,6 +106,7 @@ class System {
   std::unique_ptr<MemoryController> mc_;
   std::unique_ptr<SetAssocCache> l3_;
   std::deque<std::unique_ptr<ThreadContext>> threads_;
+  ExtraGaugeFn extra_gauges_;
 
   Addr pm_next_ = kPageSize;
   Addr dram_next_ = kDramAddressBase;

@@ -149,6 +149,11 @@ void ServeDomain::RunLoad() {
   load_end_ = loader.clock();
 }
 
+void ServeDomain::SetObservability(ServeMetrics* metrics, SpanRecorder* spans) {
+  metrics_ = metrics;
+  span_recorder_ = spans;
+}
+
 void ServeDomain::BeginServe(Cycles t0, TierDispatcher* eager_dispatcher,
                              std::function<bool()> all_quiet) {
   eager_dispatcher_ = eager_dispatcher;
@@ -156,6 +161,9 @@ void ServeDomain::BeginServe(Cycles t0, TierDispatcher* eager_dispatcher,
   // The serve phase is a fresh accounting window (same contract as the
   // legacy engine): preload state must not leak into the measured stats.
   queue_.BeginPhase();
+  if (metrics_ != nullptr) {
+    metrics_->ObserveQueueDepth(t0, queue_.size());
+  }
   for (Worker& wk : workers_) {
     wk.ctx->AdvanceTo(t0);
     wk.ctx->SetAttribution(&attribution_);
@@ -174,7 +182,10 @@ void ServeDomain::Accept(const Request& r) { pending_.push(r); }
 
 void ServeDomain::RunEpoch(Cycles epoch_end) {
   epoch_end_ = epoch_end;
-  engine_->RunUntil(epoch_end);
+  // The domain's private scheduler drives the domain's own mem-sampler: the
+  // interval series observes this domain's minimum worker clock, exactly as
+  // the global sampler observes the legacy engine's lockstep minimum.
+  engine_->RunUntil(epoch_end, metrics_ != nullptr ? metrics_->mem_sampler() : nullptr);
 }
 
 void ServeDomain::AppendEagerJobs(std::vector<SimJob>* out) {
@@ -205,10 +216,18 @@ StepResult ServeDomain::WorkerStep(Worker& wk) {
       // (lockstep invariant across ALL domains), so pumping the dispatcher
       // here delivers open-loop arrivals in exact admission order.
       eager_dispatcher_->Pump(ctx.clock());
+      if (metrics_ != nullptr && metrics_->mem_sampler() != nullptr) {
+        // No private scheduler in eager mode; the global lockstep minimum is
+        // this step's clock, so it is a valid (non-decreasing) observation.
+        metrics_->mem_sampler()->AdvanceTo(ctx.clock());
+      }
     }
     CatchUpAdmissions(ctx.clock());
     const size_t n = queue_.ClaimBatch(cfg_.batch, &wk.claimed);
     in_flight_ += n;
+    if (n > 0 && metrics_ != nullptr) {
+      metrics_->ObserveQueueDepth(ctx.clock(), queue_.size());
+    }
     if (n == 0) {
       if (eager_dispatcher_ != nullptr) {
         if (all_quiet_()) {
@@ -238,6 +257,13 @@ StepResult ServeDomain::WorkerStep(Worker& wk) {
   }
   const Request r = wk.claimed[wk.next++];
   const Cycles start = ctx.clock();
+  if (span_recorder_ != nullptr) {
+    // Snapshot the attribution totals around this Execute; the delta is this
+    // request's stage decomposition (one Execute is one uninterrupted step).
+    for (int s = 0; s < AttributionCollector::kStageCount; ++s) {
+      span_stage_base_[s] = attribution_.stage_total(static_cast<AttributionCollector::Stage>(s));
+    }
+  }
   Execute(ctx, r);
   if (ctx.clock() == start) {
     ctx.AddCompute(1);  // scheduler contract: every step advances the clock
@@ -247,11 +273,19 @@ StepResult ServeDomain::WorkerStep(Worker& wk) {
 }
 
 void ServeDomain::CatchUpAdmissions(Cycles now) {
+  bool folded = false;
   while (!pending_.empty() && pending_.top().arrival <= now) {
     const Request r = pending_.top();
     pending_.pop();
-    if (queue_.Offer(r)) {
+    folded = true;
+    if (queue_.Offer(r, now)) {
+      if (metrics_ != nullptr) {
+        metrics_->RecordAdmission(now);
+      }
       continue;
+    }
+    if (metrics_ != nullptr) {
+      metrics_->RecordShed(now);
     }
     // Shed. Open loop: the arrival is dropped. Closed loop: the client
     // observes the shed at the folding worker's clock `now` — not the arrival
@@ -266,6 +300,9 @@ void ServeDomain::CatchUpAdmissions(Cycles now) {
         events_.push_back(DomainEvent{now, r.client});
       }
     }
+  }
+  if (folded && metrics_ != nullptr) {
+    metrics_->ObserveQueueDepth(now, queue_.size());
   }
 }
 
@@ -326,6 +363,18 @@ void ServeDomain::CompleteRequest(const Request& r, Cycles start, Cycles end) {
   stats_.RecordCompletion(r, start, end);
   PMEMSIM_CHECK(in_flight_ > 0);
   --in_flight_;
+  if (metrics_ != nullptr) {
+    metrics_->RecordCompletion(end, end - r.arrival);
+  }
+  if (span_recorder_ != nullptr) {
+    Cycles deltas[AttributionCollector::kStageCount];
+    for (int s = 0; s < AttributionCollector::kStageCount; ++s) {
+      deltas[s] = attribution_.stage_total(static_cast<AttributionCollector::Stage>(s)) -
+                  span_stage_base_[s];
+    }
+    span_recorder_->Record(r.client, static_cast<uint8_t>(r.op), r.arrival, r.admit, start, end,
+                           deltas);
+  }
   if (cfg_.loop == LoopMode::kClosed) {
     if (eager_dispatcher_ != nullptr) {
       eager_dispatcher_->OnEvent(end, r.client);
@@ -365,6 +414,32 @@ void DomainTier::Run() {
   for (auto& domain : domains_) {
     domain->FinalizeServe();
   }
+  if (timeline_ != nullptr) {
+    for (auto& domain : domains_) {
+      domain->system().SetExtraGaugeSource({});
+      domain->SetObservability(nullptr, nullptr);
+    }
+    // Every domain finalizes at the same engine end, so the per-shard window
+    // lists are congruent whatever each domain's local drain time was.
+    timeline_->Finalize(serve_end_);
+  }
+}
+
+void DomainTier::BeginTimeline() {
+  if (timeline_ == nullptr) {
+    return;
+  }
+  timeline_->Begin(serve_start_);
+  for (uint32_t d = 0; d < cfg_.shards; ++d) {
+    ServeDomain* dom = domains_[d].get();
+    ServeMetrics* metrics = timeline_->shard(d);
+    metrics->AttachMemSampler(&dom->system().counters(),
+                              [dom](Cycles now) { return dom->system().ReadGauges(now); });
+    dom->system().SetExtraGaugeSource([dom](Cycles, SampleGauges* g) {
+      g->serve_queue_depth += dom->queue().size();
+    });
+    dom->SetObservability(metrics, timeline_->spans(d));
+  }
 }
 
 void DomainTier::RunEpochLoop() {
@@ -386,6 +461,7 @@ void DomainTier::RunEpochLoop() {
   }
   serve_start_ = load_end_;
 
+  BeginTimeline();
   for (auto& domain : domains_) {
     domain->BeginServe(serve_start_, nullptr, nullptr);
   }
@@ -411,6 +487,7 @@ void DomainTier::RunEpochLoop() {
     }
     dispatcher_.ProcessEvents(&merged);
     if (dispatcher_.Exhausted() && AllDrained()) {
+      serve_end_ = epoch_end;  // the timeline closes at the final barrier
       return;
     }
     epoch = epoch_end;
@@ -433,6 +510,7 @@ void DomainTier::RunEager() {
   const std::function<bool()> all_quiet = [this] {
     return dispatcher_.Exhausted() && AllDrained();
   };
+  BeginTimeline();
   for (auto& domain : domains_) {
     domain->BeginServe(serve_start_, &dispatcher_, all_quiet);
   }
@@ -443,7 +521,7 @@ void DomainTier::RunEager() {
   for (auto& domain : domains_) {
     domain->AppendEagerJobs(&jobs);
   }
-  Scheduler::Run(jobs);
+  serve_end_ = Scheduler::Run(jobs);
 }
 
 bool DomainTier::AllDrained() const {

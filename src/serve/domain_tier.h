@@ -87,6 +87,13 @@ class ServeDomain {
   // the tier-wide quiescence predicate that retires idle workers.
   void BeginServe(Cycles t0, TierDispatcher* eager_dispatcher, std::function<bool()> all_quiet);
 
+  // Installs (or clears) the domain's observability sinks — same contract as
+  // Shard::SetObservability. Install before BeginServe (which emits the
+  // opening queue-depth observation). The domain drives the metrics'
+  // mem-sampler from its private scheduler (epoch mode) or from its worker
+  // steps (eager mode), so the memory-plane series stays per-domain.
+  void SetObservability(ServeMetrics* metrics, SpanRecorder* spans);
+
   // Delivery sink for the dispatcher (arrival times may be far future; the
   // domain admits them when its clock gets there).
   void Accept(const Request& r);
@@ -138,6 +145,9 @@ class ServeDomain {
   RequestQueue queue_;
   ServiceStats stats_;
   AttributionCollector attribution_;
+  ServeMetrics* metrics_ = nullptr;        // not owned; null = observability off
+  SpanRecorder* span_recorder_ = nullptr;  // not owned
+  Cycles span_stage_base_[AttributionCollector::kStageCount] = {};
   std::vector<Worker> workers_;
   std::unique_ptr<ShardStore> store_;
   std::vector<uint64_t> load_keys_;
@@ -158,6 +168,13 @@ class DomainTier {
  public:
   // One System per shard domain, each with `dimms_per_domain` Optane DIMMs.
   DomainTier(const PlatformConfig& platform, uint32_t dimms_per_domain, const ServeConfig& cfg);
+
+  // Attaches (before Run) the serve-phase observability sink: per-domain
+  // windowed metrics + spans and a per-domain memory-plane sampler over each
+  // domain's private System (the global timeline view is the field-wise sum).
+  // Timeline Begin/Finalize happen on the coordinator at serve_start_ and the
+  // engine's final cycle. Pass nullptr (default) for zero-cost serving.
+  void AttachTimeline(ServeTimeline* timeline) { timeline_ = timeline; }
 
   // Load (parallel across domains) then serve to completion. One-shot.
   void Run();
@@ -180,14 +197,17 @@ class DomainTier {
  private:
   void RunEpochLoop();
   void RunEager();
+  void BeginTimeline();
   bool AllDrained() const;
 
   PlatformConfig platform_;
   ServeConfig cfg_;
   TierDispatcher dispatcher_;
   std::vector<std::unique_ptr<ServeDomain>> domains_;
+  ServeTimeline* timeline_ = nullptr;  // not owned
   Cycles load_end_ = 0;
   Cycles serve_start_ = 0;
+  Cycles serve_end_ = 0;
   bool ran_ = false;
 };
 

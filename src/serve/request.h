@@ -24,6 +24,9 @@ struct Request {
   // Open loop: the arrival's sequence number within its shard.
   uint32_t client = 0;
   Cycles arrival = 0;
+  // Admission time: the worker clock at which the queue accepted this
+  // request (== arrival when admitted by the legacy one-argument Offer).
+  Cycles admit = 0;
 };
 
 }  // namespace pmemsim

@@ -8,13 +8,14 @@ namespace pmemsim {
 
 RequestQueue::RequestQueue(size_t depth) : depth_(depth) { PMEMSIM_CHECK(depth > 0); }
 
-bool RequestQueue::Offer(const Request& r) {
+bool RequestQueue::Offer(const Request& r, Cycles now) {
   ++offered_;
   if (q_.size() >= depth_) {
     ++rejected_;
     return false;
   }
   q_.push_back(r);
+  q_.back().admit = now;
   max_occupancy_ = std::max<uint64_t>(max_occupancy_, q_.size());
   lifetime_max_occupancy_ = std::max(lifetime_max_occupancy_, max_occupancy_);
   return true;
@@ -26,13 +27,16 @@ size_t RequestQueue::ClaimBatch(size_t max, std::vector<Request>* out) {
     out->push_back(q_.front());
     q_.pop_front();
   }
+  claimed_ += n;
   return n;
 }
 
 void RequestQueue::BeginPhase() {
   phase_offered_base_ = offered_;
   phase_rejected_base_ = rejected_;
+  phase_claimed_base_ = claimed_;
   max_occupancy_ = q_.size();
+  inherited_occupancy_ = q_.size();
 }
 
 }  // namespace pmemsim

@@ -169,12 +169,31 @@ bool Shard::LoadStep(ThreadContext& ctx) {
   return true;
 }
 
+void Shard::SetObservability(ServeMetrics* metrics, SpanRecorder* spans) {
+  metrics_ = metrics;
+  span_recorder_ = spans;
+}
+
+void Shard::BeginSpan() {
+  if (span_recorder_ == nullptr) {
+    return;
+  }
+  for (int s = 0; s < AttributionCollector::kStageCount; ++s) {
+    span_stage_base_[s] = attribution_.stage_total(static_cast<AttributionCollector::Stage>(s));
+  }
+}
+
 void Shard::StartServing(Cycles t0) {
   serve_start_ = t0;
   // The serve phase is a fresh accounting window: preload-time queue state
   // (none today, but the contract holds if warm-up traffic ever precedes it)
   // must not leak into the measured offered/rejected/max_occupancy.
   queue_.BeginPhase();
+  if (metrics_ != nullptr) {
+    // Opening observation: window 0 starts from the real (inherited)
+    // occupancy rather than the carry-forward default of zero.
+    metrics_->ObserveQueueDepth(t0, queue_.size());
+  }
   if (cfg_.loop == LoopMode::kClosed) {
     const uint64_t first = std::min<uint64_t>(cfg_.clients, cfg_.ops);
     for (uint32_t c = 0; c < first; ++c) {
@@ -187,30 +206,47 @@ void Shard::StartServing(Cycles t0) {
 }
 
 void Shard::CatchUpAdmissions(Cycles now) {
+  bool folded = false;
   if (cfg_.loop == LoopMode::kClosed) {
     while (!pending_.empty() && pending_.top().time <= now) {
       const PendingArrival arr = pending_.top();
       pending_.pop();
-      if (!queue_.Offer(Materialize(arr.time, arr.client)) && scheduled_ < cfg_.ops) {
+      folded = true;
+      const bool admitted = queue_.Offer(Materialize(arr.time, arr.client), now);
+      if (metrics_ != nullptr) {
+        admitted ? metrics_->RecordAdmission(now) : metrics_->RecordShed(now);
+      }
+      if (!admitted && scheduled_ < cfg_.ops) {
         // Shed: the client backs off one think time and offers a fresh op.
         pending_.push(PendingArrival{arr.time + ThinkDraw(), arr.client});
         ++scheduled_;
       }
     }
-    return;
-  }
-  while (open_issued_ < cfg_.ops && next_open_arrival_ <= now) {
-    queue_.Offer(Materialize(next_open_arrival_, open_seq_++));  // shed = dropped
-    ++open_issued_;
-    if (open_issued_ < cfg_.ops) {
-      next_open_arrival_ = serve_start_ + arrivals_.Next();
+  } else {
+    while (open_issued_ < cfg_.ops && next_open_arrival_ <= now) {
+      folded = true;
+      const bool admitted =
+          queue_.Offer(Materialize(next_open_arrival_, open_seq_++), now);  // shed = dropped
+      if (metrics_ != nullptr) {
+        admitted ? metrics_->RecordAdmission(now) : metrics_->RecordShed(now);
+      }
+      ++open_issued_;
+      if (open_issued_ < cfg_.ops) {
+        next_open_arrival_ = serve_start_ + arrivals_.Next();
+      }
     }
+  }
+  if (folded && metrics_ != nullptr) {
+    metrics_->ObserveQueueDepth(now, queue_.size());
   }
 }
 
-size_t Shard::ClaimBatch(std::vector<Request>* out) {
+size_t Shard::ClaimBatch(Cycles now, std::vector<Request>* out) {
   const size_t n = queue_.ClaimBatch(cfg_.batch, out);
   in_flight_ += n;
+  if (n > 0 && metrics_ != nullptr) {
+    metrics_->ObserveQueueDepth(now, queue_.size());
+  }
   return n;
 }
 
@@ -244,6 +280,18 @@ void Shard::CompleteRequest(const Request& r, Cycles start, Cycles end) {
   stats_.RecordCompletion(r, start, end);
   PMEMSIM_CHECK(in_flight_ > 0);
   --in_flight_;
+  if (metrics_ != nullptr) {
+    metrics_->RecordCompletion(end, end - r.arrival);
+  }
+  if (span_recorder_ != nullptr) {
+    Cycles deltas[AttributionCollector::kStageCount];
+    for (int s = 0; s < AttributionCollector::kStageCount; ++s) {
+      deltas[s] = attribution_.stage_total(static_cast<AttributionCollector::Stage>(s)) -
+                  span_stage_base_[s];
+    }
+    span_recorder_->Record(r.client, static_cast<uint8_t>(r.op), r.arrival, r.admit, start, end,
+                           deltas);
+  }
   if (cfg_.loop == LoopMode::kClosed && scheduled_ < cfg_.ops) {
     pending_.push(PendingArrival{end + ThinkDraw(), r.client});
     ++scheduled_;

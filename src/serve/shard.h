@@ -48,6 +48,8 @@
 #include "src/serve/request_queue.h"
 #include "src/serve/service_stats.h"
 #include "src/trace/attribution.h"
+#include "src/trace/serve_metrics.h"
+#include "src/trace/span.h"
 #include "src/workload/ycsb.h"
 #include "src/workload/zipf.h"
 
@@ -141,12 +143,26 @@ class Shard {
   // --- serving phase ---
   void StartServing(Cycles t0);
 
+  // Installs (or clears, with nullptrs) the observability sinks for the serve
+  // phase. Pay-for-use: with none installed, the hot path costs one pointer
+  // test per event. Install before StartServing (which emits the opening
+  // queue-depth observation); either pointer may be null independently.
+  void SetObservability(ServeMetrics* metrics, SpanRecorder* spans);
+
+  // Snapshots the shard collector's per-stage totals before a request's
+  // Execute; CompleteRequest reads the deltas back as the request's stage
+  // decomposition. One Execute runs within one uninterrupted scheduler step
+  // of one worker, so the delta belongs to exactly that request. No-op
+  // without a span recorder.
+  void BeginSpan();
+
   // Folds every pending arrival with time <= now into the bounded queue, in
   // arrival order, shedding on full (see file comment for the loop policies).
   void CatchUpAdmissions(Cycles now);
 
-  // Claims up to cfg.batch queued requests for a worker. Returns the count.
-  size_t ClaimBatch(std::vector<Request>* out);
+  // Claims up to cfg.batch queued requests for a worker observing simulated
+  // time `now` (the post-claim queue-depth gauge point). Returns the count.
+  size_t ClaimBatch(Cycles now, std::vector<Request>* out);
 
   // Executes one request against the store on `ctx` (clock advances).
   void Execute(ThreadContext& ctx, const Request& r);
@@ -195,6 +211,9 @@ class Shard {
   RequestQueue queue_;
   ServiceStats stats_;
   AttributionCollector attribution_;
+  ServeMetrics* metrics_ = nullptr;       // not owned; null = observability off
+  SpanRecorder* span_recorder_ = nullptr; // not owned
+  Cycles span_stage_base_[AttributionCollector::kStageCount] = {};
 
   MixSampler mix_sampler_;
   ZipfGenerator zipf_;

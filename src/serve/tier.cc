@@ -56,6 +56,21 @@ void ServiceTier::Run() {
   // Align every worker to a common serve-phase origin so queue-wait and
   // sojourn cycles are comparable across shards.
   serve_start_ = load_end_;
+  if (timeline_ != nullptr) {
+    timeline_->Begin(serve_start_);
+    timeline_->AttachGlobalMemSampler(
+        &system_->counters(), [this](Cycles now) { return system_->ReadGauges(now); });
+    // Surface the tier's aggregate admission-queue occupancy through the
+    // System gauge path, so the memory-plane samples carry serve depth too.
+    system_->SetExtraGaugeSource([this](Cycles, SampleGauges* g) {
+      for (const auto& shard : shards_) {
+        g->serve_queue_depth += shard->queue().size();
+      }
+    });
+    for (uint32_t s = 0; s < cfg_.shards; ++s) {
+      shards_[s]->SetObservability(timeline_->shard(s), timeline_->spans(s));
+    }
+  }
   for (Worker& wk : workers_) {
     wk.ctx->AdvanceTo(serve_start_);
     wk.ctx->SetAttribution(&shards_[wk.shard]->attribution());
@@ -67,18 +82,28 @@ void ServiceTier::Run() {
     shard->StartServing(serve_start_);
   }
 
-  // Phase 2: serve until every shard drains.
+  // Phase 2: serve until every shard drains. The global sampler (when a
+  // timeline is attached) observes the lockstep minimum clock before every
+  // step, giving the same boundary view pmemsim_watch has of a workload.
   std::vector<SimJob> serve_jobs;
   for (Worker& wk : workers_) {
     serve_jobs.push_back(SimJob{wk.ctx, [this, &wk] { return WorkerStep(wk); }});
   }
-  Scheduler::Run(serve_jobs);
+  const Cycles serve_end =
+      Scheduler::Run(serve_jobs, timeline_ != nullptr ? timeline_->global_mem_sampler() : nullptr);
 
   for (Worker& wk : workers_) {
     wk.ctx->SetAttribution(nullptr);
   }
   for (auto& shard : shards_) {
     shard->FinalizeStats();
+  }
+  if (timeline_ != nullptr) {
+    system_->SetExtraGaugeSource({});
+    for (auto& shard : shards_) {
+      shard->SetObservability(nullptr, nullptr);
+    }
+    timeline_->Finalize(serve_end);
   }
 }
 
@@ -91,7 +116,7 @@ StepResult ServiceTier::WorkerStep(Worker& wk) {
     // This step begins at the globally minimal clock (lockstep invariant), so
     // folding arrivals <= now here reproduces admission order exactly.
     shard.CatchUpAdmissions(ctx.clock());
-    if (shard.ClaimBatch(&wk.claimed) == 0) {
+    if (shard.ClaimBatch(ctx.clock(), &wk.claimed) == 0) {
       if (shard.Drained()) {
         return StepResult::kDone;
       }
@@ -103,6 +128,7 @@ StepResult ServiceTier::WorkerStep(Worker& wk) {
   }
   const Request r = wk.claimed[wk.next++];
   const Cycles start = ctx.clock();
+  shard.BeginSpan();  // snapshot the attribution totals around this Execute
   shard.Execute(ctx, r);
   if (ctx.clock() == start) {
     ctx.AddCompute(1);  // scheduler contract: every step advances the clock

@@ -42,6 +42,13 @@ class ServiceTier {
   // `system` (construction builds the stores; preload happens in Run).
   ServiceTier(System* system, const ServeConfig& cfg);
 
+  // Attaches (before Run) the serve-phase observability sink: per-shard
+  // windowed metrics + spans, a global memory-plane sampler over the shared
+  // System, and the serve-queue-depth gauge on System::ReadGauges. The tier
+  // Begins the timeline at serve_start_ and Finalizes it at the serve
+  // engine's end. Pass nullptr (default) for zero-cost serving.
+  void AttachTimeline(ServeTimeline* timeline) { timeline_ = timeline; }
+
   // Runs load then serve to completion. Idempotent guard: call once.
   void Run();
 
@@ -73,6 +80,7 @@ class ServiceTier {
   ServeConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<Worker> workers_;
+  ServeTimeline* timeline_ = nullptr;  // not owned
   Cycles load_end_ = 0;
   Cycles serve_start_ = 0;
   bool ran_ = false;

@@ -5,11 +5,12 @@
 
 namespace pmemsim {
 
-Sampler::Sampler(const Counters* counters, Cycles interval_cycles)
+Sampler::Sampler(const Counters* counters, Cycles interval_cycles, Cycles origin)
     : counters_(counters), interval_(interval_cycles), delta_(counters) {
   PMEMSIM_CHECK(counters != nullptr);
   PMEMSIM_CHECK_MSG(interval_cycles > 0, "sample interval must be positive");
-  next_boundary_ = interval_;
+  last_boundary_ = origin;
+  next_boundary_ = origin + interval_;
 }
 
 void Sampler::Emit(Cycles t_end, bool partial) {
@@ -83,6 +84,7 @@ void Sampler::ToJson(JsonWriter& w) const {
     w.Key("wpq_occupancy").Value(s.gauges.wpq_occupancy);
     w.Key("read_buffer_entries").Value(s.gauges.read_buffer_entries);
     w.Key("write_buffer_entries").Value(s.gauges.write_buffer_entries);
+    w.Key("serve_queue_depth").Value(s.gauges.serve_queue_depth);
     w.EndObject();
     w.EndObject();
   }

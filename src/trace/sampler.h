@@ -45,6 +45,7 @@ struct SampleGauges {
   double wpq_occupancy = 0.0;       // entries across the Optane WPQs
   uint64_t read_buffer_entries = 0; // occupied on-DIMM read-buffer slots
   uint64_t write_buffer_entries = 0;// occupied on-DIMM write-buffer entries
+  uint64_t serve_queue_depth = 0;   // serving-tier request-queue occupancy
 };
 
 struct Sample {
@@ -63,7 +64,10 @@ class Sampler {
 
   // `counters` is the source snapshot (usually the System's registry-bound
   // aggregate; CounterDelta Sync()s it on every read). `interval_cycles` > 0.
-  Sampler(const Counters* counters, Cycles interval_cycles);
+  // `origin` anchors the boundary grid: intervals are [origin + k*interval,
+  // origin + (k+1)*interval), so a series opened mid-run (the serve phase)
+  // aligns its samples with other series sharing the origin.
+  Sampler(const Counters* counters, Cycles interval_cycles, Cycles origin = 0);
 
   // Installs the gauge source consulted at each boundary (optional).
   void SetGaugeSource(GaugeFn fn) { gauge_fn_ = std::move(fn); }

@@ -1,0 +1,36 @@
+#include "src/trace/span.h"
+
+#include "src/common/check.h"
+
+namespace pmemsim {
+
+void SpanRecorder::Record(uint32_t client, uint8_t op, Cycles arrival, Cycles admit, Cycles start,
+                          Cycles end, const Cycles* stage_deltas) {
+  PMEMSIM_CHECK_MSG(arrival <= admit && admit <= start && start <= end,
+                    "span lifecycle out of order");
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  RequestSpan span;
+  span.shard = shard_;
+  span.client = client;
+  span.op = op;
+  span.arrival = arrival;
+  span.admit = admit;
+  span.start = start;
+  span.end = end;
+  Cycles staged = 0;
+  for (int s = 0; s < AttributionCollector::kStageCount; ++s) {
+    span.stages[s] = stage_deltas[s];
+    staged += stage_deltas[s];
+  }
+  const Cycles service = end - start;
+  PMEMSIM_CHECK_MSG(staged <= service, "attributed stages exceed the request's service time");
+  // Unattributed service time (AddCompute advances, issue costs outside the
+  // per-access identity) lands in core, making sum(stages) == service exact.
+  span.stages[AttributionCollector::kCore] += service - staged;
+  spans_.push_back(span);
+}
+
+}  // namespace pmemsim

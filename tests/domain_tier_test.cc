@@ -9,6 +9,7 @@
 
 #include "src/common/config.h"
 #include "src/serve/domain_tier.h"
+#include "src/trace/serve_metrics.h"
 #include "src/workload/ycsb.h"
 
 namespace pmemsim {
@@ -188,6 +189,77 @@ TEST(DomainTierTest, ReportExcludesEngineThreadsAndNamesTheEngine) {
   EXPECT_EQ(json.find("engine_threads"), std::string::npos);
   EXPECT_NE(json.find("\"engine\":\"partitioned\""), std::string::npos);
   EXPECT_NE(json.find("\"dispatch_latency\":2048"), std::string::npos);
+}
+
+// ---------- Serve observability on the partitioned engine ----------
+
+ServeTimeline::Config PartitionedTimelineConfig(const ServeConfig& cfg, Cycles interval) {
+  ServeTimeline::Config tc;
+  tc.mix = cfg.mix_name;
+  tc.loop = LoopModeName(cfg.loop);
+  tc.store = StoreName(cfg.store);
+  tc.engine = "partitioned";
+  tc.shards = cfg.shards;
+  tc.interval_cycles = interval;
+  return tc;
+}
+
+// One observed run: the tier report, the timeline artifact, and the span
+// export concatenated — everything the CLI can emit for a point.
+std::string RunObservedToJson(const ServeConfig& cfg) {
+  ServeTimeline timeline(PartitionedTimelineConfig(cfg, /*interval=*/5000));
+  timeline.EnableSpans();
+  DomainTier tier(G1Platform(), /*dimms_per_domain=*/1, cfg);
+  tier.AttachTimeline(&timeline);
+  tier.Run();
+  return tier.ToJson() + "\n" + timeline.ToJson() + "\n" + timeline.SpansToJson();
+}
+
+TEST(DomainTierTest, TimelineByteIdenticalAcrossEngineThreads) {
+  // The observability extension of the determinism contract: the windowed
+  // timeline (including the per-domain memory-plane series) and every span
+  // must byte-compare across host thread counts, not just the end-of-run
+  // report.
+  for (const LoopMode loop : {LoopMode::kClosed, LoopMode::kOpen}) {
+    ServeConfig cfg = SmallConfig(loop);
+    cfg.engine_threads = 1;
+    const std::string baseline = RunObservedToJson(cfg);
+    EXPECT_FALSE(baseline.empty());
+    for (const uint32_t threads : {2u, 4u}) {
+      cfg.engine_threads = threads;
+      EXPECT_EQ(RunObservedToJson(cfg), baseline)
+          << LoopModeName(loop) << " timeline diverges at engine_threads=" << threads;
+    }
+  }
+}
+
+TEST(DomainTierTest, EagerTimelineWellFormedAndConserved) {
+  // The zero-lookahead fallback drives the per-domain samplers from worker
+  // steps instead of a private scheduler; the timeline identities must hold
+  // there too.
+  ServeConfig cfg = SmallConfig(LoopMode::kOpen);
+  cfg.dispatch_latency = 0;
+  cfg.engine_threads = 4;  // ignored in eager mode
+  ServeTimeline timeline(PartitionedTimelineConfig(cfg, /*interval=*/5000));
+  DomainTier tier(G1Platform(), 1, cfg);
+  tier.AttachTimeline(&timeline);
+  tier.Run();
+
+  EXPECT_FALSE(timeline.truncated());
+  const ServiceStats global = tier.GlobalStats();
+  uint64_t completed = 0, shed = 0;
+  Cycles prev_end = tier.serve_start();
+  for (const ServeWindow& w : timeline.global_windows()) {
+    EXPECT_EQ(w.t_begin, prev_end) << "window " << w.index;
+    prev_end = w.t_end;
+    completed += w.completed;
+    shed += w.shed;
+  }
+  EXPECT_EQ(completed, global.completed);
+  EXPECT_EQ(shed, global.rejected);
+  // Windows reach the engine's final cycle and partition [serve_start, end).
+  EXPECT_EQ(timeline.global_windows().front().t_begin, tier.serve_start());
+  EXPECT_GE(prev_end, tier.end_cycle());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "src/serve/request_queue.h"
 #include "src/serve/tier.h"
 #include "src/trace/json.h"
+#include "src/trace/serve_metrics.h"
 
 namespace pmemsim {
 namespace {
@@ -236,6 +238,238 @@ TEST(ServiceTierTest, EveryStoreServesEveryMix) {
       EXPECT_GT(global.completed, 0u) << StoreName(store) << "/" << mix;
     }
   }
+}
+
+// ---------- Serve observability: windowed metrics, spans, timeline ----------
+
+ServeTimeline::Config TimelineConfig(const ServeConfig& cfg, Cycles interval,
+                                     uint64_t slo_p99 = 0) {
+  ServeTimeline::Config tc;
+  tc.mix = cfg.mix_name;
+  tc.loop = LoopModeName(cfg.loop);
+  tc.store = StoreName(cfg.store);
+  tc.engine = "interleaved";
+  tc.shards = cfg.shards;
+  tc.interval_cycles = interval;
+  tc.slo_p99_cycles = slo_p99;
+  return tc;
+}
+
+TEST(ServeMetricsTest, WindowedQuantilesMatchReferenceMerge) {
+  // Feed completions out of simulated-time order, the way epoch replays and
+  // multi-worker interleavings deliver them, and compare the materialized
+  // windows against a reference model that buckets into per-window
+  // Histograms directly.
+  const Cycles kInterval = 100;
+  const Cycles kOrigin = 1000;
+  const Cycles kEnd = 1450;
+  ServeMetrics m(kInterval);
+  m.Begin(kOrigin);
+  struct Ev {
+    Cycles end;
+    Cycles sojourn;
+  };
+  const std::vector<Ev> events = {{1005, 40}, {1399, 900}, {1100, 7},   {1250, 300}, {1199, 55},
+                                  {1000, 1},  {1310, 11},  {1105, 220}, {1450, 9},   {1399, 12}};
+  for (const Ev& e : events) {
+    m.RecordCompletion(e.end, e.sojourn);
+  }
+  m.Finalize(kEnd);
+
+  const size_t total = (kEnd - kOrigin) / kInterval + 1;  // 4 full + 1 partial
+  std::vector<Histogram> ref(total);
+  for (const Ev& e : events) {
+    // Same clamp rule as the series: the closing window owns its right edge.
+    const size_t idx = std::min<size_t>((e.end - kOrigin) / kInterval, total - 1);
+    ref[idx].Add(e.sojourn);
+  }
+  ASSERT_EQ(m.windows().size(), total);
+  for (size_t i = 0; i < total; ++i) {
+    const ServeWindow& w = m.windows()[i];
+    EXPECT_EQ(w.index, i);
+    EXPECT_EQ(w.t_begin, kOrigin + i * kInterval);
+    EXPECT_EQ(w.completed, ref[i].count()) << "window " << i;
+    ASSERT_EQ(w.sojourn.count(), ref[i].count()) << "window " << i;
+    for (const double q : {0.5, 0.99, 0.999}) {
+      if (ref[i].count() > 0) {
+        EXPECT_EQ(w.sojourn.Quantile(q), ref[i].Quantile(q)) << "window " << i << " q" << q;
+      }
+    }
+  }
+  EXPECT_TRUE(m.windows().back().partial);  // [1400, 1450) is half an interval
+  EXPECT_EQ(m.windows().back().t_end, kEnd);
+  EXPECT_EQ(m.total_completed(), events.size());
+}
+
+TEST(ServeTimelineTest, GlobalWindowsAreTheExactShardMerge) {
+  ServeConfig cfg = SmallConfig();
+  cfg.loop = LoopMode::kOpen;
+  cfg.mix = *MixByName("a");
+  cfg.mix_name = "a";
+  ServeTimeline timeline(TimelineConfig(cfg, /*interval=*/200));
+  timeline.Begin(0);
+  timeline.shard(0)->RecordCompletion(150, 40);
+  timeline.shard(0)->RecordAdmission(10);
+  timeline.shard(0)->ObserveQueueDepth(180, 3);
+  timeline.shard(1)->RecordCompletion(150, 90);
+  timeline.shard(1)->RecordShed(450);
+  timeline.shard(1)->ObserveQueueDepth(170, 2);
+  timeline.Finalize(500);
+
+  ASSERT_EQ(timeline.global_windows().size(), 3u);
+  const ServeWindow& w0 = timeline.global_windows()[0];
+  EXPECT_EQ(w0.completed, 2u);
+  EXPECT_EQ(w0.admitted, 1u);
+  EXPECT_EQ(w0.queue_depth, 5u);  // gauge merges by shard sum
+  Histogram ref;
+  ref.Add(40);
+  ref.Add(90);
+  EXPECT_EQ(w0.sojourn.Quantile(0.5), ref.Quantile(0.5));
+  EXPECT_EQ(w0.sojourn.Quantile(0.99), ref.Quantile(0.99));
+  // Depth gauges carry forward through idle windows; event counts do not.
+  const ServeWindow& w1 = timeline.global_windows()[1];
+  EXPECT_EQ(w1.completed, 0u);
+  EXPECT_EQ(w1.queue_depth, 5u);
+  EXPECT_EQ(timeline.global_windows()[2].shed, 1u);
+}
+
+TEST(ServiceTierTest, SpanConservationIdentities) {
+  ServeConfig cfg = SmallConfig();
+  cfg.loop = LoopMode::kClosed;
+  cfg.mix = *MixByName("f");  // rmw: every request reads and writes
+  cfg.mix_name = "f";
+  ServeTimeline timeline(TimelineConfig(cfg, /*interval=*/20000));
+  timeline.EnableSpans();
+  auto system = MakeG1System(2);
+  ServiceTier tier(system.get(), cfg);
+  tier.AttachTimeline(&timeline);
+  tier.Run();
+
+  uint64_t total_spans = 0;
+  for (uint32_t s = 0; s < cfg.shards; ++s) {
+    const SpanRecorder* rec = timeline.spans(s);
+    ASSERT_NE(rec, nullptr);
+    const ServiceStats& stats = tier.shards()[s]->stats();
+    EXPECT_EQ(rec->spans().size() + rec->dropped(), stats.completed) << "shard " << s;
+    Cycles wait_sum = 0, service_sum = 0, sojourn_sum = 0;
+    for (const RequestSpan& sp : rec->spans()) {
+      ASSERT_LE(sp.arrival, sp.admit);
+      ASSERT_LE(sp.admit, sp.start);
+      ASSERT_LE(sp.start, sp.end);
+      // Conservation, exact: the lifecycle partitions the sojourn, and the
+      // stage breakdown partitions the service time.
+      EXPECT_EQ(sp.wait() + sp.service(), sp.sojourn());
+      Cycles staged = 0;
+      for (int k = 0; k < AttributionCollector::kStageCount; ++k) {
+        staged += sp.stages[k];
+      }
+      EXPECT_EQ(staged, sp.service());
+      wait_sum += sp.wait();
+      service_sum += sp.service();
+      sojourn_sum += sp.sojourn();
+    }
+    // No spans dropped at this budget, so the span sums must reproduce the
+    // shard's whole-run stats exactly.
+    EXPECT_EQ(rec->dropped(), 0u);
+    EXPECT_EQ(wait_sum, stats.wait_total) << "shard " << s;
+    EXPECT_EQ(service_sum, stats.service_total) << "shard " << s;
+    EXPECT_EQ(sojourn_sum, stats.sojourn_total) << "shard " << s;
+    total_spans += rec->spans().size();
+  }
+  EXPECT_EQ(total_spans, tier.GlobalStats().completed);
+}
+
+TEST(ServiceTierTest, TimelineMatchesWholeRunTotals) {
+  ServeConfig cfg = SmallConfig();
+  cfg.loop = LoopMode::kOpen;
+  cfg.mix = *MixByName("a");
+  cfg.mix_name = "a";
+  cfg.queue_depth = 2;
+  cfg.interarrival_cycles = 60;  // overload: force sheds into the timeline
+  ServeTimeline timeline(TimelineConfig(cfg, /*interval=*/10000, /*slo_p99=*/1));
+  auto system = MakeG1System(2);
+  ServiceTier tier(system.get(), cfg);
+  tier.AttachTimeline(&timeline);
+  tier.Run();
+
+  EXPECT_FALSE(timeline.truncated());
+  const ServiceStats global = tier.GlobalStats();
+  uint64_t completed = 0, admitted = 0, shed = 0;
+  Cycles prev_end = tier.serve_start();
+  for (const ServeWindow& w : timeline.global_windows()) {
+    EXPECT_EQ(w.t_begin, prev_end) << "window " << w.index;
+    prev_end = w.t_end;
+    completed += w.completed;
+    admitted += w.admitted;
+    shed += w.shed;
+    // The memory-plane series joins every window (same origin and interval).
+    EXPECT_TRUE(w.has_mem) << "window " << w.index;
+    // Per-window conservation against the shard series.
+    uint64_t shard_completed = 0;
+    for (uint32_t s = 0; s < cfg.shards; ++s) {
+      ASSERT_LT(w.index, timeline.shard(s)->windows().size());
+      shard_completed += timeline.shard(s)->windows()[w.index].completed;
+    }
+    EXPECT_EQ(w.completed, shard_completed) << "window " << w.index;
+  }
+  EXPECT_EQ(completed, global.completed);
+  EXPECT_EQ(shed, global.rejected);
+  EXPECT_EQ(admitted, global.offered - global.rejected);
+  EXPECT_GT(shed, 0u) << "overload run must show sheds in the timeline";
+
+  // With a 1-cycle SLO every traffic-bearing window is in violation.
+  const ServeTimeline::SloSummary slo = timeline.Slo();
+  EXPECT_EQ(slo.windows, timeline.global_windows().size());
+  EXPECT_EQ(slo.violations, slo.windows_with_traffic);
+  EXPECT_DOUBLE_EQ(slo.burn_rate, 1.0);
+
+  // The serialized artifact parses and reproduces the totals.
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(timeline.ToJson(), &parsed));
+  EXPECT_EQ(parsed.Find("totals")->Find("completed")->AsUint(), global.completed);
+  EXPECT_EQ(parsed.Find("totals")->Find("shed")->AsUint(), global.rejected);
+  EXPECT_FALSE(parsed.Find("truncated")->boolean);
+}
+
+TEST(ServeTimelineTest, FlushTruncatedYieldsWellFormedTimeline) {
+  // The unwind-flush path: a sweep point dying mid-serve must still leave a
+  // contiguous, parseable timeline ending at the last observed event.
+  ServeConfig cfg = SmallConfig();
+  cfg.mix = *MixByName("a");
+  cfg.mix_name = "a";
+  cfg.loop = LoopMode::kOpen;
+  ServeTimeline timeline(TimelineConfig(cfg, /*interval=*/100));
+  timeline.Begin(1000);
+  timeline.shard(0)->RecordAdmission(1010);
+  timeline.shard(0)->RecordCompletion(1350, 340);
+  timeline.shard(1)->RecordShed(1120);
+
+  timeline.FlushTruncated();
+  EXPECT_TRUE(timeline.truncated());
+  // Finalized at the max observed event (1350): windows [1000..1300) full,
+  // [1300,1350) partial, and the flush is idempotent against a later close.
+  ASSERT_EQ(timeline.global_windows().size(), 4u);
+  EXPECT_EQ(timeline.global_windows().back().t_end, 1350u);
+  EXPECT_TRUE(timeline.global_windows().back().partial);
+  EXPECT_EQ(timeline.global_windows().back().completed, 1u);
+  timeline.Finalize(99999);
+  timeline.FlushTruncated();
+  ASSERT_EQ(timeline.global_windows().size(), 4u);
+
+  JsonValue parsed;
+  ASSERT_TRUE(JsonValue::Parse(timeline.ToJson(), &parsed));
+  EXPECT_TRUE(parsed.Find("truncated")->boolean);
+  EXPECT_EQ(parsed.Find("end")->AsUint(), 1350u);
+
+  // Degenerate flush: nothing observed, not even Begin. One zero-width
+  // window keeps every downstream consumer's "non-empty series" invariant.
+  ServeTimeline empty(TimelineConfig(cfg, /*interval=*/100));
+  empty.FlushTruncated();
+  EXPECT_TRUE(empty.truncated());
+  ASSERT_EQ(empty.global_windows().size(), 1u);
+  EXPECT_EQ(empty.global_windows()[0].t_begin, empty.global_windows()[0].t_end);
+  JsonValue empty_parsed;
+  ASSERT_TRUE(JsonValue::Parse(empty.ToJson(), &empty_parsed));
 }
 
 }  // namespace

@@ -440,6 +440,30 @@ TEST(Sampler, FinalizeCapturesResidualDeltasAfterLastBoundary) {
   EXPECT_EQ(sampler.SumOfDeltas().imc_write_bytes, 64u);
 }
 
+TEST(Sampler, OriginAlignsBoundaries) {
+  // The serve timeline joins the memory-plane series at the serve-phase
+  // origin: a sampler opened at origin O with interval I must cut boundaries
+  // at O + k*I, never at absolute multiples of I.
+  Counters c;
+  Sampler sampler(&c, /*interval_cycles=*/100, /*origin=*/1000);
+  c.imc_read_bytes = 64;
+  sampler.AdvanceTo(1150);  // one boundary crossed, at 1100 (not 1000/1100/1200 grid-from-zero)
+  ASSERT_EQ(sampler.samples().size(), 1u);
+  EXPECT_EQ(sampler.samples()[0].t_begin, 1000u);
+  EXPECT_EQ(sampler.samples()[0].t_end, 1100u);
+  EXPECT_EQ(sampler.samples()[0].delta.imc_read_bytes, 64u);
+  c.imc_read_bytes += 36;
+  sampler.Finalize(1230);  // closes [1100,1200) and the partial [1200,1230)
+  ASSERT_EQ(sampler.samples().size(), 3u);
+  EXPECT_EQ(sampler.samples()[1].t_begin, 1100u);
+  EXPECT_EQ(sampler.samples()[1].t_end, 1200u);
+  EXPECT_EQ(sampler.samples()[1].delta.imc_read_bytes, 36u);
+  EXPECT_TRUE(sampler.samples()[2].partial);
+  EXPECT_EQ(sampler.samples()[2].t_begin, 1200u);
+  EXPECT_EQ(sampler.samples()[2].t_end, 1230u);
+  EXPECT_EQ(sampler.SumOfDeltas().imc_read_bytes, 100u);
+}
+
 namespace sampler_determinism {
 
 // One scheduler-driven sampled run: fresh System, fixed workload, fixed

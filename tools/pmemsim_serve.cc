@@ -18,15 +18,19 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "bench/sweep_runner.h"
+#include "src/common/check.h"
 #include "src/core/platform.h"
 #include "src/serve/domain_tier.h"
 #include "src/serve/tier.h"
 #include "src/trace/json.h"
+#include "src/trace/serve_metrics.h"
 #include "src/workload/ycsb.h"
 
 namespace {
@@ -41,7 +45,87 @@ struct ServeCliConfig {
   std::vector<LoopMode> loops;
   bool partitioned = false;  // --engine_threads present: run the DomainTier engine
   bool quiet = false;
+  // Serve observability (all off by default: the hot path pays nothing).
+  Cycles sample_interval = 0;     // telemetry window width; 0 = windowing off
+  uint64_t slo_p99 = 0;           // per-window p99 SLO threshold; 0 = monitor off
+  std::string timeline_path;      // --timeline_json artifact
+  std::string spans_path;         // --spans_json compact columnar span export
+  std::string span_trace_path;    // --span_trace chrome://tracing span export
+  bool observe = false;           // any of the above requested
 };
+
+// The sweep point currently running on this worker thread, for the hard-abort
+// flush below. Captured failures never reach the process-wide hook (the sweep
+// runner catches them in the same frame as its capture scope), so this only
+// matters when a CHECK fails outside any capture and the process is about to
+// abort.
+thread_local ServeTimeline* g_active_timeline = nullptr;
+const std::string* g_timeline_path = nullptr;  // set once before runner.Run
+
+void FlushTimelineOnAbort() {
+  ServeTimeline* timeline = g_active_timeline;
+  if (timeline == nullptr) {
+    return;
+  }
+  timeline->FlushTruncated();
+  if (g_timeline_path == nullptr || g_timeline_path->empty()) {
+    return;
+  }
+  // main() never assembles the multi-point artifact on this path; persist the
+  // failing point alone, at a side path so the real artifact stays absent.
+  const std::string path = *g_timeline_path + ".aborted";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    const std::string json = timeline->ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+}
+
+// Serializes the point's timeline into its artifact slot on every exit path.
+// Normal completion writes the tier-finalized timeline; a propagating failure
+// first flushes it truncated at the last observed event, so a failed sweep
+// point still yields a well-formed (marked truncated) timeline. The guard
+// must live INSIDE the point body: the sweep runner catches the exception in
+// the same frame that holds its ScopedCheckCapture, so only an object in the
+// point's own frame destructs while the exception is still in flight.
+class TimelineSlotGuard {
+ public:
+  TimelineSlotGuard(ServeTimeline* timeline, std::string* slot)
+      : timeline_(timeline), slot_(slot) {
+    if (timeline_ != nullptr) {
+      g_active_timeline = timeline_;
+      RegisterCaptureUnwindHook(&FlushTimelineOnAbort);  // hard-abort cover
+    }
+  }
+  ~TimelineSlotGuard() {
+    if (timeline_ == nullptr) {
+      return;
+    }
+    g_active_timeline = nullptr;
+    timeline_->FlushTruncated();  // no-op after the tier's normal Finalize
+    *slot_ = timeline_->ToJson();
+  }
+  TimelineSlotGuard(const TimelineSlotGuard&) = delete;
+  TimelineSlotGuard& operator=(const TimelineSlotGuard&) = delete;
+
+ private:
+  ServeTimeline* timeline_;
+  std::string* slot_;
+};
+
+bool WriteFileOrComplain(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
 
 std::vector<std::string> SplitCsv(const std::string& s) {
   std::vector<std::string> out;
@@ -91,7 +175,9 @@ void EmitScope(pmemsim_bench::SweepPoint& point, const ServeCliConfig& cli,
 }
 
 void RunPoint(const ServeCliConfig& cli, const std::string& mix, LoopMode loop,
-              pmemsim_bench::SweepPoint& point, std::string* serve_json) {
+              pmemsim_bench::SweepPoint& point, std::string* serve_json,
+              ServeTimeline* timeline, std::string* timeline_json) {
+  TimelineSlotGuard flush_guard(timeline, timeline_json);
   ServeConfig cfg = cli.serve;
   cfg.mix_name = mix;
   cfg.mix = *MixByName(mix);
@@ -102,6 +188,7 @@ void RunPoint(const ServeCliConfig& cli, const std::string& mix, LoopMode loop,
     // per shard in aggregate.
     const uint32_t dimms = cli.dimms != 0 ? cli.dimms : 1;
     DomainTier tier(cli.platform, dimms, cfg);
+    tier.AttachTimeline(timeline);
     tier.Run();
     EmitScope(point, cli, mix, loop, "global", tier.GlobalStats(), tier.serve_start());
     for (const auto& domain : tier.domains()) {
@@ -115,6 +202,7 @@ void RunPoint(const ServeCliConfig& cli, const std::string& mix, LoopMode loop,
   const uint32_t dimms = cli.dimms != 0 ? cli.dimms : cfg.shards;
   System system(cli.platform, dimms);
   ServiceTier tier(&system, cfg);
+  tier.AttachTimeline(timeline);
   tier.Run();
   EmitScope(point, cli, mix, loop, "global", tier.GlobalStats(), tier.serve_start());
   for (const auto& shard : tier.shards()) {
@@ -135,7 +223,22 @@ int Usage() {
       "                     [--theta=0.99] [--scan_len=16] [--seed=42]\n"
       "                     [--platform=g1|g2|g2-eadr] [--dimms=0] [--jobs=1]\n"
       "                     [--engine_threads=N] [--dispatch_latency=2048] [--quiet]\n"
+      "                     [--sample_interval_cycles=C] [--timeline_json=<path>]\n"
+      "                     [--slo_p99_cycles=C] [--spans_json=<path>]\n"
+      "                     [--span_trace=<path>]\n"
       "%s"
+      "serve observability (off by default; the serve hot path pays nothing):\n"
+      "  --sample_interval_cycles=C  windowed serve telemetry: per-C-cycle\n"
+      "                      throughput/shed/queue-depth/windowed tails\n"
+      "  --timeline_json=<path>  write the per-window timeline artifact\n"
+      "                      (enables windowing; default window 20000 cycles)\n"
+      "  --slo_p99_cycles=C  per-window p99 sojourn SLO monitor (violations +\n"
+      "                      burn rate in the timeline and a 'slo' stats\n"
+      "                      section); requires windowing\n"
+      "  --spans_json=<path>  per-request spans, columnar JSON (single sweep\n"
+      "                      point only: one mix x one loop)\n"
+      "  --span_trace=<path>  per-request spans as chrome://tracing events\n"
+      "                      (single sweep point only)\n"
       "parallelism (two independent axes; both keep output byte-identical):\n"
       "  --jobs=N            ACROSS sweep points: run N (mix,loop) points\n"
       "                      concurrently, each on its own simulated machine\n"
@@ -235,6 +338,31 @@ int main(int argc, char** argv) {
     pmemsim_bench::Flags::BadValue("shards", "0", "positive counts");
   }
 
+  // Serve observability: any of the flags below switches the timeline on for
+  // every sweep point. --timeline_json / span export imply windowing with a
+  // default interval; --slo_p99_cycles is meaningless without windows.
+  cli.sample_interval = flags.GetU64("sample_interval_cycles", 0);
+  cli.slo_p99 = flags.GetU64("slo_p99_cycles", 0);
+  cli.timeline_path = flags.Get("timeline_json", "");
+  cli.spans_path = flags.Get("spans_json", "");
+  cli.span_trace_path = flags.Get("span_trace", "");
+  const bool spans_requested = !cli.spans_path.empty() || !cli.span_trace_path.empty();
+  cli.observe =
+      cli.sample_interval > 0 || !cli.timeline_path.empty() || spans_requested;
+  if (cli.slo_p99 > 0 && !cli.observe) {
+    pmemsim_bench::Flags::BadValue(
+        "slo_p99_cycles", flags.Get("slo_p99_cycles", ""),
+        "windowing to be enabled (--timeline_json or --sample_interval_cycles)");
+  }
+  if (cli.observe && cli.sample_interval == 0) {
+    cli.sample_interval = 20000;  // default telemetry window
+  }
+  if (spans_requested && cli.mixes.size() * cli.loops.size() != 1) {
+    pmemsim_bench::Flags::BadValue(
+        "spans_json", !cli.spans_path.empty() ? cli.spans_path : cli.span_trace_path,
+        "a single sweep point (one mix, --loop=closed|open)");
+  }
+
   pmemsim_bench::BenchReport report(flags, "pmemsim_serve");
   pmemsim_bench::SweepRunner runner(flags);
   flags.RejectUnknown();
@@ -246,16 +374,42 @@ int main(int argc, char** argv) {
 
   // One sweep point per (mix, loop): its own System, deterministic per seed.
   // Per-point tier JSON lands in a pre-sized slot so --jobs parallelism keeps
-  // the assembled "serve" section in submission order.
-  std::vector<std::string> serve_sections(cli.mixes.size() * cli.loops.size());
+  // the assembled "serve" section in submission order. Timelines live here in
+  // main's frame — they must outlive a failing point's unwinding so the flush
+  // guard can serialize the truncated artifact into its slot.
+  const size_t n_points = cli.mixes.size() * cli.loops.size();
+  std::vector<std::string> serve_sections(n_points);
+  std::vector<std::unique_ptr<ServeTimeline>> timelines(cli.observe ? n_points : 0);
+  std::vector<std::string> timeline_sections(cli.observe ? n_points : 0);
+  g_timeline_path = &cli.timeline_path;
   size_t index = 0;
   for (const std::string& mix : cli.mixes) {
     for (const LoopMode mode : cli.loops) {
-      std::string* slot = &serve_sections[index++];
+      std::string* slot = &serve_sections[index];
+      ServeTimeline* timeline = nullptr;
+      std::string* timeline_slot = nullptr;
+      if (cli.observe) {
+        ServeTimeline::Config tcfg;
+        tcfg.mix = mix;
+        tcfg.loop = LoopModeName(mode);
+        tcfg.store = StoreName(cli.serve.store);
+        tcfg.engine = cli.partitioned ? "partitioned" : "interleaved";
+        tcfg.shards = cli.serve.shards;
+        tcfg.interval_cycles = cli.sample_interval;
+        tcfg.slo_p99_cycles = cli.slo_p99;
+        timelines[index] = std::make_unique<ServeTimeline>(tcfg);
+        if (spans_requested) {
+          timelines[index]->EnableSpans();
+        }
+        timeline = timelines[index].get();
+        timeline_slot = &timeline_sections[index];
+      }
+      ++index;
       const std::string label = "mix-" + mix + "/" + LoopModeName(mode);
-      runner.Add(label, [&cli, mix, mode, slot](pmemsim_bench::SweepPoint& point) {
-        RunPoint(cli, mix, mode, point, slot);
-      });
+      runner.Add(label,
+                 [&cli, mix, mode, slot, timeline, timeline_slot](pmemsim_bench::SweepPoint& point) {
+                   RunPoint(cli, mix, mode, point, slot, timeline, timeline_slot);
+                 });
     }
   }
 
@@ -271,10 +425,63 @@ int main(int argc, char** argv) {
   }
   serve.EndArray();
   report.AddSection("serve", serve.str());
+
+  int io_rc = 0;
+  if (cli.slo_p99 > 0) {
+    // SLO summary per point, mirrored into the stats report so the monitor is
+    // visible without parsing the full timeline artifact.
+    pmemsim::JsonWriter slo;
+    slo.BeginArray();
+    index = 0;
+    for (const std::string& mix : cli.mixes) {
+      for (const LoopMode mode : cli.loops) {
+        const ServeTimeline::SloSummary s = timelines[index++]->Slo();
+        slo.BeginObject();
+        slo.Key("mix").Value(mix);
+        slo.Key("loop").Value(LoopModeName(mode));
+        slo.Key("slo_p99_cycles").Value(cli.slo_p99);
+        slo.Key("violations").Value(s.violations);
+        slo.Key("windows").Value(s.windows);
+        slo.Key("windows_with_traffic").Value(s.windows_with_traffic);
+        slo.Key("burn_rate").Value(s.burn_rate);
+        slo.EndObject();
+      }
+    }
+    slo.EndArray();
+    report.AddSection("slo", slo.str());
+  }
+  if (!cli.timeline_path.empty()) {
+    pmemsim::JsonWriter timeline;
+    timeline.BeginObject();
+    timeline.Key("schema_version").Value(uint64_t{1});
+    timeline.Key("bench").Value("pmemsim_serve");
+    timeline.Key("points").BeginArray();
+    for (const std::string& section : timeline_sections) {
+      if (section.empty()) {
+        timeline.Null();  // point never ran; keep indexes aligned with rows
+      } else {
+        timeline.Raw(section);
+      }
+    }
+    timeline.EndArray();
+    timeline.EndObject();
+    if (!WriteFileOrComplain(cli.timeline_path, timeline.str())) {
+      io_rc = 1;
+    }
+  }
+  if (!cli.spans_path.empty() &&
+      !WriteFileOrComplain(cli.spans_path, timelines[0]->SpansToJson())) {
+    io_rc = 1;
+  }
+  if (!cli.span_trace_path.empty() &&
+      !WriteFileOrComplain(cli.span_trace_path, timelines[0]->SpansToChromeTrace())) {
+    io_rc = 1;
+  }
+
   const int rc = report.Finish();
   if (failed > 0) {
     std::fprintf(stderr, "pmemsim_serve: %d point(s) failed\n", failed);
     return 1;
   }
-  return rc;
+  return rc != 0 ? rc : io_rc;
 }

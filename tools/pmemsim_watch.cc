@@ -13,6 +13,12 @@
 //
 // --breakdown additionally attaches the per-access latency attributor and
 // prints the critical-path table at the end of the run.
+//
+// --serve_timeline=<path> switches to viewer mode: instead of running a
+// workload, renders a pmemsim_serve --timeline_json artifact as per-window
+// tables (throughput, sheds, queue depth, windowed tails, SLO verdicts) — the
+// same at-a-glance view this tool gives the memory plane, for the request
+// plane.
 
 #include <cinttypes>
 #include <cstdio>
@@ -26,6 +32,7 @@
 #include "src/core/platform.h"
 #include "src/cpu/scheduler.h"
 #include "src/trace/attribution.h"
+#include "src/trace/json.h"
 #include "src/trace/sampler.h"
 
 namespace {
@@ -136,6 +143,97 @@ void PrintTotals(Cycles end, const Counters& d) {
               d.periodic_writebacks);
 }
 
+// One cell of a windowed-quantile column: "-" when the window saw no
+// completions (the artifact stores null).
+const char* QuantileCell(const JsonValue& win, const char* key, char* buf, size_t n) {
+  const JsonValue* q = win.Find(key);
+  if (q == nullptr || q->type == JsonValue::Type::kNull) {
+    return "-";
+  }
+  std::snprintf(buf, n, "%" PRIu64, q->AsUint());
+  return buf;
+}
+
+// Viewer mode: renders the global per-window series of every point in a
+// pmemsim_serve --timeline_json artifact. Returns a process exit code.
+int ViewServeTimeline(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  JsonValue root;
+  std::string error;
+  if (!JsonValue::Parse(text, &root, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  const JsonValue* points = root.Find("points");
+  if (points == nullptr || points->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "error: %s: not a pmemsim_serve timeline artifact\n", path.c_str());
+    return 1;
+  }
+
+  for (const JsonValue& point : points->array) {
+    if (point.type != JsonValue::Type::kObject) {
+      std::printf("# point: <failed before flush>\n");
+      continue;
+    }
+    const JsonValue* cfg = point.Find("config");
+    const JsonValue* global = point.Find("global");
+    const JsonValue* totals = point.Find("totals");
+    if (cfg == nullptr || global == nullptr || global->Find("windows") == nullptr ||
+        totals == nullptr || point.Find("end") == nullptr) {
+      std::fprintf(stderr, "error: %s: point missing required timeline fields\n", path.c_str());
+      return 1;
+    }
+    const JsonValue* truncated = point.Find("truncated");
+    std::printf("# point mix=%s loop=%s store=%s engine=%s shards=%" PRIu64
+                " interval=%" PRIu64 "%s\n",
+                cfg->Find("mix")->string.c_str(), cfg->Find("loop")->string.c_str(),
+                cfg->Find("store")->string.c_str(), cfg->Find("engine")->string.c_str(),
+                cfg->Find("shards")->AsUint(), cfg->Find("interval_cycles")->AsUint(),
+                truncated != nullptr && truncated->boolean ? " TRUNCATED" : "");
+    if (const JsonValue* slo = point.Find("slo")) {
+      std::printf("# slo p99<=%" PRIu64 ": %" PRIu64 "/%" PRIu64
+                  " windows in violation (burn rate %.3f)\n",
+                  cfg->Find("slo_p99_cycles")->AsUint(), slo->Find("violations")->AsUint(),
+                  slo->Find("windows_with_traffic")->AsUint(),
+                  slo->Find("burn_rate")->AsDouble());
+    }
+    std::printf("%8s %12s %9s %9s %6s %6s %9s %9s %9s %4s\n", "window", "t_end", "completed",
+                "admitted", "shed", "depth", "p50", "p99", "p999", "slo");
+    const JsonValue* windows = global->Find("windows");
+    for (const JsonValue& win : windows->array) {
+      char tag[24], p50[24], p99[24], p999[24];
+      std::snprintf(tag, sizeof(tag), "%" PRIu64 "%s", win.Find("index")->AsUint(),
+                    win.Find("partial")->boolean ? "*" : "");
+      const JsonValue* viol = win.Find("slo_violation");
+      std::printf("%8s %12" PRIu64 " %9" PRIu64 " %9" PRIu64 " %6" PRIu64 " %6" PRIu64
+                  " %9s %9s %9s %4s\n",
+                  tag, win.Find("t_end")->AsUint(), win.Find("completed")->AsUint(),
+                  win.Find("admitted")->AsUint(), win.Find("shed")->AsUint(),
+                  win.Find("queue_depth")->AsUint(),
+                  QuantileCell(win, "sojourn_p50", p50, sizeof(p50)),
+                  QuantileCell(win, "sojourn_p99", p99, sizeof(p99)),
+                  QuantileCell(win, "sojourn_p999", p999, sizeof(p999)),
+                  viol == nullptr ? "-" : (viol->boolean ? "VIOL" : "ok"));
+    }
+    std::printf("%8s %12" PRIu64 " %9" PRIu64 " %9" PRIu64 " %6" PRIu64 "\n", "total",
+                point.Find("end")->AsUint(), totals->Find("completed")->AsUint(),
+                totals->Find("admitted")->AsUint(), totals->Find("shed")->AsUint());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,9 +243,18 @@ int main(int argc, char** argv) {
         "usage: pmemsim_watch [--workload=seq_load|rand_load|seq_store|rand_store|ntstore|rap]\n"
         "                     [--platform=g1|g2|g2-eadr] [--dimms=1] [--threads=1]\n"
         "                     [--wss=4M] [--stride=64] [--ops=200000] [--distance=4]\n"
-        "                     [--sample_interval_cycles=20000] [--breakdown] [--quiet]\n%s",
+        "                     [--sample_interval_cycles=20000] [--breakdown] [--quiet]\n"
+        "       pmemsim_watch --serve_timeline=<path>   render a pmemsim_serve\n"
+        "                     --timeline_json artifact instead of running\n%s",
         pmemsim_bench::kTelemetryFlagsHelp);
     return 0;
+  }
+
+  // Viewer mode: no workload run, just render the serve timeline artifact.
+  const std::string serve_timeline = flags.Get("serve_timeline", "");
+  if (!serve_timeline.empty()) {
+    flags.RejectUnknown();
+    return ViewServeTimeline(serve_timeline);
   }
 
   WatchConfig cfg;
